@@ -1,0 +1,61 @@
+//! Validates the complexity claim of §III-D3: one CDRIB training step costs
+//! `O((|E_X| + |E_Y|) * F^2)` — i.e. roughly linear in the number of
+//! interactions for a fixed embedding dimension. The benchmark measures a
+//! full loss + backward step on scenarios of increasing size.
+
+use cdrib_core::{CdribConfig, CdribModel};
+use cdrib_data::{generate_scenario, SplitConfig, SyntheticConfig};
+use cdrib_tensor::rng::component_rng;
+use cdrib_tensor::Tape;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn scenario_of_size(users: usize) -> cdrib_data::CdrScenario {
+    let cfg = SyntheticConfig {
+        name: format!("scaling-{users}"),
+        n_overlap: users / 4,
+        n_users_x_only: users / 2,
+        n_users_y_only: users / 2,
+        n_items_x: (users / 2).max(60),
+        n_items_y: (users / 2).max(60),
+        mean_interactions: 12.0,
+        min_item_interactions: 3,
+        seed: 7,
+        ..SyntheticConfig::default()
+    };
+    generate_scenario(&cfg, SplitConfig::default()).expect("scaling scenario")
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdrib_training_step");
+    for users in [200usize, 400, 800] {
+        let scenario = scenario_of_size(users);
+        let edges = scenario.x.train.n_edges() + scenario.y.train.n_edges();
+        let config = CdribConfig {
+            dim: 32,
+            layers: 2,
+            batches_per_epoch: 1,
+            ..CdribConfig::fast_test()
+        };
+        let mut model = CdribModel::new(&config, &scenario).unwrap();
+        let mut rng = component_rng(1, "bench-step");
+        let batches = model.make_batches(&scenario, &mut rng).unwrap();
+        let (xb, yb) = batches[0].clone();
+        group.bench_with_input(BenchmarkId::new("edges", edges), &edges, |b, _| {
+            b.iter(|| {
+                model.params_mut().zero_grad();
+                let mut tape = Tape::new();
+                let (loss, _) = model.loss(&mut tape, &xb, &yb, &mut rng).unwrap();
+                black_box(tape.backward(loss, model.params_mut()).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = scaling;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training_step
+}
+criterion_main!(scaling);

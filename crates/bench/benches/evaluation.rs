@@ -1,0 +1,46 @@
+//! Benchmarks the leave-one-out evaluation protocol itself (negative
+//! sampling + scoring + ranking), which dominates wall-clock time when the
+//! paper's 999-negative protocol is applied to every held-out interaction.
+
+use cdrib_data::{build_preset, Direction, Scale, ScenarioKind};
+use cdrib_eval::{evaluate_cold_start, EmbeddingScorer, EvalConfig, EvalSplit};
+use cdrib_tensor::rng::component_rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_protocol(c: &mut Criterion) {
+    let scenario = build_preset(ScenarioKind::ClothSport, Scale::Tiny, 5).unwrap();
+    let mut rng = component_rng(0, "bench-eval");
+    let dim = 64;
+    let scorer = EmbeddingScorer::dot(
+        cdrib_tensor::rng::normal_tensor(&mut rng, scenario.x.n_users, dim, 0.1),
+        cdrib_tensor::rng::normal_tensor(&mut rng, scenario.x.n_items, dim, 0.1),
+        cdrib_tensor::rng::normal_tensor(&mut rng, scenario.y.n_users, dim, 0.1),
+        cdrib_tensor::rng::normal_tensor(&mut rng, scenario.y.n_items, dim, 0.1),
+    );
+    let mut group = c.benchmark_group("leave_one_out_protocol");
+    for negatives in [50usize, 99] {
+        let cfg = EvalConfig {
+            n_negatives: negatives,
+            seed: 3,
+            max_cases: Some(50),
+        };
+        group.bench_with_input(BenchmarkId::new("negatives", negatives), &negatives, |b, _| {
+            b.iter(|| {
+                black_box(
+                    evaluate_cold_start(&scorer, &scenario, Direction::X_TO_Y, EvalSplit::Test, &cfg)
+                        .unwrap()
+                        .metrics,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = evaluation;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_protocol
+}
+criterion_main!(evaluation);

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the hot kernels that dominate CDRIB's
+//! training-time cost profile: sparse-dense products, dense matmul, the VBGE
+//! forward pass and negative sampling.
+
+use cdrib_core::{MeanActivation, VbgeEncoder};
+use cdrib_data::{build_preset, NegativeSampler, Scale, ScenarioKind};
+use cdrib_tensor::rng::component_rng;
+use cdrib_tensor::{ParamSet, Tape, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sparse_dense(c: &mut Criterion) {
+    let scenario = build_preset(ScenarioKind::MusicMovie, Scale::Tiny, 1).unwrap();
+    let adj = scenario.x.train.norm_adjacency();
+    let mut rng = component_rng(0, "bench-spmm");
+    let mut group = c.benchmark_group("sparse_dense_product");
+    for dim in [32usize, 64, 128] {
+        let dense = cdrib_tensor::rng::normal_tensor(&mut rng, adj.cols(), dim, 0.1);
+        group.bench_with_input(BenchmarkId::new("spmm", dim), &dim, |b, _| {
+            b.iter(|| black_box(adj.spmm(black_box(&dense)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_matmul(c: &mut Criterion) {
+    let mut rng = component_rng(1, "bench-matmul");
+    let mut group = c.benchmark_group("dense_matmul");
+    for n in [128usize, 512] {
+        let a = cdrib_tensor::rng::normal_tensor(&mut rng, n, 64, 0.1);
+        let b_mat = cdrib_tensor::rng::normal_tensor(&mut rng, 64, 64, 0.1);
+        group.bench_with_input(BenchmarkId::new("n_rows", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(black_box(&b_mat)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vbge_forward(c: &mut Criterion) {
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 2).unwrap();
+    let norm_a = scenario.x.train.norm_adjacency();
+    let norm_a_t = scenario.x.train.norm_adjacency_transpose();
+    let mut rng = component_rng(2, "bench-vbge");
+    let mut group = c.benchmark_group("vbge_forward");
+    for layers in [1usize, 2, 3] {
+        let mut params = ParamSet::new();
+        let enc = VbgeEncoder::with_mean_activation(
+            &mut params, &mut rng, "u", 64, layers, 0.1, MeanActivation::Identity,
+        )
+        .unwrap();
+        let emb = cdrib_tensor::rng::normal_tensor(&mut rng, scenario.x.n_users, 64, 0.1);
+        group.bench_with_input(BenchmarkId::new("layers", layers), &layers, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let e = tape.constant(emb.clone());
+                let out = enc.forward(&mut tape, &params, e, &norm_a_t, &norm_a, None).unwrap();
+                black_box(tape.value(out.mu).unwrap().sum())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_negative_sampling(c: &mut Criterion) {
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 3).unwrap();
+    let graph = &scenario.x.train;
+    let sampler = NegativeSampler::new(graph);
+    c.bench_function("negative_sampling_1k", |b| {
+        let mut rng = component_rng(3, "bench-neg");
+        b.iter(|| {
+            let mut acc = 0u32;
+            for u in 0..graph.n_users().min(1000) {
+                if graph.user_degree(u) < graph.n_items() {
+                    acc = acc.wrapping_add(sampler.sample_one(graph, u, &mut rng).unwrap());
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut rng = component_rng(4, "bench-rank");
+    let negatives: Tensor = cdrib_tensor::rng::normal_tensor(&mut rng, 1, 999, 1.0);
+    c.bench_function("rank_of_positive_999", |b| {
+        b.iter(|| black_box(cdrib_eval::rank_of_positive(0.3, negatives.as_slice())))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sparse_dense, bench_dense_matmul, bench_vbge_forward, bench_negative_sampling, bench_ranking
+}
+criterion_main!(kernels);

@@ -1,0 +1,46 @@
+//! Regenerates Figure 5: sensitivity to the Lagrangian multiplier `beta`
+//! (both `beta_1` and `beta_2` set to the same value, swept 0.5 .. 2.0).
+//!
+//! Usage:
+//! `cargo run --release -p cdrib-bench --bin fig5_beta -- [--scenario game-video] [--scale tiny]`
+
+use cdrib_bench::{Args, ExperimentSettings};
+use cdrib_core::train;
+use cdrib_data::ScenarioKind;
+use cdrib_eval::{evaluate_both_directions, pct, EvalSplit, TextTable};
+
+fn main() {
+    let args = Args::from_env();
+    let settings = ExperimentSettings::from_args(&args);
+    let kind = ScenarioKind::parse(args.get("scenario").unwrap_or("game-video")).expect("valid --scenario");
+    let seed = settings.seeds[0];
+    let scenario = settings.scenario(kind, seed);
+    let (x_name, y_name) = kind.domain_names();
+
+    println!("Figure 5 — effect of the Lagrangian multiplier beta on {} (scale {:?})", kind.name(), settings.scale);
+    println!("Paper reference: the best beta depends on the interaction scale; denser scenarios prefer smaller beta.\n");
+
+    let mut table = TextTable::new(vec![
+        "beta",
+        &format!("MRR (->{y_name})"),
+        &format!("NDCG@10 (->{y_name})"),
+        &format!("HR@10 (->{y_name})"),
+        &format!("MRR (->{x_name})"),
+        &format!("HR@10 (->{x_name})"),
+    ]);
+    for beta in [0.5f32, 1.0, 1.5, 2.0] {
+        let config = settings.cdrib_config(seed).with_beta(beta);
+        let trained = train(&config, &scenario).expect("training");
+        let eval_cfg = settings.eval_config(&scenario, seed);
+        let (x2y, y2x) = evaluate_both_directions(&trained.scorer(), &scenario, EvalSplit::Test, &eval_cfg).unwrap();
+        table.add_row(vec![
+            format!("{beta:.1}"),
+            pct(x2y.metrics.mrr),
+            pct(x2y.metrics.ndcg10),
+            pct(x2y.metrics.hr10),
+            pct(y2x.metrics.mrr),
+            pct(y2x.metrics.hr10),
+        ]);
+    }
+    println!("{}", table.render());
+}

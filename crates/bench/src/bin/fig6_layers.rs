@@ -1,0 +1,48 @@
+//! Regenerates Figure 6: impact of the number of VBGE propagation layers
+//! (1 .. 4).
+//!
+//! Usage:
+//! `cargo run --release -p cdrib-bench --bin fig6_layers -- [--scenario game-video] [--scale tiny]`
+
+use cdrib_bench::{Args, ExperimentSettings};
+use cdrib_core::train;
+use cdrib_data::ScenarioKind;
+use cdrib_eval::{evaluate_both_directions, pct, EvalSplit, TextTable};
+
+fn main() {
+    let args = Args::from_env();
+    let settings = ExperimentSettings::from_args(&args);
+    let kind = ScenarioKind::parse(args.get("scenario").unwrap_or("game-video")).expect("valid --scenario");
+    let seed = settings.seeds[0];
+    let scenario = settings.scenario(kind, seed);
+    let (x_name, y_name) = kind.domain_names();
+
+    println!("Figure 6 — impact of the VBGE layer count on {} (scale {:?})", kind.name(), settings.scale);
+    println!("Paper reference: neighbourhood aggregation helps; 4 layers often drops below 3 due to over-smoothing.\n");
+
+    let mut table = TextTable::new(vec![
+        "layers",
+        &format!("NDCG@10 (->{y_name})"),
+        &format!("HR@10 (->{y_name})"),
+        &format!("NDCG@10 (->{x_name})"),
+        &format!("HR@10 (->{x_name})"),
+        "train(s)",
+    ]);
+    for layers in 1..=4usize {
+        let config = settings.cdrib_config(seed).with_layers(layers);
+        let start = std::time::Instant::now();
+        let trained = train(&config, &scenario).expect("training");
+        let secs = start.elapsed().as_secs_f64();
+        let eval_cfg = settings.eval_config(&scenario, seed);
+        let (x2y, y2x) = evaluate_both_directions(&trained.scorer(), &scenario, EvalSplit::Test, &eval_cfg).unwrap();
+        table.add_row(vec![
+            layers.to_string(),
+            pct(x2y.metrics.ndcg10),
+            pct(x2y.metrics.hr10),
+            pct(y2x.metrics.ndcg10),
+            pct(y2x.metrics.hr10),
+            format!("{secs:.1}"),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,67 @@
+//! Regenerates Table VII: the ablation study over CDRIB's regularizers
+//! (`w/o In-IB&Con`, `w/o Con`, full CDRIB).
+//!
+//! Usage:
+//! `cargo run --release -p cdrib-bench --bin table7_ablation -- [--scenario game-video | --all-scenarios] [--scale tiny] [--seeds 1]`
+
+use cdrib_bench::{run_cdrib_detailed, Args, ExperimentSettings};
+use cdrib_core::CdribVariant;
+use cdrib_data::ScenarioKind;
+use cdrib_eval::{pct, TextTable};
+
+fn main() {
+    let args = Args::from_env();
+    let settings = ExperimentSettings::from_args(&args);
+    let kinds: Vec<ScenarioKind> = if args.get("all-scenarios").is_some() {
+        ScenarioKind::ALL.to_vec()
+    } else {
+        vec![ScenarioKind::parse(args.get("scenario").unwrap_or("game-video")).expect("valid --scenario")]
+    };
+    let variants = [
+        CdribVariant::WithoutInDomainAndContrastive,
+        CdribVariant::WithoutContrastive,
+        CdribVariant::Full,
+    ];
+
+    println!("Table VII — ablation study (scale {:?})", settings.scale);
+    println!("Paper reference: full CDRIB > w/o Con > w/o In-IB&Con on every scenario and metric.\n");
+    let mut table = TextTable::new(vec!["Scenario", "Direction", "Metric", "w/o In-IB&Con", "w/o Con", "CDRIB"]);
+    for kind in kinds {
+        let seed = settings.seeds[0];
+        let scenario = settings.scenario(kind, seed);
+        let mut per_variant = Vec::new();
+        for v in variants {
+            let (row, _, _) = run_cdrib_detailed(v, &scenario, &settings, seed);
+            per_variant.push(row);
+        }
+        let (x_name, y_name) = kind.domain_names();
+        for (label, extract) in [
+            ("MRR", 0usize),
+            ("NDCG@10", 1),
+            ("HR@10", 2),
+        ] {
+            let pick = |m: &cdrib_eval::RankingMetrics| match extract {
+                0 => m.mrr,
+                1 => m.ndcg10,
+                _ => m.hr10,
+            };
+            table.add_row(vec![
+                kind.name().to_string(),
+                format!("-> {y_name}"),
+                label.to_string(),
+                pct(pick(&per_variant[0].x_to_y)),
+                pct(pick(&per_variant[1].x_to_y)),
+                pct(pick(&per_variant[2].x_to_y)),
+            ]);
+            table.add_row(vec![
+                String::new(),
+                format!("-> {x_name}"),
+                label.to_string(),
+                pct(pick(&per_variant[0].y_to_x)),
+                pct(pick(&per_variant[1].y_to_x)),
+                pct(pick(&per_variant[2].y_to_x)),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,312 @@
+//! # cdrib-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! CDRIB paper on the synthetic scenarios, plus Criterion micro-benchmarks of
+//! the hot kernels. Each table/figure has its own binary (see DESIGN.md for
+//! the index); this library holds the shared plumbing: CLI parsing, scenario
+//! construction, method execution and row formatting.
+
+#![warn(missing_docs)]
+
+use cdrib_baselines::{BaselineOpts, Method};
+use cdrib_core::{train, CdribConfig, CdribVariant};
+use cdrib_data::{build_preset, CdrScenario, Scale, ScenarioKind};
+use cdrib_eval::{
+    evaluate_both_directions, EvalConfig, EvalOutcome, EvalSplit, RankingMetrics, TextTable,
+};
+
+/// A very small `--key value` command-line parser (no external crates).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn from_env() -> Self {
+        Self::from_vec(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument vector (used by tests).
+    pub fn from_vec(args: Vec<String>) -> Self {
+        let mut pairs = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = if iter.peek().map(|v| !v.starts_with("--")).unwrap_or(false) {
+                    iter.next().unwrap()
+                } else {
+                    "true".to_string()
+                };
+                pairs.push((key.to_string(), value));
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Returns the raw value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Returns a parsed value or the default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+/// Common experiment settings shared by the table binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentSettings {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Evaluation negatives (0 = choose automatically from catalogue size).
+    pub n_negatives: usize,
+    /// Cap on evaluated cases per direction (0 = all).
+    pub max_cases: usize,
+    /// Training epochs for CDRIB.
+    pub cdrib_epochs: usize,
+    /// Training epochs for baselines.
+    pub baseline_epochs: usize,
+    /// Embedding dimension for every method.
+    pub dim: usize,
+}
+
+impl ExperimentSettings {
+    /// Builds settings from parsed CLI arguments.
+    pub fn from_args(args: &Args) -> Self {
+        let scale = Scale::parse(args.get("scale").unwrap_or("tiny")).unwrap_or(Scale::Tiny);
+        let n_seeds: usize = args.get_or("seeds", 1);
+        let seeds: Vec<u64> = (0..n_seeds as u64).map(|s| 2022 + s).collect();
+        let (cdrib_epochs, baseline_epochs, dim) = match scale {
+            Scale::Tiny => (120, 25, 32),
+            Scale::Small => (100, 30, 64),
+            Scale::Full => (80, 30, 64),
+        };
+        ExperimentSettings {
+            scale,
+            seeds,
+            n_negatives: args.get_or("negatives", 0),
+            max_cases: args.get_or("max-cases", 0),
+            cdrib_epochs: args.get_or("epochs", cdrib_epochs),
+            baseline_epochs: args.get_or("baseline-epochs", baseline_epochs),
+            dim: args.get_or("dim", dim),
+        }
+    }
+
+    /// The evaluation protocol configuration for a scenario.
+    pub fn eval_config(&self, scenario: &CdrScenario, seed: u64) -> EvalConfig {
+        let negatives = if self.n_negatives > 0 {
+            self.n_negatives
+        } else {
+            cdrib_core::validation_negatives(scenario)
+        };
+        EvalConfig {
+            n_negatives: negatives,
+            seed: seed ^ 0xeba1,
+            max_cases: if self.max_cases > 0 { Some(self.max_cases) } else { None },
+        }
+    }
+
+    /// The CDRIB configuration used by the experiments.
+    pub fn cdrib_config(&self, seed: u64) -> CdribConfig {
+        CdribConfig {
+            dim: self.dim,
+            layers: 2,
+            epochs: self.cdrib_epochs,
+            eval_every: (self.cdrib_epochs / 5).max(1),
+            patience: 0,
+            max_val_cases: Some(400),
+            seed,
+            ..CdribConfig::default()
+        }
+    }
+
+    /// The baseline budget used by the experiments.
+    pub fn baseline_opts(&self, seed: u64) -> BaselineOpts {
+        BaselineOpts {
+            dim: self.dim,
+            epochs: self.baseline_epochs,
+            seed,
+            ..BaselineOpts::default()
+        }
+    }
+
+    /// Builds the scenario of a kind for a given seed.
+    pub fn scenario(&self, kind: ScenarioKind, seed: u64) -> CdrScenario {
+        build_preset(kind, self.scale, seed).expect("preset scenarios are valid")
+    }
+}
+
+/// The metrics of one method on one scenario (both directions, test split).
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method display name.
+    pub name: String,
+    /// Metrics in direction `X -> Y` (evaluated in domain Y).
+    pub x_to_y: RankingMetrics,
+    /// Metrics in direction `Y -> X` (evaluated in domain X).
+    pub y_to_x: RankingMetrics,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+}
+
+/// Trains and evaluates one baseline method.
+pub fn run_baseline(
+    method: Method,
+    scenario: &CdrScenario,
+    settings: &ExperimentSettings,
+    seed: u64,
+) -> MethodResult {
+    let start = std::time::Instant::now();
+    let scorer = method
+        .train(scenario, &settings.baseline_opts(seed))
+        .expect("baseline training failed");
+    let train_seconds = start.elapsed().as_secs_f64();
+    let (x2y, y2x) = evaluate_both_directions(&scorer, scenario, EvalSplit::Test, &settings.eval_config(scenario, seed))
+        .expect("evaluation failed");
+    MethodResult {
+        name: method.name().to_string(),
+        x_to_y: x2y.metrics,
+        y_to_x: y2x.metrics,
+        train_seconds,
+    }
+}
+
+/// Trains and evaluates a CDRIB variant; returns the detailed outcomes too
+/// (used by the grouping analysis of Table IX).
+pub fn run_cdrib_detailed(
+    variant: CdribVariant,
+    scenario: &CdrScenario,
+    settings: &ExperimentSettings,
+    seed: u64,
+) -> (MethodResult, EvalOutcome, EvalOutcome) {
+    let config = settings.cdrib_config(seed).with_variant(variant);
+    let start = std::time::Instant::now();
+    let trained = train(&config, scenario).expect("CDRIB training failed");
+    let train_seconds = start.elapsed().as_secs_f64();
+    let scorer = trained.scorer();
+    let (x2y, y2x) =
+        evaluate_both_directions(&scorer, scenario, EvalSplit::Test, &settings.eval_config(scenario, seed))
+            .expect("evaluation failed");
+    (
+        MethodResult {
+            name: variant.label().to_string(),
+            x_to_y: x2y.metrics,
+            y_to_x: y2x.metrics,
+            train_seconds,
+        },
+        x2y,
+        y2x,
+    )
+}
+
+/// Trains and evaluates full CDRIB.
+pub fn run_cdrib(scenario: &CdrScenario, settings: &ExperimentSettings, seed: u64) -> MethodResult {
+    run_cdrib_detailed(CdribVariant::Full, scenario, settings, seed).0
+}
+
+/// Renders one main-results table (the layout of Tables III-VI).
+pub fn render_main_table(scenario_name: &str, x_name: &str, y_name: &str, rows: &[MethodResult]) -> String {
+    let mut table = TextTable::new(vec![
+        "Method".to_string(),
+        format!("{y_name}:MRR"),
+        format!("{y_name}:NDCG@10"),
+        format!("{y_name}:HR@10"),
+        format!("{x_name}:MRR"),
+        format!("{x_name}:NDCG@10"),
+        format!("{x_name}:HR@10"),
+        "train(s)".to_string(),
+    ]);
+    for r in rows {
+        table.add_row(vec![
+            r.name.clone(),
+            cdrib_eval::pct(r.x_to_y.mrr),
+            cdrib_eval::pct(r.x_to_y.ndcg10),
+            cdrib_eval::pct(r.x_to_y.hr10),
+            cdrib_eval::pct(r.y_to_x.mrr),
+            cdrib_eval::pct(r.y_to_x.ndcg10),
+            cdrib_eval::pct(r.y_to_x.hr10),
+            format!("{:.1}", r.train_seconds),
+        ]);
+    }
+    format!("## {scenario_name}\n{}", table.render())
+}
+
+/// Parses the list of methods to run from the CLI (`all`, `quick`, or a
+/// comma-separated list of names).
+pub fn parse_methods(spec: Option<&str>) -> Vec<Method> {
+    match spec.unwrap_or("all") {
+        "all" => Method::ALL.to_vec(),
+        "quick" => Method::QUICK.to_vec(),
+        other => other
+            .split(',')
+            .filter_map(|name| Method::parse(name.trim()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parser_handles_flags_and_values() {
+        let a = Args::from_vec(vec![
+            "--scale".into(),
+            "tiny".into(),
+            "--seeds".into(),
+            "3".into(),
+            "--flag".into(),
+            "--scenario".into(),
+            "music-movie".into(),
+        ]);
+        assert_eq!(a.get("scale"), Some("tiny"));
+        assert_eq!(a.get_or("seeds", 1usize), 3);
+        assert_eq!(a.get("flag"), Some("true"));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.get_or("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn settings_from_args_and_scenario_construction() {
+        let args = Args::from_vec(vec!["--scale".into(), "tiny".into(), "--max-cases".into(), "50".into()]);
+        let s = ExperimentSettings::from_args(&args);
+        assert_eq!(s.scale, Scale::Tiny);
+        assert_eq!(s.max_cases, 50);
+        let scenario = s.scenario(ScenarioKind::GameVideo, 3);
+        let cfg = s.eval_config(&scenario, 3);
+        assert_eq!(cfg.max_cases, Some(50));
+        assert!(cfg.n_negatives >= 10);
+        assert!(s.cdrib_config(1).epochs > 0);
+        assert!(s.baseline_opts(1).epochs > 0);
+    }
+
+    #[test]
+    fn method_parsing_specs() {
+        assert_eq!(parse_methods(Some("all")).len(), Method::ALL.len());
+        assert_eq!(parse_methods(Some("quick")).len(), Method::QUICK.len());
+        let custom = parse_methods(Some("BPRMF, SA-VAE"));
+        assert_eq!(custom, vec![Method::Bprmf, Method::SaVae]);
+        assert!(parse_methods(Some("nonsense")).is_empty());
+    }
+
+    #[test]
+    fn quick_end_to_end_row() {
+        let args = Args::from_vec(vec!["--scale".into(), "tiny".into(), "--max-cases".into(), "30".into()]);
+        let mut settings = ExperimentSettings::from_args(&args);
+        settings.baseline_epochs = 2;
+        settings.cdrib_epochs = 3;
+        settings.dim = 8;
+        let scenario = settings.scenario(ScenarioKind::GameVideo, 5);
+        let row = run_baseline(Method::Bprmf, &scenario, &settings, 5);
+        assert!(row.x_to_y.mrr > 0.0);
+        let cd = run_cdrib(&scenario, &settings, 5);
+        assert!(cd.y_to_x.mrr > 0.0);
+        let rendered = render_main_table("Game-Video", "Game", "Video", &[row, cd]);
+        assert!(rendered.contains("BPRMF"));
+        assert!(rendered.contains("CDRIB"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type of the CDRIB model crate.
+
+use std::fmt;
+
+/// Errors produced while building, training or applying CDRIB.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An invalid hyperparameter configuration.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Human readable detail.
+        detail: String,
+    },
+    /// The scenario cannot be used (e.g. no training overlap users).
+    InvalidScenario {
+        /// Human readable detail.
+        detail: String,
+    },
+    /// Training diverged (non-finite loss or parameters).
+    Diverged {
+        /// The epoch at which divergence was detected.
+        epoch: usize,
+    },
+    /// An underlying tensor error.
+    Tensor(cdrib_tensor::TensorError),
+    /// An underlying data error.
+    Data(cdrib_data::DataError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { field, detail } => {
+                write!(f, "invalid CDRIB configuration for `{field}`: {detail}")
+            }
+            CoreError::InvalidScenario { detail } => write!(f, "invalid scenario: {detail}"),
+            CoreError::Diverged { epoch } => write!(f, "training diverged at epoch {epoch}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cdrib_tensor::TensorError> for CoreError {
+    fn from(e: cdrib_tensor::TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<cdrib_data::DataError> for CoreError {
+    fn from(e: cdrib_data::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(CoreError::InvalidConfig {
+            field: "dim",
+            detail: "zero".into()
+        }
+        .to_string()
+        .contains("dim"));
+        assert!(CoreError::InvalidScenario { detail: "empty".into() }
+            .to_string()
+            .contains("empty"));
+        assert!(CoreError::Diverged { epoch: 3 }.to_string().contains("3"));
+        let t: CoreError = cdrib_tensor::TensorError::NoGradient.into();
+        assert!(t.to_string().contains("tensor"));
+        let d: CoreError = cdrib_data::DataError::EmptyDataset { stage: "x" }.into();
+        assert!(d.to_string().contains("data"));
+        use std::error::Error;
+        assert!(t.source().is_some());
+        assert!(CoreError::Diverged { epoch: 1 }.source().is_none());
+    }
+}

@@ -1,0 +1,631 @@
+//! The CDRIB model (§III).
+//!
+//! The model holds, per domain, an embedding table for users and items plus a
+//! user-VBGE and an item-VBGE, and a shared contrastive discriminator. Its
+//! training objective is Eq. (16):
+//!
+//! * **minimality terms** — KL divergences of every latent Gaussian against
+//!   the standard-normal prior, weighted by the Lagrangian multipliers
+//!   `beta_1`/`beta_2` (the tractable form of `I(Z; X_u)` etc., Eq. 11);
+//! * **reconstruction terms** — binary cross-entropy over sampled positive /
+//!   negative interactions (Eq. 13), where interactions of *overlapping*
+//!   users are reconstructed with the user latent of the **other** domain
+//!   (cross-domain IB regularizer) and interactions of non-overlapping users
+//!   with their own domain's latent (in-domain IB regularizer);
+//! * **contrastive term** — a discriminator distinguishing aligned from
+//!   misaligned overlap-user latent pairs across domains (Eq. 14-15).
+
+use crate::config::CdribConfig;
+use crate::error::{CoreError, Result};
+use crate::vbge::{ForwardNoise, MeanActivation, VbgeEncoder, VbgeOutput};
+use cdrib_data::{CdrScenario, DomainId, EdgeBatch};
+use cdrib_graph::BipartiteGraph;
+use cdrib_tensor::rng::{component_rng, shuffle_in_place};
+use cdrib_tensor::{Activation, CsrMatrix, Mlp, ParamId, ParamSet, Tape, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Cached graph views and parameter handles of one domain.
+struct DomainState {
+    user_emb: ParamId,
+    item_emb: ParamId,
+    user_encoder: VbgeEncoder,
+    item_encoder: VbgeEncoder,
+    /// `Norm(A)`, `|U| x |V|`.
+    norm_a: Arc<CsrMatrix>,
+    /// `Norm(A^T)`, `|V| x |U|`.
+    norm_a_t: Arc<CsrMatrix>,
+}
+
+/// Latent variables of one domain produced during a forward pass.
+pub struct DomainEncoding {
+    /// User latents.
+    pub users: VbgeOutput,
+    /// Item latents.
+    pub items: VbgeOutput,
+}
+
+/// Deterministic embeddings exported after training (the Gaussian means).
+#[derive(Debug, Clone)]
+pub struct CdribEmbeddings {
+    /// User means of domain X.
+    pub x_users: Tensor,
+    /// Item means of domain X.
+    pub x_items: Tensor,
+    /// User means of domain Y.
+    pub y_users: Tensor,
+    /// Item means of domain Y.
+    pub y_items: Tensor,
+}
+
+impl CdribEmbeddings {
+    /// Wraps the embeddings into the shared evaluation scorer.
+    pub fn into_scorer(self) -> cdrib_eval::EmbeddingScorer {
+        cdrib_eval::EmbeddingScorer::dot(self.x_users, self.x_items, self.y_users, self.y_items)
+    }
+
+    /// Borrowing variant of [`CdribEmbeddings::into_scorer`].
+    pub fn scorer(&self) -> cdrib_eval::EmbeddingScorer {
+        self.clone().into_scorer()
+    }
+}
+
+/// The CDRIB model.
+pub struct CdribModel {
+    config: CdribConfig,
+    params: ParamSet,
+    x: DomainState,
+    y: DomainState,
+    discriminator: Mlp,
+    /// Overlapping users available as cross-domain bridges during training.
+    train_overlap: Vec<u32>,
+    train_overlap_set: HashSet<u32>,
+}
+
+/// Internal rescaling of the KL minimality terms.
+///
+/// The paper's reconstruction term (Eq. 13) is a *sum* over sampled
+/// interactions while this implementation averages it over the mini-batch
+/// (so the learning rate is batch-size independent). The KL terms are
+/// likewise averaged over entities. To keep the `beta` sweep of Fig. 5 on the
+/// paper's scale (0.5 .. 2.0) while preserving the balance between the two
+/// averaged terms, the KL weight is `beta * KL_SCALE`.
+const KL_SCALE: f32 = 0.1;
+
+/// The per-step loss breakdown (useful for diagnostics and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LossBreakdown {
+    /// Total objective value.
+    pub total: f32,
+    /// Weighted KL minimality value.
+    pub minimality: f32,
+    /// Reconstruction BCE value (cross-domain + in-domain).
+    pub reconstruction: f32,
+    /// Contrastive BCE value.
+    pub contrastive: f32,
+}
+
+impl CdribModel {
+    /// Builds the model for a scenario.
+    pub fn new(config: &CdribConfig, scenario: &CdrScenario) -> Result<Self> {
+        config.validate()?;
+        if scenario.train_overlap_users.is_empty() {
+            return Err(CoreError::InvalidScenario {
+                detail: "the scenario has no training overlap users to bridge the domains".into(),
+            });
+        }
+        let mut init_rng = component_rng(config.seed, "cdrib-init");
+        let mut params = ParamSet::new();
+
+        let build_domain = |params: &mut ParamSet,
+                                rng: &mut StdRng,
+                                prefix: &str,
+                                dom: &cdrib_data::DomainData|
+         -> Result<DomainState> {
+            let user_emb = params.add(
+                format!("{prefix}.user_emb"),
+                cdrib_tensor::init::embedding_normal(rng, dom.n_users, config.dim, 0.1),
+            )?;
+            let item_emb = params.add(
+                format!("{prefix}.item_emb"),
+                cdrib_tensor::init::embedding_normal(rng, dom.n_items, config.dim, 0.1),
+            )?;
+            let mean_activation = if config.nonlinear_mean {
+                MeanActivation::LeakyRelu
+            } else {
+                MeanActivation::Identity
+            };
+            let user_encoder = VbgeEncoder::with_mean_activation(
+                params,
+                rng,
+                &format!("{prefix}.user_vbge"),
+                config.dim,
+                config.layers,
+                config.leaky_slope,
+                mean_activation,
+            )?;
+            let item_encoder = VbgeEncoder::with_mean_activation(
+                params,
+                rng,
+                &format!("{prefix}.item_vbge"),
+                config.dim,
+                config.layers,
+                config.leaky_slope,
+                mean_activation,
+            )?;
+            Ok(DomainState {
+                user_emb,
+                item_emb,
+                user_encoder,
+                item_encoder,
+                norm_a: dom.train.norm_adjacency(),
+                norm_a_t: dom.train.norm_adjacency_transpose(),
+            })
+        };
+
+        let x = build_domain(&mut params, &mut init_rng, "x", &scenario.x)?;
+        let y = build_domain(&mut params, &mut init_rng, "y", &scenario.y)?;
+
+        // "a three-layer MLP followed by a sigmoid" (Eq. 15); the sigmoid is
+        // folded into the BCE-with-logits loss.
+        let discriminator = Mlp::new(
+            &mut params,
+            &mut init_rng,
+            "discriminator",
+            &[2 * config.dim, 2 * config.dim, config.dim, 1],
+            Activation::LeakyRelu(config.leaky_slope),
+            Activation::Identity,
+        )?;
+
+        Ok(CdribModel {
+            config: config.clone(),
+            params,
+            x,
+            y,
+            discriminator,
+            train_overlap: scenario.train_overlap_users.clone(),
+            train_overlap_set: scenario.train_overlap_users.iter().copied().collect(),
+        })
+    }
+
+    /// The model's hyperparameters.
+    pub fn config(&self) -> &CdribConfig {
+        &self.config
+    }
+
+    /// Immutable access to the parameter set (used by the trainer/optimizer).
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Mutable access to the parameter set (used by the trainer/optimizer).
+    pub fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+
+    /// Replaces the list of overlap users usable as bridges (overlap-ratio
+    /// robustness study, Table VIII).
+    pub fn set_train_overlap(&mut self, users: &[u32]) {
+        self.train_overlap = users.to_vec();
+        self.train_overlap_set = users.iter().copied().collect();
+    }
+
+    fn domain(&self, id: DomainId) -> &DomainState {
+        match id {
+            DomainId::X => &self.x,
+            DomainId::Y => &self.y,
+        }
+    }
+
+    /// Encodes one domain. `noise_rng` enables training mode (dropout and
+    /// reparameterisation sampling).
+    pub fn encode_domain(
+        &self,
+        tape: &mut Tape,
+        id: DomainId,
+        mut noise_rng: Option<&mut StdRng>,
+    ) -> Result<DomainEncoding> {
+        let dom = self.domain(id);
+        let user_emb = tape.param(&self.params, dom.user_emb);
+        let item_emb = tape.param(&self.params, dom.item_emb);
+        let users = dom.user_encoder.forward(
+            tape,
+            &self.params,
+            user_emb,
+            &dom.norm_a_t,
+            &dom.norm_a,
+            noise_rng.as_deref_mut().map(|rng| ForwardNoise {
+                dropout: self.config.dropout,
+                rng,
+            }),
+        )?;
+        let items = dom.item_encoder.forward(
+            tape,
+            &self.params,
+            item_emb,
+            &dom.norm_a,
+            &dom.norm_a_t,
+            noise_rng.as_deref_mut().map(|rng| ForwardNoise {
+                dropout: self.config.dropout,
+                rng,
+            }),
+        )?;
+        Ok(DomainEncoding { users, items })
+    }
+
+    /// Builds the reconstruction BCE of one target domain's edge batch,
+    /// splitting it into the cross-domain part (overlap users encoded by the
+    /// *source* domain) and the in-domain part (everyone else).
+    #[allow(clippy::too_many_arguments)]
+    fn reconstruction_terms(
+        &self,
+        tape: &mut Tape,
+        batch: &EdgeBatch,
+        target_users: &DomainEncoding,
+        source_users: &DomainEncoding,
+        target_items: &DomainEncoding,
+        losses: &mut Vec<Var>,
+    ) -> Result<(f32, f32)> {
+        // Partition positives and negatives by whether the user is a training
+        // overlap user.
+        let mut cross_users: Vec<usize> = Vec::new();
+        let mut cross_items: Vec<usize> = Vec::new();
+        let mut cross_labels: Vec<f32> = Vec::new();
+        let mut in_users: Vec<usize> = Vec::new();
+        let mut in_items: Vec<usize> = Vec::new();
+        let mut in_labels: Vec<f32> = Vec::new();
+        let mut push = |user: u32, item: u32, label: f32, this: &mut CrossOrIn| match this {
+            CrossOrIn::Cross => {
+                cross_users.push(user as usize);
+                cross_items.push(item as usize);
+                cross_labels.push(label);
+            }
+            CrossOrIn::In => {
+                in_users.push(user as usize);
+                in_items.push(item as usize);
+                in_labels.push(label);
+            }
+        };
+        enum CrossOrIn {
+            Cross,
+            In,
+        }
+        for (k, &u) in batch.users.iter().enumerate() {
+            let mut side = if self.train_overlap_set.contains(&u) {
+                CrossOrIn::Cross
+            } else {
+                CrossOrIn::In
+            };
+            push(u, batch.pos_items[k], 1.0, &mut side);
+        }
+        for (k, &u) in batch.neg_users.iter().enumerate() {
+            let mut side = if self.train_overlap_set.contains(&u) {
+                CrossOrIn::Cross
+            } else {
+                CrossOrIn::In
+            };
+            push(u, batch.neg_items[k], 0.0, &mut side);
+        }
+
+        let mut cross_value = 0.0f32;
+        let mut in_value = 0.0f32;
+        if !cross_users.is_empty() {
+            let zu = tape.gather_rows(source_users.users.z, &cross_users)?;
+            let zi = tape.gather_rows(target_items.items.z, &cross_items)?;
+            let logits = tape.rowwise_dot(zu, zi)?;
+            let labels = Tensor::from_vec(cross_labels.len(), 1, cross_labels)?;
+            let bce = tape.bce_with_logits(logits, labels)?;
+            cross_value = tape.value(bce)?.scalar_value()?;
+            losses.push(bce);
+        }
+        if self.config.variant.use_in_domain_ib() && !in_users.is_empty() {
+            let zu = tape.gather_rows(target_users.users.z, &in_users)?;
+            let zi = tape.gather_rows(target_items.items.z, &in_items)?;
+            let logits = tape.rowwise_dot(zu, zi)?;
+            let labels = Tensor::from_vec(in_labels.len(), 1, in_labels)?;
+            let bce = tape.bce_with_logits(logits, labels)?;
+            in_value = tape.value(bce)?.scalar_value()?;
+            losses.push(bce);
+        }
+        Ok((cross_value, in_value))
+    }
+
+    /// Builds the KL minimality terms.
+    fn minimality_terms(
+        &self,
+        tape: &mut Tape,
+        enc_x: &DomainEncoding,
+        enc_y: &DomainEncoding,
+        losses: &mut Vec<Var>,
+    ) -> Result<f32> {
+        let overlap_idx: Vec<usize> = self.train_overlap.iter().map(|&u| u as usize).collect();
+        let mut value = 0.0f32;
+        let mut add_kl = |tape: &mut Tape, mu: Var, sigma: Var, weight: f32, value: &mut f32| -> Result<()> {
+            let kl = tape.kl_std_normal(mu, sigma)?;
+            let kl = tape.scale(kl, weight)?;
+            *value += tape.value(kl)?.scalar_value()?;
+            losses.push(kl);
+            Ok(())
+        };
+        // User minimality: over all users when the in-domain regularizer is
+        // active (Eq. 16), otherwise only over the overlapping users that the
+        // cross-domain regularizer constrains (Eq. 7).
+        let w1 = self.config.beta1 * KL_SCALE;
+        let w2 = self.config.beta2 * KL_SCALE;
+        if self.config.variant.use_in_domain_ib() {
+            add_kl(tape, enc_x.users.mu, enc_x.users.sigma, w1, &mut value)?;
+            add_kl(tape, enc_y.users.mu, enc_y.users.sigma, w2, &mut value)?;
+        } else {
+            let mu_xo = tape.gather_rows(enc_x.users.mu, &overlap_idx)?;
+            let sig_xo = tape.gather_rows(enc_x.users.sigma, &overlap_idx)?;
+            add_kl(tape, mu_xo, sig_xo, w1, &mut value)?;
+            let mu_yo = tape.gather_rows(enc_y.users.mu, &overlap_idx)?;
+            let sig_yo = tape.gather_rows(enc_y.users.sigma, &overlap_idx)?;
+            add_kl(tape, mu_yo, sig_yo, w2, &mut value)?;
+        }
+        // Item minimality always applies (items appear in both regularizers).
+        add_kl(tape, enc_x.items.mu, enc_x.items.sigma, w1, &mut value)?;
+        add_kl(tape, enc_y.items.mu, enc_y.items.sigma, w2, &mut value)?;
+        Ok(value)
+    }
+
+    /// Builds the contrastive regularizer over overlap users (Eq. 14).
+    fn contrastive_term(
+        &self,
+        tape: &mut Tape,
+        enc_x: &DomainEncoding,
+        enc_y: &DomainEncoding,
+        rng: &mut StdRng,
+        losses: &mut Vec<Var>,
+    ) -> Result<f32> {
+        if !self.config.variant.use_contrastive() || self.train_overlap.len() < 2 {
+            return Ok(0.0);
+        }
+        let mut users = self.train_overlap.clone();
+        shuffle_in_place(rng, &mut users);
+        users.truncate(self.config.contrastive_batch);
+        let idx: Vec<usize> = users.iter().map(|&u| u as usize).collect();
+        // Negative partners: a rotation of the batch guarantees a mismatch for
+        // every pair (the batch has at least 2 distinct users).
+        let mut partner = idx.clone();
+        partner.rotate_left(1);
+
+        let zx = tape.gather_rows(enc_x.users.z, &idx)?;
+        let zy_pos = tape.gather_rows(enc_y.users.z, &idx)?;
+        let zy_neg = tape.gather_rows(enc_y.users.z, &partner)?;
+
+        let pos_in = tape.concat_cols(zx, zy_pos)?;
+        let neg_in = tape.concat_cols(zx, zy_neg)?;
+        let all_in = tape.concat_rows(pos_in, neg_in)?;
+        let logits = self.discriminator.forward(tape, &self.params, all_in)?;
+        let mut labels = vec![1.0f32; idx.len()];
+        labels.extend(vec![0.0f32; idx.len()]);
+        let labels = Tensor::from_vec(labels.len(), 1, labels)?;
+        let bce = tape.bce_with_logits(logits, labels)?;
+        let weighted = tape.scale(bce, self.config.contrastive_weight)?;
+        let value = tape.value(weighted)?.scalar_value()?;
+        losses.push(weighted);
+        Ok(value)
+    }
+
+    /// Builds the full training objective for one pair of edge batches and
+    /// returns the loss variable together with its breakdown.
+    pub fn loss(
+        &self,
+        tape: &mut Tape,
+        x_batch: &EdgeBatch,
+        y_batch: &EdgeBatch,
+        rng: &mut StdRng,
+    ) -> Result<(Var, LossBreakdown)> {
+        let mut enc_rng_x = component_rng(rng.gen::<u64>(), "encode-x");
+        let mut enc_rng_y = component_rng(rng.gen::<u64>(), "encode-y");
+        let enc_x = self.encode_domain(tape, DomainId::X, Some(&mut enc_rng_x))?;
+        let enc_y = self.encode_domain(tape, DomainId::Y, Some(&mut enc_rng_y))?;
+
+        let mut losses: Vec<Var> = Vec::new();
+        let minimality = self.minimality_terms(tape, &enc_x, &enc_y, &mut losses)?;
+        // Reconstruction of domain X interactions: overlap users are encoded
+        // by domain Y (cross term of L_{o2X}), the rest by domain X itself.
+        let (cross_x, in_x) =
+            self.reconstruction_terms(tape, x_batch, &enc_x, &enc_y, &enc_x, &mut losses)?;
+        // Reconstruction of domain Y interactions (L_{o2Y} and L_{y2Y}).
+        let (cross_y, in_y) =
+            self.reconstruction_terms(tape, y_batch, &enc_y, &enc_x, &enc_y, &mut losses)?;
+        let contrastive = self.contrastive_term(tape, &enc_x, &enc_y, rng, &mut losses)?;
+
+        let mut total = losses[0];
+        for &term in &losses[1..] {
+            total = tape.add(total, term)?;
+        }
+        let breakdown = LossBreakdown {
+            total: tape.value(total)?.scalar_value()?,
+            minimality,
+            reconstruction: cross_x + in_x + cross_y + in_y,
+            contrastive,
+        };
+        Ok((total, breakdown))
+    }
+
+    /// Deterministic (mean) embeddings for ranking.
+    pub fn infer_embeddings(&self) -> Result<CdribEmbeddings> {
+        let mut tape = Tape::new();
+        let enc_x = self.encode_domain(&mut tape, DomainId::X, None)?;
+        let enc_y = self.encode_domain(&mut tape, DomainId::Y, None)?;
+        Ok(CdribEmbeddings {
+            x_users: tape.value(enc_x.users.mu)?.clone(),
+            x_items: tape.value(enc_x.items.mu)?.clone(),
+            y_users: tape.value(enc_y.users.mu)?.clone(),
+            y_items: tape.value(enc_y.items.mu)?.clone(),
+        })
+    }
+
+    /// Samples one epoch of edge batches for both domains. The two domains
+    /// have different interaction counts, so the shorter one is cycled.
+    pub fn make_batches(
+        &self,
+        scenario: &CdrScenario,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(EdgeBatch, EdgeBatch)>> {
+        let n_batches = self.config.batches_per_epoch;
+        let x_batches = make_domain_batches(&scenario.x.train, n_batches, self.config.neg_ratio, rng)?;
+        let y_batches = make_domain_batches(&scenario.y.train, n_batches, self.config.neg_ratio, rng)?;
+        Ok(x_batches.into_iter().zip(y_batches).collect())
+    }
+}
+
+/// Splits a domain's training edges into `n_batches` shuffled batches with
+/// negatives.
+fn make_domain_batches(
+    graph: &BipartiteGraph,
+    n_batches: usize,
+    neg_ratio: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<EdgeBatch>> {
+    let batch_size = graph.n_edges().div_ceil(n_batches).max(1);
+    let batcher = cdrib_data::EdgeBatcher::new(batch_size, neg_ratio)?;
+    let mut batches = batcher.epoch(graph, rng)?;
+    // The division can produce one extra small batch; merge it into the last
+    // full batch so every epoch has exactly `n_batches` steps.
+    while batches.len() > n_batches {
+        let extra = batches.pop().expect("len > n_batches >= 1");
+        let last = batches.last_mut().expect("at least one batch");
+        last.users.extend(extra.users);
+        last.pos_items.extend(extra.pos_items);
+        last.neg_users.extend(extra.neg_users);
+        last.neg_items.extend(extra.neg_items);
+    }
+    Ok(batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrib_data::{build_preset, Scale, ScenarioKind};
+
+    fn tiny_scenario() -> CdrScenario {
+        build_preset(ScenarioKind::GameVideo, Scale::Tiny, 21).unwrap()
+    }
+
+    #[test]
+    fn model_construction_and_shapes() {
+        let scenario = tiny_scenario();
+        let config = CdribConfig::fast_test();
+        let model = CdribModel::new(&config, &scenario).unwrap();
+        assert!(model.num_parameters() > 1000);
+        let emb = model.infer_embeddings().unwrap();
+        assert_eq!(emb.x_users.shape(), (scenario.x.n_users, config.dim));
+        assert_eq!(emb.y_items.shape(), (scenario.y.n_items, config.dim));
+        assert!(emb.x_users.all_finite());
+        // scorer adapters exist
+        let _scorer = emb.scorer();
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let scenario = tiny_scenario();
+        let mut bad = CdribConfig::fast_test();
+        bad.dim = 0;
+        assert!(CdribModel::new(&bad, &scenario).is_err());
+        let mut no_overlap = scenario.clone();
+        no_overlap.train_overlap_users.clear();
+        assert!(CdribModel::new(&CdribConfig::fast_test(), &no_overlap).is_err());
+    }
+
+    #[test]
+    fn loss_decreases_over_a_few_steps() {
+        use cdrib_tensor::{Adam, Optimizer};
+        let scenario = tiny_scenario();
+        let config = CdribConfig::fast_test();
+        let mut model = CdribModel::new(&config, &scenario).unwrap();
+        let mut opt = Adam::with_defaults(config.learning_rate);
+        let mut rng = component_rng(config.seed, "train");
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..8 {
+            let batches = model.make_batches(&scenario, &mut rng).unwrap();
+            for (xb, yb) in &batches {
+                model.params_mut().zero_grad();
+                let mut tape = Tape::new();
+                let (loss, breakdown) = model.loss(&mut tape, xb, yb, &mut rng).unwrap();
+                assert!(breakdown.total.is_finite());
+                assert!(breakdown.minimality >= 0.0);
+                assert!(breakdown.reconstruction > 0.0);
+                let value = {
+                    let params = model.params_mut();
+                    tape.backward(loss, params).unwrap()
+                };
+                opt.step(model.params_mut()).unwrap();
+                if first.is_none() {
+                    first = Some(value);
+                }
+                last = value;
+            }
+        }
+        assert!(
+            last < first.unwrap(),
+            "loss should decrease: first {:?} last {last}",
+            first
+        );
+        assert!(model.params().all_finite());
+    }
+
+    #[test]
+    fn ablation_variants_change_the_objective() {
+        let scenario = tiny_scenario();
+        let mut rng = component_rng(3, "ablation");
+        let config = CdribConfig::fast_test();
+        let full = CdribModel::new(&config, &scenario).unwrap();
+        let wo_con = CdribModel::new(
+            &config.with_variant(crate::config::CdribVariant::WithoutContrastive),
+            &scenario,
+        )
+        .unwrap();
+        let wo_both = CdribModel::new(
+            &config.with_variant(crate::config::CdribVariant::WithoutInDomainAndContrastive),
+            &scenario,
+        )
+        .unwrap();
+        let batches = full.make_batches(&scenario, &mut rng).unwrap();
+        let (xb, yb) = &batches[0];
+
+        let mut t1 = Tape::new();
+        let mut r1 = component_rng(9, "s");
+        let (_, b_full) = full.loss(&mut t1, xb, yb, &mut r1).unwrap();
+        assert!(b_full.contrastive > 0.0);
+
+        let mut t2 = Tape::new();
+        let mut r2 = component_rng(9, "s");
+        let (_, b_wo_con) = wo_con.loss(&mut t2, xb, yb, &mut r2).unwrap();
+        assert_eq!(b_wo_con.contrastive, 0.0);
+
+        let mut t3 = Tape::new();
+        let mut r3 = component_rng(9, "s");
+        let (_, b_wo_both) = wo_both.loss(&mut t3, xb, yb, &mut r3).unwrap();
+        assert_eq!(b_wo_both.contrastive, 0.0);
+        // Without the in-domain term, fewer interactions are reconstructed.
+        assert!(b_wo_both.reconstruction < b_wo_con.reconstruction + 1e-6);
+    }
+
+    #[test]
+    fn overlap_list_can_be_replaced() {
+        let scenario = tiny_scenario();
+        let config = CdribConfig::fast_test();
+        let mut model = CdribModel::new(&config, &scenario).unwrap();
+        let reduced: Vec<u32> = scenario.train_overlap_users.iter().copied().take(5).collect();
+        model.set_train_overlap(&reduced);
+        let mut rng = component_rng(1, "x");
+        let batches = model.make_batches(&scenario, &mut rng).unwrap();
+        assert_eq!(batches.len(), config.batches_per_epoch);
+        let (xb, yb) = &batches[0];
+        let mut tape = Tape::new();
+        let (_, breakdown) = model.loss(&mut tape, xb, yb, &mut rng).unwrap();
+        assert!(breakdown.total.is_finite());
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end training of CDRIB with validation-based model selection.
+//!
+//! The paper trains with Adam, selects the best configuration by validation
+//! MRR, and reports test metrics of the selected model (§IV-B3). The trainer
+//! mirrors that: every `eval_every` epochs it computes validation MRR
+//! (averaged over both transfer directions), keeps the embeddings of the best
+//! epoch, and optionally stops early after `patience` evaluations without
+//! improvement.
+
+use crate::config::CdribConfig;
+use crate::error::{CoreError, Result};
+use crate::model::{CdribEmbeddings, CdribModel, LossBreakdown};
+use cdrib_data::CdrScenario;
+use cdrib_eval::{evaluate_both_directions, EvalConfig, EvalSplit};
+use cdrib_tensor::rng::component_rng;
+use cdrib_tensor::{Adam, Optimizer, Tape};
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean total loss over the epoch's steps.
+    pub loss: f32,
+    /// Mean loss breakdown over the epoch's steps.
+    pub breakdown: LossBreakdown,
+    /// Validation MRR measured after this epoch, if an evaluation ran.
+    pub validation_mrr: Option<f64>,
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Per-epoch statistics.
+    pub epochs: Vec<EpochStats>,
+    /// The best validation MRR observed (None when validation is disabled).
+    pub best_validation_mrr: Option<f64>,
+    /// Number of epochs actually run (early stopping may cut training short).
+    pub epochs_run: usize,
+}
+
+/// A trained CDRIB model: the selected embeddings plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct TrainedCdrib {
+    /// Deterministic embeddings of the selected (best-validation) epoch.
+    pub embeddings: CdribEmbeddings,
+    /// Training diagnostics.
+    pub report: TrainReport,
+}
+
+impl TrainedCdrib {
+    /// Wraps the selected embeddings into the shared evaluation scorer.
+    pub fn scorer(&self) -> cdrib_eval::EmbeddingScorer {
+        self.embeddings.scorer()
+    }
+}
+
+/// Trains CDRIB on a scenario.
+pub fn train(config: &CdribConfig, scenario: &CdrScenario) -> Result<TrainedCdrib> {
+    let mut model = CdribModel::new(config, scenario)?;
+    train_model(&mut model, config, scenario)
+}
+
+/// Trains an already constructed model (used by the overlap-ratio study that
+/// manipulates the model's bridge-user list before training).
+pub fn train_model(
+    model: &mut CdribModel,
+    config: &CdribConfig,
+    scenario: &CdrScenario,
+) -> Result<TrainedCdrib> {
+    config.validate()?;
+    let mut opt = Adam::new(config.learning_rate, 0.9, 0.999, 1e-8, config.l2_weight);
+    let mut rng = component_rng(config.seed, "cdrib-train");
+    let val_config = EvalConfig {
+        n_negatives: validation_negatives(scenario),
+        seed: config.seed ^ 0x5eed,
+        max_cases: config.max_val_cases,
+    };
+
+    let mut epochs = Vec::with_capacity(config.epochs);
+    let mut best_mrr: Option<f64> = None;
+    let mut best_embeddings = model.infer_embeddings()?;
+    let mut evals_without_improvement = 0usize;
+    let mut epochs_run = 0usize;
+
+    for epoch in 0..config.epochs {
+        epochs_run = epoch + 1;
+        let batches = model.make_batches(scenario, &mut rng)?;
+        let mut epoch_loss = 0.0f32;
+        let mut epoch_breakdown = LossBreakdown::default();
+        let n_steps = batches.len();
+        for (xb, yb) in &batches {
+            model.params_mut().zero_grad();
+            let mut tape = Tape::new();
+            let (loss, breakdown) = model.loss(&mut tape, xb, yb, &mut rng)?;
+            let value = tape.backward(loss, model.params_mut())?;
+            if !value.is_finite() {
+                return Err(CoreError::Diverged { epoch });
+            }
+            model.params_mut().clip_grad_norm(20.0);
+            opt.step(model.params_mut())?;
+            epoch_loss += value;
+            epoch_breakdown.total += breakdown.total;
+            epoch_breakdown.minimality += breakdown.minimality;
+            epoch_breakdown.reconstruction += breakdown.reconstruction;
+            epoch_breakdown.contrastive += breakdown.contrastive;
+        }
+        let scale = 1.0 / n_steps as f32;
+        epoch_loss *= scale;
+        epoch_breakdown.total *= scale;
+        epoch_breakdown.minimality *= scale;
+        epoch_breakdown.reconstruction *= scale;
+        epoch_breakdown.contrastive *= scale;
+        if !model.params().all_finite() {
+            return Err(CoreError::Diverged { epoch });
+        }
+
+        let mut validation_mrr = None;
+        let should_eval = config.eval_every > 0
+            && ((epoch + 1) % config.eval_every == 0 || epoch + 1 == config.epochs);
+        if should_eval {
+            let embeddings = model.infer_embeddings()?;
+            let scorer = embeddings.scorer();
+            let (x2y, y2x) =
+                evaluate_both_directions(&scorer, scenario, EvalSplit::Validation, &val_config)?;
+            let mrr = 0.5 * (x2y.metrics.mrr + y2x.metrics.mrr);
+            validation_mrr = Some(mrr);
+            if best_mrr.map_or(true, |b| mrr > b) {
+                best_mrr = Some(mrr);
+                best_embeddings = embeddings;
+                evals_without_improvement = 0;
+            } else {
+                evals_without_improvement += 1;
+            }
+        }
+        epochs.push(EpochStats {
+            epoch,
+            loss: epoch_loss,
+            breakdown: epoch_breakdown,
+            validation_mrr,
+        });
+        if config.patience > 0 && evals_without_improvement >= config.patience {
+            break;
+        }
+    }
+
+    // When validation never ran, export the final model.
+    if best_mrr.is_none() {
+        best_embeddings = model.infer_embeddings()?;
+    }
+
+    Ok(TrainedCdrib {
+        embeddings: best_embeddings,
+        report: TrainReport {
+            epochs,
+            best_validation_mrr: best_mrr,
+            epochs_run,
+        },
+    })
+}
+
+/// Picks the number of evaluation negatives: the paper's 999 when the
+/// catalogue allows it, otherwise roughly half the catalogue.
+pub fn validation_negatives(scenario: &CdrScenario) -> usize {
+    let min_items = scenario.x.n_items.min(scenario.y.n_items);
+    if min_items > 1100 {
+        999
+    } else {
+        (min_items / 2).max(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrib_data::{build_preset, Scale, ScenarioKind};
+    use cdrib_eval::evaluate_both_directions as eval_both;
+
+    #[test]
+    fn training_beats_untrained_embeddings() {
+        let scenario = build_preset(ScenarioKind::ClothSport, Scale::Tiny, 31).unwrap();
+        let config = CdribConfig {
+            dim: 32,
+            layers: 2,
+            learning_rate: 0.02,
+            epochs: 60,
+            batches_per_epoch: 2,
+            eval_every: 10,
+            patience: 0,
+            max_val_cases: Some(300),
+            ..CdribConfig::default()
+        };
+        // Untrained baseline: random embedding scorer.
+        let untrained = CdribModel::new(&config, &scenario).unwrap().infer_embeddings().unwrap();
+        let eval_cfg = EvalConfig {
+            n_negatives: validation_negatives(&scenario),
+            seed: 3,
+            max_cases: Some(400),
+        };
+        let (ux2y, uy2x) = eval_both(&untrained.scorer(), &scenario, EvalSplit::Test, &eval_cfg).unwrap();
+        let untrained_mrr = 0.5 * (ux2y.metrics.mrr + uy2x.metrics.mrr);
+
+        let trained = train(&config, &scenario).unwrap();
+        assert_eq!(trained.report.epochs_run, 60);
+        assert!(trained.report.best_validation_mrr.is_some());
+        let (tx2y, ty2x) = eval_both(&trained.scorer(), &scenario, EvalSplit::Test, &eval_cfg).unwrap();
+        let trained_mrr = 0.5 * (tx2y.metrics.mrr + ty2x.metrics.mrr);
+        assert!(
+            trained_mrr > untrained_mrr * 1.3,
+            "training should clearly beat random embeddings: {trained_mrr} vs {untrained_mrr}"
+        );
+        // losses go down
+        let losses: Vec<f32> = trained.report.epochs.iter().map(|e| e.loss).collect();
+        assert!(losses.last().unwrap() < &losses[0]);
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 32).unwrap();
+        let config = CdribConfig {
+            epochs: 40,
+            eval_every: 1,
+            patience: 2,
+            ..CdribConfig::fast_test()
+        };
+        let trained = train(&config, &scenario).unwrap();
+        // With patience 2 and evaluation every epoch, training almost always
+        // stops before the full 40 epochs on this tiny scenario.
+        assert!(trained.report.epochs_run <= 40);
+        assert!(trained.report.epochs.iter().any(|e| e.validation_mrr.is_some()));
+    }
+
+    #[test]
+    fn validation_negative_count_adapts_to_catalogue() {
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 33).unwrap();
+        let n = validation_negatives(&scenario);
+        assert!(n >= 10);
+        assert!(n < scenario.x.n_items.min(scenario.y.n_items));
+    }
+}

@@ -1,0 +1,251 @@
+//! Mini-batching and negative sampling.
+//!
+//! The reconstruction terms (Eq. 13) and the ranking losses of the baselines
+//! are optimised over sampled positive interactions paired with uniformly
+//! sampled negative items the user has not interacted with. The evaluation
+//! protocol (§IV-B1) also needs 999 negative items per test case; that
+//! sampler lives in `cdrib-eval`, built on the same primitives.
+
+use crate::error::{DataError, Result};
+use cdrib_graph::BipartiteGraph;
+use cdrib_tensor::rng::shuffle_in_place;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniform negative-item sampler for a single domain.
+#[derive(Debug, Clone)]
+pub struct NegativeSampler {
+    n_items: usize,
+}
+
+impl NegativeSampler {
+    /// Creates a sampler over the item universe of `graph`.
+    pub fn new(graph: &BipartiteGraph) -> Self {
+        NegativeSampler {
+            n_items: graph.n_items(),
+        }
+    }
+
+    /// Creates a sampler over an explicit number of items.
+    pub fn with_items(n_items: usize) -> Self {
+        NegativeSampler { n_items }
+    }
+
+    /// Samples one item the user has not interacted with in `graph`.
+    pub fn sample_one(&self, graph: &BipartiteGraph, user: usize, rng: &mut StdRng) -> Result<u32> {
+        if self.n_items == 0 {
+            return Err(DataError::EmptyDataset { stage: "negative sampling" });
+        }
+        if graph.user_degree(user) >= self.n_items {
+            return Err(DataError::EmptyDataset {
+                stage: "negative sampling (user interacted with every item)",
+            });
+        }
+        loop {
+            let candidate = rng.gen_range(0..self.n_items);
+            if !graph.has_edge(user, candidate) {
+                return Ok(candidate as u32);
+            }
+        }
+    }
+
+    /// Samples `k` distinct negative items for `user`.
+    pub fn sample_many(&self, graph: &BipartiteGraph, user: usize, k: usize, rng: &mut StdRng) -> Result<Vec<u32>> {
+        let available = self.n_items.saturating_sub(graph.user_degree(user));
+        if available < k {
+            return Err(DataError::InvalidConfig {
+                field: "negative sample count",
+                detail: format!("requested {k} negatives but only {available} non-interacted items exist"),
+            });
+        }
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let candidate = rng.gen_range(0..self.n_items);
+            if !graph.has_edge(user, candidate) && chosen.insert(candidate) {
+                out.push(candidate as u32);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One training mini-batch of positive edges with paired negative items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeBatch {
+    /// Users of the positive interactions.
+    pub users: Vec<u32>,
+    /// Positively interacted items.
+    pub pos_items: Vec<u32>,
+    /// Sampled negative items (one per positive, repeated `neg_ratio` times
+    /// consecutively when `neg_ratio > 1`).
+    pub neg_users: Vec<u32>,
+    /// Negative items aligned with `neg_users`.
+    pub neg_items: Vec<u32>,
+}
+
+impl EdgeBatch {
+    /// Number of positive interactions in the batch.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+/// Shuffles a domain's training edges into mini-batches with negatives.
+#[derive(Debug, Clone)]
+pub struct EdgeBatcher {
+    batch_size: usize,
+    neg_ratio: usize,
+}
+
+impl EdgeBatcher {
+    /// Creates a batcher producing batches of `batch_size` positives with
+    /// `neg_ratio` negatives per positive.
+    pub fn new(batch_size: usize, neg_ratio: usize) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(DataError::InvalidConfig {
+                field: "batch_size",
+                detail: "must be positive".into(),
+            });
+        }
+        if neg_ratio == 0 {
+            return Err(DataError::InvalidConfig {
+                field: "neg_ratio",
+                detail: "must be at least 1".into(),
+            });
+        }
+        Ok(EdgeBatcher { batch_size, neg_ratio })
+    }
+
+    /// Produces one epoch worth of shuffled batches for `graph`.
+    pub fn epoch(&self, graph: &BipartiteGraph, rng: &mut StdRng) -> Result<Vec<EdgeBatch>> {
+        if graph.n_edges() == 0 {
+            return Err(DataError::EmptyDataset { stage: "batching" });
+        }
+        let sampler = NegativeSampler::new(graph);
+        let mut edges: Vec<(u32, u32)> = graph.edges().to_vec();
+        shuffle_in_place(rng, &mut edges);
+        let mut batches = Vec::with_capacity(edges.len() / self.batch_size + 1);
+        for chunk in edges.chunks(self.batch_size) {
+            let mut batch = EdgeBatch {
+                users: Vec::with_capacity(chunk.len()),
+                pos_items: Vec::with_capacity(chunk.len()),
+                neg_users: Vec::with_capacity(chunk.len() * self.neg_ratio),
+                neg_items: Vec::with_capacity(chunk.len() * self.neg_ratio),
+            };
+            for &(u, i) in chunk {
+                batch.users.push(u);
+                batch.pos_items.push(i);
+                for _ in 0..self.neg_ratio {
+                    let neg = sampler.sample_one(graph, u as usize, rng)?;
+                    batch.neg_users.push(u);
+                    batch.neg_items.push(neg);
+                }
+            }
+            batches.push(batch);
+        }
+        Ok(batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrib_tensor::rng::component_rng;
+
+    fn graph() -> BipartiteGraph {
+        let mut edges = Vec::new();
+        for u in 0..20usize {
+            for k in 0..5usize {
+                edges.push((u, (u * 3 + k * 7) % 50));
+            }
+        }
+        BipartiteGraph::new(20, 50, &edges).unwrap()
+    }
+
+    #[test]
+    fn negatives_are_never_positives() {
+        let g = graph();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = component_rng(0, "neg");
+        for u in 0..g.n_users() {
+            let negs = sampler.sample_many(&g, u, 10, &mut rng).unwrap();
+            assert_eq!(negs.len(), 10);
+            let distinct: std::collections::HashSet<_> = negs.iter().collect();
+            assert_eq!(distinct.len(), 10);
+            for &n in &negs {
+                assert!(!g.has_edge(u, n as usize));
+            }
+            let one = sampler.sample_one(&g, u, &mut rng).unwrap();
+            assert!(!g.has_edge(u, one as usize));
+        }
+    }
+
+    #[test]
+    fn sampling_more_than_available_fails() {
+        let g = BipartiteGraph::new(1, 3, &[(0, 0), (0, 1)]).unwrap();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = component_rng(1, "neg2");
+        assert!(sampler.sample_many(&g, 0, 2, &mut rng).is_err());
+        assert_eq!(sampler.sample_many(&g, 0, 1, &mut rng).unwrap(), vec![2]);
+        // a user who interacted with everything cannot get a negative
+        let full = BipartiteGraph::new(1, 2, &[(0, 0), (0, 1)]).unwrap();
+        let s2 = NegativeSampler::new(&full);
+        assert!(s2.sample_one(&full, 0, &mut rng).is_err());
+        let empty_items = NegativeSampler::with_items(0);
+        assert!(empty_items.sample_one(&full, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn epoch_covers_every_edge_exactly_once() {
+        let g = graph();
+        let batcher = EdgeBatcher::new(16, 2).unwrap();
+        let mut rng = component_rng(2, "batch");
+        let batches = batcher.epoch(&g, &mut rng).unwrap();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, g.n_edges());
+        // every batch has neg_ratio negatives per positive
+        for b in &batches {
+            assert_eq!(b.neg_items.len(), b.len() * 2);
+            assert_eq!(b.neg_users.len(), b.neg_items.len());
+            assert!(!b.is_empty());
+            for (k, &u) in b.neg_users.iter().enumerate() {
+                assert!(!g.has_edge(u as usize, b.neg_items[k] as usize));
+            }
+        }
+        // union of positives equals the edge set
+        let mut seen: Vec<(u32, u32)> = batches
+            .iter()
+            .flat_map(|b| b.users.iter().copied().zip(b.pos_items.iter().copied()))
+            .collect();
+        seen.sort_unstable();
+        let mut expected = g.edges().to_vec();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn shuffling_differs_between_epochs() {
+        let g = graph();
+        let batcher = EdgeBatcher::new(32, 1).unwrap();
+        let mut rng = component_rng(3, "shuffle");
+        let a = batcher.epoch(&g, &mut rng).unwrap();
+        let b = batcher.epoch(&g, &mut rng).unwrap();
+        assert_ne!(a[0].users, b[0].users);
+    }
+
+    #[test]
+    fn invalid_batcher_configs() {
+        assert!(EdgeBatcher::new(0, 1).is_err());
+        assert!(EdgeBatcher::new(8, 0).is_err());
+        let empty = BipartiteGraph::new(3, 3, &[]).unwrap();
+        let batcher = EdgeBatcher::new(4, 1).unwrap();
+        let mut rng = component_rng(4, "empty");
+        assert!(batcher.epoch(&empty, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Overlap-ratio manipulation for the robustness study of Table VIII.
+//!
+//! The paper varies the proportion of overlapping users that are *usable as
+//! bridges* during training (20 % ... 100 %). In this reproduction the two
+//! domains only share information through the list of training overlap users
+//! (the cross-domain IB regularizer and the contrastive regularizer both
+//! iterate over that list; EMCDR-style baselines fit their mapping function
+//! on it), so reducing the ratio simply subsamples
+//! [`CdrScenario::train_overlap_users`]. Users dropped from the list keep
+//! their interactions in both domains — the model just no longer *knows*
+//! that they are the same person.
+
+use crate::error::{DataError, Result};
+use crate::scenario::CdrScenario;
+use cdrib_tensor::rng::{component_rng, shuffle_in_place};
+
+/// Returns a copy of `scenario` where only `ratio` of the training overlap
+/// users remain marked as overlapping.
+pub fn with_overlap_ratio(scenario: &CdrScenario, ratio: f64, seed: u64) -> Result<CdrScenario> {
+    if !(0.0..=1.0).contains(&ratio) || ratio <= 0.0 {
+        return Err(DataError::InvalidConfig {
+            field: "overlap_ratio",
+            detail: format!("must lie in (0, 1], got {ratio}"),
+        });
+    }
+    let mut out = scenario.clone();
+    if (ratio - 1.0).abs() < f64::EPSILON {
+        return Ok(out);
+    }
+    let mut users = scenario.train_overlap_users.clone();
+    let mut rng = component_rng(seed, "overlap-ratio");
+    shuffle_in_place(&mut rng, &mut users);
+    let keep = ((users.len() as f64) * ratio).round() as usize;
+    let keep = keep.max(2).min(users.len());
+    users.truncate(keep);
+    users.sort_unstable();
+    out.train_overlap_users = users;
+    Ok(out)
+}
+
+/// The sweep of ratios reported in Table VIII.
+pub const TABLE8_RATIOS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{build_preset, Scale, ScenarioKind};
+
+    #[test]
+    fn ratio_subsamples_training_overlap_only() {
+        let s = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 5).unwrap();
+        let full = s.n_train_overlap();
+        let half = with_overlap_ratio(&s, 0.5, 1).unwrap();
+        assert!(half.n_train_overlap() < full);
+        assert!((half.n_train_overlap() as f64 - full as f64 * 0.5).abs() <= 1.0);
+        // evaluation sets are untouched
+        assert_eq!(half.cold_x_to_y.test.len(), s.cold_x_to_y.test.len());
+        assert_eq!(half.cold_y_to_x.validation.len(), s.cold_y_to_x.validation.len());
+        // training graphs are untouched
+        assert_eq!(half.x.train.n_edges(), s.x.train.n_edges());
+        assert_eq!(half.y.train.n_edges(), s.y.train.n_edges());
+        half.validate().unwrap();
+    }
+
+    #[test]
+    fn ratio_one_is_identity_and_invalid_ratios_fail() {
+        let s = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 6).unwrap();
+        let same = with_overlap_ratio(&s, 1.0, 0).unwrap();
+        assert_eq!(same.train_overlap_users, s.train_overlap_users);
+        assert!(with_overlap_ratio(&s, 0.0, 0).is_err());
+        assert!(with_overlap_ratio(&s, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn subsampling_is_deterministic_per_seed() {
+        let s = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 7).unwrap();
+        let a = with_overlap_ratio(&s, 0.4, 3).unwrap();
+        let b = with_overlap_ratio(&s, 0.4, 3).unwrap();
+        let c = with_overlap_ratio(&s, 0.4, 4).unwrap();
+        assert_eq!(a.train_overlap_users, b.train_overlap_users);
+        assert_ne!(a.train_overlap_users, c.train_overlap_users);
+    }
+
+    #[test]
+    fn table8_ratios_are_monotone() {
+        assert_eq!(TABLE8_RATIOS.len(), 5);
+        assert!(TABLE8_RATIOS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,158 @@
+//! Grouped analyses of cold-start performance.
+//!
+//! Table IX of the paper slices the cold-start users of each direction by
+//! how many interactions they have in their *source* domain (5-10, 11-20,
+//! ..., 41-50) and reports the metrics per group. This module buckets the
+//! per-case results produced by the evaluation protocol accordingly.
+
+use crate::metrics::{MetricsAccumulator, RankingMetrics};
+use crate::protocol::EvalOutcome;
+use cdrib_data::{CdrScenario, Direction};
+use serde::{Deserialize, Serialize};
+
+/// The interaction-count buckets of Table IX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InteractionBucket {
+    /// 5-10 source interactions.
+    B5to10,
+    /// 11-20 source interactions.
+    B11to20,
+    /// 21-30 source interactions.
+    B21to30,
+    /// 31-40 source interactions.
+    B31to40,
+    /// 41-50 source interactions.
+    B41to50,
+    /// More than 50 source interactions (not reported in the paper's table
+    /// but kept so no case silently disappears).
+    BOver50,
+}
+
+impl InteractionBucket {
+    /// All buckets in display order.
+    pub const ALL: [InteractionBucket; 6] = [
+        InteractionBucket::B5to10,
+        InteractionBucket::B11to20,
+        InteractionBucket::B21to30,
+        InteractionBucket::B31to40,
+        InteractionBucket::B41to50,
+        InteractionBucket::BOver50,
+    ];
+
+    /// The bucket of a given source-interaction count.
+    pub fn of(count: usize) -> InteractionBucket {
+        match count {
+            0..=10 => InteractionBucket::B5to10,
+            11..=20 => InteractionBucket::B11to20,
+            21..=30 => InteractionBucket::B21to30,
+            31..=40 => InteractionBucket::B31to40,
+            41..=50 => InteractionBucket::B41to50,
+            _ => InteractionBucket::BOver50,
+        }
+    }
+
+    /// Display label matching the paper ("5-10", "11-20", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            InteractionBucket::B5to10 => "5-10",
+            InteractionBucket::B11to20 => "11-20",
+            InteractionBucket::B21to30 => "21-30",
+            InteractionBucket::B31to40 => "31-40",
+            InteractionBucket::B41to50 => "41-50",
+            InteractionBucket::BOver50 => ">50",
+        }
+    }
+}
+
+/// Metrics of one interaction bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupResult {
+    /// The bucket.
+    pub bucket: InteractionBucket,
+    /// Number of evaluation cases in the bucket.
+    pub n_cases: usize,
+    /// Averaged metrics, `None` when the bucket is empty.
+    pub metrics: Option<RankingMetrics>,
+}
+
+/// Buckets an evaluation outcome by the users' source-domain interaction
+/// counts (taken from the scenario's training graphs).
+pub fn group_by_source_interactions(
+    scenario: &CdrScenario,
+    direction: Direction,
+    outcome: &EvalOutcome,
+) -> Vec<GroupResult> {
+    let source = scenario.domain(direction.source);
+    let mut accs: Vec<MetricsAccumulator> = (0..InteractionBucket::ALL.len())
+        .map(|_| MetricsAccumulator::new())
+        .collect();
+    for case in &outcome.cases {
+        let degree = source.train.user_degree(case.user as usize);
+        let bucket = InteractionBucket::of(degree);
+        let idx = InteractionBucket::ALL.iter().position(|b| *b == bucket).unwrap();
+        accs[idx].push_rank(case.rank);
+    }
+    InteractionBucket::ALL
+        .iter()
+        .zip(accs.iter())
+        .map(|(&bucket, acc)| GroupResult {
+            bucket,
+            n_cases: acc.count(),
+            metrics: acc.mean(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::CaseResult;
+    use cdrib_data::{build_preset, Scale, ScenarioKind};
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(InteractionBucket::of(5), InteractionBucket::B5to10);
+        assert_eq!(InteractionBucket::of(10), InteractionBucket::B5to10);
+        assert_eq!(InteractionBucket::of(11), InteractionBucket::B11to20);
+        assert_eq!(InteractionBucket::of(30), InteractionBucket::B21to30);
+        assert_eq!(InteractionBucket::of(45), InteractionBucket::B41to50);
+        assert_eq!(InteractionBucket::of(200), InteractionBucket::BOver50);
+        assert_eq!(InteractionBucket::B11to20.label(), "11-20");
+        assert_eq!(InteractionBucket::ALL.len(), 6);
+    }
+
+    #[test]
+    fn grouping_partitions_all_cases() {
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 13).unwrap();
+        // Build a fake outcome: every test case with a fixed rank.
+        let cases: Vec<CaseResult> = scenario
+            .cold_x_to_y
+            .test
+            .iter()
+            .map(|c| CaseResult {
+                user: c.user,
+                item: c.item,
+                rank: 4,
+            })
+            .collect();
+        let outcome = EvalOutcome {
+            direction: Direction::X_TO_Y,
+            metrics: RankingMetrics::from_rank(4),
+            cases,
+        };
+        let groups = group_by_source_interactions(&scenario, Direction::X_TO_Y, &outcome);
+        let total: usize = groups.iter().map(|g| g.n_cases).sum();
+        assert_eq!(total, outcome.cases.len());
+        // every non-empty group carries the metrics of rank 4
+        for g in groups.iter().filter(|g| g.n_cases > 0) {
+            let m = g.metrics.unwrap();
+            assert!((m.mrr - 0.25).abs() < 1e-12);
+            assert_eq!(m.hr1, 0.0);
+            assert_eq!(m.hr5, 1.0);
+        }
+        // empty groups expose None
+        for g in groups.iter().filter(|g| g.n_cases == 0) {
+            assert!(g.metrics.is_none());
+        }
+    }
+}

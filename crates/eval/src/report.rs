@@ -1,0 +1,184 @@
+//! Plain-text report formatting for the experiment runners.
+//!
+//! Every table binary in `cdrib-bench` prints rows through these helpers so
+//! the output has a consistent, paper-like layout that is easy to diff
+//! against EXPERIMENTS.md.
+
+use crate::metrics::RankingMetrics;
+use crate::stats::MeanStd;
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let n_cols = self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; n_cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a metric value in percent with two decimals (paper convention).
+pub fn pct(value: f64) -> String {
+    format!("{:.2}", value * 100.0)
+}
+
+/// Formats a mean ± std pair of *normalised* metric values in percent.
+pub fn pct_mean_std(stats: &MeanStd) -> String {
+    format!("{:.2} ±{:.2}", stats.mean * 100.0, stats.std * 100.0)
+}
+
+/// The column order used by the main results tables
+/// (MRR, NDCG@5, NDCG@10, HR@1, HR@5, HR@10).
+pub fn metric_columns() -> Vec<&'static str> {
+    vec!["MRR", "NDCG@5", "NDCG@10", "HR@1", "HR@5", "HR@10"]
+}
+
+/// Extracts the table-ordered values of a metrics bundle.
+pub fn metric_values(m: &RankingMetrics) -> [f64; 6] {
+    [m.mrr, m.ndcg5, m.ndcg10, m.hr1, m.hr5, m.hr10]
+}
+
+/// Formats one results row: method name followed by the six metrics in
+/// percent.
+pub fn metrics_row(method: &str, m: &RankingMetrics) -> Vec<String> {
+    let mut row = vec![method.to_string()];
+    row.extend(metric_values(m).iter().map(|&v| pct(v)));
+    row
+}
+
+/// Formats one results row with mean ± std over seeds for each metric.
+pub fn metrics_row_mean_std(method: &str, per_metric: &[MeanStd; 6]) -> Vec<String> {
+    let mut row = vec![method.to_string()];
+    row.extend(per_metric.iter().map(pct_mean_std));
+    row
+}
+
+/// Aggregates per-seed metric bundles into per-metric mean ± std.
+pub fn aggregate_runs(runs: &[RankingMetrics]) -> [MeanStd; 6] {
+    let collect = |f: fn(&RankingMetrics) -> f64| -> MeanStd {
+        let vals: Vec<f64> = runs.iter().map(f).collect();
+        MeanStd::of(&vals)
+    };
+    [
+        collect(|m| m.mrr),
+        collect(|m| m.ndcg5),
+        collect(|m| m.ndcg10),
+        collect(|m| m.hr1),
+        collect(|m| m.hr5),
+        collect(|m| m.hr10),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Method", "MRR"]);
+        t.add_row(vec!["CDRIB", "7.01"]);
+        t.add_row(vec!["a-very-long-method-name", "4.2"]);
+        t.add_row(vec!["short"]);
+        let s = t.render();
+        assert!(s.contains("CDRIB"));
+        assert!(s.contains("a-very-long-method-name"));
+        assert_eq!(t.n_rows(), 3);
+        // header line and separator line present
+        assert!(s.lines().count() >= 5);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0701), "7.01");
+        let ms = MeanStd::of(&[0.070, 0.072, 0.068]);
+        let s = pct_mean_std(&ms);
+        assert!(s.starts_with("7.00"));
+        assert_eq!(metric_columns().len(), 6);
+        let m = RankingMetrics {
+            mrr: 0.07,
+            ndcg5: 0.06,
+            ndcg10: 0.0768,
+            hr1: 0.029,
+            hr5: 0.09,
+            hr10: 0.1429,
+        };
+        let row = metrics_row("CDRIB", &m);
+        assert_eq!(row.len(), 7);
+        assert_eq!(row[0], "CDRIB");
+        assert_eq!(row[3], "7.68");
+        assert_eq!(metric_values(&m)[5], 0.1429);
+    }
+
+    #[test]
+    fn aggregation_over_runs() {
+        let runs = vec![
+            RankingMetrics::from_rank(1),
+            RankingMetrics::from_rank(2),
+            RankingMetrics::from_rank(3),
+        ];
+        let agg = aggregate_runs(&runs);
+        assert_eq!(agg[0].n, 3);
+        assert!(agg[0].mean > 0.5 && agg[0].mean < 1.0);
+        let row = metrics_row_mean_std("X", &agg);
+        assert_eq!(row.len(), 7);
+        assert!(row[1].contains('±'));
+    }
+}

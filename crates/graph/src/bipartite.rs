@@ -1,0 +1,293 @@
+//! The user-item interaction bipartite graph.
+//!
+//! This is the `A^X` / `A^Y` object of the paper (Table I): a binary
+//! adjacency matrix between users and items together with the normalised
+//! views the VBGE consumes (`Norm(A)` and `Norm(A^T)`, Eq. 2-3) and the
+//! neighbour lists used by samplers and baselines.
+
+use crate::error::{GraphError, Result};
+use cdrib_tensor::CsrMatrix;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A bipartite interaction graph between `n_users` users and `n_items` items.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    n_users: usize,
+    n_items: usize,
+    /// Deduplicated, sorted `(user, item)` interactions.
+    edges: Vec<(u32, u32)>,
+    /// Per-user sorted item neighbour lists.
+    user_items: Vec<Vec<u32>>,
+    /// Per-item sorted user neighbour lists.
+    item_users: Vec<Vec<u32>>,
+}
+
+impl BipartiteGraph {
+    /// Builds a graph from raw `(user, item)` pairs. Duplicate edges are
+    /// collapsed; indices are validated against the given sizes.
+    pub fn new(n_users: usize, n_items: usize, raw_edges: &[(usize, usize)]) -> Result<Self> {
+        let mut user_items: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+        let mut item_users: Vec<Vec<u32>> = vec![Vec::new(); n_items];
+        for &(u, i) in raw_edges {
+            if u >= n_users {
+                return Err(GraphError::UserOutOfRange { user: u, n_users });
+            }
+            if i >= n_items {
+                return Err(GraphError::ItemOutOfRange { item: i, n_items });
+            }
+            user_items[u].push(i as u32);
+        }
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (u, items) in user_items.iter_mut().enumerate() {
+            items.sort_unstable();
+            items.dedup();
+            for &i in items.iter() {
+                edges.push((u as u32, i));
+                item_users[i as usize].push(u as u32);
+            }
+        }
+        Ok(BipartiteGraph {
+            n_users,
+            n_items,
+            edges,
+            user_items,
+            item_users,
+        })
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of distinct interactions.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The deduplicated edge list.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Density of the interaction matrix.
+    pub fn density(&self) -> f64 {
+        if self.n_users == 0 || self.n_items == 0 {
+            return 0.0;
+        }
+        self.edges.len() as f64 / (self.n_users as f64 * self.n_items as f64)
+    }
+
+    /// Items interacted with by `user` (sorted).
+    pub fn items_of(&self, user: usize) -> &[u32] {
+        &self.user_items[user]
+    }
+
+    /// Users who interacted with `item` (sorted).
+    pub fn users_of(&self, item: usize) -> &[u32] {
+        &self.item_users[item]
+    }
+
+    /// Degree (number of interactions) of a user.
+    pub fn user_degree(&self, user: usize) -> usize {
+        self.user_items[user].len()
+    }
+
+    /// Degree (number of interactions) of an item.
+    pub fn item_degree(&self, item: usize) -> usize {
+        self.item_users[item].len()
+    }
+
+    /// Whether the `(user, item)` interaction exists.
+    pub fn has_edge(&self, user: usize, item: usize) -> bool {
+        if user >= self.n_users || item >= self.n_items {
+            return false;
+        }
+        self.user_items[user].binary_search(&(item as u32)).is_ok()
+    }
+
+    /// The binary adjacency matrix `A` (`n_users x n_items`).
+    pub fn adjacency(&self) -> CsrMatrix {
+        let edges: Vec<(usize, usize)> = self.edges.iter().map(|&(u, i)| (u as usize, i as usize)).collect();
+        CsrMatrix::from_edges(self.n_users, self.n_items, &edges)
+            .expect("edges validated at construction")
+    }
+
+    /// Row-normalised adjacency `Norm(A)` used to aggregate item information
+    /// into users (Eq. 3).
+    pub fn norm_adjacency(&self) -> Arc<CsrMatrix> {
+        Arc::new(self.adjacency().row_normalized())
+    }
+
+    /// Row-normalised transposed adjacency `Norm(A^T)` used to aggregate user
+    /// information into items (Eq. 2).
+    pub fn norm_adjacency_transpose(&self) -> Arc<CsrMatrix> {
+        Arc::new(self.adjacency().transpose().row_normalized())
+    }
+
+    /// Symmetrically-normalised adjacency `D_u^{-1/2} A D_i^{-1/2}` used by
+    /// GCN-style baselines (NGCF, PPGN).
+    pub fn sym_adjacency(&self) -> Arc<CsrMatrix> {
+        Arc::new(self.adjacency().sym_normalized())
+    }
+
+    /// Symmetrically-normalised transposed adjacency.
+    pub fn sym_adjacency_transpose(&self) -> Arc<CsrMatrix> {
+        Arc::new(self.adjacency().transpose().sym_normalized())
+    }
+
+    /// Users reachable from `user` in exactly two hops (co-interaction
+    /// neighbours), excluding the user itself. Used by neighbour-based
+    /// mapping supervision (SSCDR-style) and by tests of the "homogeneous
+    /// even-hop neighbourhood" claim behind the VBGE.
+    pub fn two_hop_users(&self, user: usize) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for &item in self.items_of(user) {
+            out.extend_from_slice(self.users_of(item as usize));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&u| u as usize != user);
+        out
+    }
+
+    /// Per-user degree histogram bucketed as in Table IX of the paper
+    /// (`5-10`, `11-20`, `21-30`, `31-40`, `41-50`, `>50`).
+    pub fn user_degree_histogram(&self) -> [usize; 6] {
+        let mut hist = [0usize; 6];
+        for u in 0..self.n_users {
+            let d = self.user_degree(u);
+            let bucket = match d {
+                0..=10 => 0,
+                11..=20 => 1,
+                21..=30 => 2,
+                31..=40 => 3,
+                41..=50 => 4,
+                _ => 5,
+            };
+            hist[bucket] += 1;
+        }
+        hist
+    }
+
+    /// Returns a new graph containing only the edges whose user passes the
+    /// `keep` predicate (items keep their indices). Used to hide cold-start
+    /// users' target-domain interactions during training.
+    pub fn filter_users<F: Fn(usize) -> bool>(&self, keep: F) -> BipartiteGraph {
+        let edges: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .filter(|&&(u, _)| keep(u as usize))
+            .map(|&(u, i)| (u as usize, i as usize))
+            .collect();
+        BipartiteGraph::new(self.n_users, self.n_items, &edges)
+            .expect("filtered edges remain in range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BipartiteGraph {
+        // users: 0..4, items: 0..3
+        BipartiteGraph::new(
+            4,
+            3,
+            &[(0, 0), (0, 1), (1, 1), (2, 0), (2, 2), (3, 2), (0, 0)], // duplicate (0,0)
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_dedups_and_validates() {
+        let g = sample();
+        assert_eq!(g.n_users(), 4);
+        assert_eq!(g.n_items(), 3);
+        assert_eq!(g.n_edges(), 6);
+        assert!(g.has_edge(0, 0));
+        assert!(!g.has_edge(3, 0));
+        assert!(!g.has_edge(10, 0));
+        assert!(BipartiteGraph::new(2, 2, &[(5, 0)]).is_err());
+        assert!(BipartiteGraph::new(2, 2, &[(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn neighbour_lists_and_degrees() {
+        let g = sample();
+        assert_eq!(g.items_of(0), &[0, 1]);
+        assert_eq!(g.users_of(2), &[2, 3]);
+        assert_eq!(g.user_degree(0), 2);
+        assert_eq!(g.item_degree(1), 2);
+        assert!((g.density() - 6.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacency_matches_edges() {
+        let g = sample();
+        let a = g.adjacency();
+        assert_eq!(a.nnz(), 6);
+        assert_eq!(a.get(0, 1), Some(1.0));
+        assert_eq!(a.get(3, 0), None);
+        let norm = g.norm_adjacency();
+        let row0: f32 = norm.row_iter(0).map(|(_, v)| v).sum();
+        assert!((row0 - 1.0).abs() < 1e-6);
+        let norm_t = g.norm_adjacency_transpose();
+        assert_eq!(norm_t.rows(), 3);
+        assert_eq!(norm_t.cols(), 4);
+        let sym = g.sym_adjacency();
+        assert_eq!(sym.rows(), 4);
+        assert_eq!(g.sym_adjacency_transpose().rows(), 3);
+    }
+
+    #[test]
+    fn two_hop_users_are_co_interactors() {
+        let g = sample();
+        // user 0 interacted with items 0 and 1; item 0 links to user 2, item 1 to user 1.
+        assert_eq!(g.two_hop_users(0), vec![1, 2]);
+        // user 3 only shares item 2 with user 2.
+        assert_eq!(g.two_hop_users(3), vec![2]);
+    }
+
+    #[test]
+    fn degree_histogram_buckets() {
+        let mut edges = Vec::new();
+        // user 0: 12 interactions, user 1: 3 interactions
+        for i in 0..12 {
+            edges.push((0usize, i));
+        }
+        for i in 0..3 {
+            edges.push((1usize, i));
+        }
+        let g = BipartiteGraph::new(2, 12, &edges).unwrap();
+        let hist = g.user_degree_histogram();
+        assert_eq!(hist[0], 1); // user 1 (and user 0 falls in bucket 1)
+        assert_eq!(hist[1], 1);
+    }
+
+    #[test]
+    fn filter_users_removes_their_edges() {
+        let g = sample();
+        let filtered = g.filter_users(|u| u != 0);
+        assert_eq!(filtered.n_edges(), 4);
+        assert!(!filtered.has_edge(0, 0));
+        assert!(filtered.has_edge(2, 2));
+        assert_eq!(filtered.n_users(), g.n_users());
+    }
+
+    #[test]
+    fn empty_graph_behaviour() {
+        let g = BipartiteGraph::new(3, 3, &[]).unwrap();
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.density(), 0.0);
+        assert!(g.two_hop_users(0).is_empty());
+        let a = g.adjacency();
+        assert_eq!(a.nnz(), 0);
+    }
+}

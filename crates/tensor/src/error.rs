@@ -1,0 +1,142 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor / autodiff / optimizer operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The provided buffer length does not match `rows * cols`.
+    LengthMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Provided number of elements.
+        got: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+    /// A dimension was zero where a non-empty tensor is required.
+    EmptyTensor {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An invalid configuration value (negative rate, zero dimension, ...).
+    InvalidArgument {
+        /// Name of the operation or parameter that failed validation.
+        what: &'static str,
+        /// Human readable detail.
+        detail: String,
+    },
+    /// A variable handle refers to a different tape generation.
+    StaleVariable {
+        /// Tape generation recorded in the variable.
+        var_generation: u64,
+        /// Current tape generation.
+        tape_generation: u64,
+    },
+    /// A gradient was requested for a node that does not require gradients.
+    NoGradient,
+    /// A numerical problem (NaN / infinity) was detected.
+    NonFinite {
+        /// Name of the operation that produced the value.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in `{op}`: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::LengthMismatch { expected, got } => {
+                write!(f, "buffer length mismatch: expected {expected}, got {got}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound})")
+            }
+            TensorError::EmptyTensor { op } => write!(f, "operation `{op}` requires a non-empty tensor"),
+            TensorError::InvalidArgument { what, detail } => {
+                write!(f, "invalid argument for `{what}`: {detail}")
+            }
+            TensorError::StaleVariable {
+                var_generation,
+                tape_generation,
+            } => write!(
+                f,
+                "variable belongs to tape generation {var_generation} but the tape is at generation {tape_generation}"
+            ),
+            TensorError::NoGradient => write!(f, "gradient requested for a non-differentiable node"),
+            TensorError::NonFinite { op } => write!(f, "non-finite value produced by `{op}`"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(TensorError::LengthMismatch { expected: 4, got: 2 }
+            .to_string()
+            .contains("expected 4"));
+        assert!(TensorError::IndexOutOfBounds { index: 9, bound: 3 }
+            .to_string()
+            .contains("9"));
+        assert!(TensorError::EmptyTensor { op: "mean" }.to_string().contains("mean"));
+        assert!(TensorError::NoGradient.to_string().contains("gradient"));
+        assert!(TensorError::NonFinite { op: "log" }.to_string().contains("log"));
+        assert!(TensorError::StaleVariable {
+            var_generation: 1,
+            tape_generation: 2
+        }
+        .to_string()
+        .contains("generation"));
+        assert!(TensorError::InvalidArgument {
+            what: "dropout",
+            detail: "rate must be in [0,1)".into()
+        }
+        .to_string()
+        .contains("dropout"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<TensorError>();
+    }
+}

@@ -1,0 +1,295 @@
+//! First-order optimizers.
+//!
+//! The paper trains CDRIB with Adam (§IV-B3); SGD (with optional momentum)
+//! is provided for the matrix-factorisation baselines and tests.
+
+use crate::error::{Result, TensorError};
+use crate::params::ParamSet;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Common interface of all optimizers.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently stored in
+    /// `params`, then leaves the gradients untouched (call
+    /// [`ParamSet::zero_grad`] before the next forward pass).
+    fn step(&mut self, params: &mut ParamSet) -> Result<()>;
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules and sweeps).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional momentum and decoupled
+/// weight decay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, params: &ParamSet) {
+        while self.velocity.len() < params.len() {
+            let i = self.velocity.len();
+            let ids: Vec<_> = params.iter_ids().collect();
+            let (id, _) = ids[i];
+            let v = params.value(id);
+            self.velocity.push(Tensor::zeros(v.rows(), v.cols()));
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamSet) -> Result<()> {
+        if self.lr <= 0.0 {
+            return Err(TensorError::InvalidArgument {
+                what: "Sgd::step",
+                detail: format!("learning rate must be positive, got {}", self.lr),
+            });
+        }
+        self.ensure_state(params);
+        let ids: Vec<_> = params.iter_ids().map(|(id, _)| id).collect();
+        for id in ids {
+            let grad = params.grad(id).clone();
+            let mut update = grad;
+            if self.weight_decay > 0.0 {
+                update.axpy(self.weight_decay, params.value(id))?;
+            }
+            if self.momentum > 0.0 {
+                let vel = &mut self.velocity[id.index()];
+                vel.scale_in_place(self.momentum);
+                vel.add_assign(&update)?;
+                update = vel.clone();
+            }
+            params.value_mut(id).axpy(-self.lr, &update)?;
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015) with optional decoupled weight
+/// decay (AdamW-style when `weight_decay > 0`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step_count: u64,
+    first_moment: Vec<Tensor>,
+    second_moment: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given hyperparameters.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            step_count: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        }
+    }
+
+    /// Adam with the standard defaults (`beta1=0.9, beta2=0.999, eps=1e-8`).
+    pub fn with_defaults(lr: f32) -> Self {
+        Adam::new(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Number of update steps performed so far.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+
+    fn ensure_state(&mut self, params: &ParamSet) {
+        let ids: Vec<_> = params.iter_ids().map(|(id, _)| id).collect();
+        while self.first_moment.len() < params.len() {
+            let id = ids[self.first_moment.len()];
+            let v = params.value(id);
+            self.first_moment.push(Tensor::zeros(v.rows(), v.cols()));
+            self.second_moment.push(Tensor::zeros(v.rows(), v.cols()));
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamSet) -> Result<()> {
+        if self.lr <= 0.0 {
+            return Err(TensorError::InvalidArgument {
+                what: "Adam::step",
+                detail: format!("learning rate must be positive, got {}", self.lr),
+            });
+        }
+        if !(0.0..1.0).contains(&self.beta1) || !(0.0..1.0).contains(&self.beta2) {
+            return Err(TensorError::InvalidArgument {
+                what: "Adam::step",
+                detail: format!("betas must lie in [0,1), got ({}, {})", self.beta1, self.beta2),
+            });
+        }
+        self.ensure_state(params);
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        let ids: Vec<_> = params.iter_ids().map(|(id, _)| id).collect();
+        for id in ids {
+            let k = id.index();
+            let grad = params.grad(id).clone();
+            {
+                let m = &mut self.first_moment[k];
+                m.scale_in_place(self.beta1);
+                m.axpy(1.0 - self.beta1, &grad)?;
+            }
+            {
+                let v = &mut self.second_moment[k];
+                v.scale_in_place(self.beta2);
+                let grad_sq = grad.mul(&grad)?;
+                v.axpy(1.0 - self.beta2, &grad_sq)?;
+            }
+            let m_hat = self.first_moment[k].scale(1.0 / bias1);
+            let v_hat = self.second_moment[k].scale(1.0 / bias2);
+            let denom = v_hat.map(|x| x.sqrt() + self.eps);
+            let update = m_hat.div(&denom)?;
+            if self.weight_decay > 0.0 {
+                let decay = params.value(id).scale(self.weight_decay);
+                params.value_mut(id).axpy(-self.lr, &decay)?;
+            }
+            params.value_mut(id).axpy(-self.lr, &update)?;
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimises f(w) = sum((w - target)^2) and returns the final values.
+    fn optimize<O: Optimizer>(mut opt: O, steps: usize) -> (f32, f32) {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::from_vec(1, 2, vec![5.0, -5.0]).unwrap()).unwrap();
+        let target = Tensor::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..steps {
+            params.zero_grad();
+            let mut tape = Tape::new();
+            let wv = tape.param(&params, w);
+            let tv = tape.constant(target.clone());
+            let diff = tape.sub(wv, tv).unwrap();
+            let sq = tape.mul(diff, diff).unwrap();
+            let loss = tape.sum(sq).unwrap();
+            last_loss = tape.backward(loss, &mut params).unwrap();
+            opt.step(&mut params).unwrap();
+        }
+        let v = params.value(w);
+        let _ = last_loss;
+        (v.get(0, 0), v.get(0, 1))
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let (a, b) = optimize(Sgd::new(0.1, 0.0, 0.0), 200);
+        assert!((a - 1.0).abs() < 1e-3, "{a}");
+        assert!((b - 2.0).abs() < 1e-3, "{b}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let (a, b) = optimize(Sgd::new(0.05, 0.9, 0.0), 200);
+        assert!((a - 1.0).abs() < 1e-2);
+        assert!((b - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let (a, b) = optimize(Adam::with_defaults(0.2), 300);
+        assert!((a - 1.0).abs() < 1e-2, "{a}");
+        assert!((b - 2.0).abs() < 1e-2, "{b}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        // With a pure-decay objective (zero gradient), weights should shrink.
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::full(1, 4, 4.0)).unwrap();
+        let mut opt = Adam::new(0.1, 0.9, 0.999, 1e-8, 0.5);
+        for _ in 0..10 {
+            params.zero_grad();
+            opt.step(&mut params).unwrap();
+        }
+        assert!(params.value(w).get(0, 0) < 4.0);
+    }
+
+    #[test]
+    fn invalid_hyperparameters_are_rejected() {
+        let mut params = ParamSet::new();
+        params.add("w", Tensor::zeros(1, 1)).unwrap();
+        assert!(Sgd::new(0.0, 0.0, 0.0).step(&mut params).is_err());
+        assert!(Adam::new(-1.0, 0.9, 0.999, 1e-8, 0.0).step(&mut params).is_err());
+        assert!(Adam::new(0.1, 1.5, 0.999, 1e-8, 0.0).step(&mut params).is_err());
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut adam = Adam::with_defaults(0.01);
+        assert_eq!(adam.learning_rate(), 0.01);
+        adam.set_learning_rate(0.005);
+        assert_eq!(adam.learning_rate(), 0.005);
+        assert_eq!(adam.steps(), 0);
+        let mut sgd = Sgd::new(0.1, 0.0, 0.0);
+        sgd.set_learning_rate(0.2);
+        assert_eq!(sgd.learning_rate(), 0.2);
+    }
+
+    #[test]
+    fn adam_handles_parameters_added_late() {
+        // Optimizer state grows lazily when new parameters are registered
+        // between steps (used by tests that build models incrementally).
+        let mut params = ParamSet::new();
+        let a = params.add("a", Tensor::full(1, 1, 1.0)).unwrap();
+        let mut opt = Adam::with_defaults(0.1);
+        *params.grad_mut(a) = Tensor::full(1, 1, 1.0);
+        opt.step(&mut params).unwrap();
+        let b = params.add("b", Tensor::full(1, 1, 1.0)).unwrap();
+        *params.grad_mut(b) = Tensor::full(1, 1, 1.0);
+        opt.step(&mut params).unwrap();
+        assert!(params.value(b).get(0, 0) < 1.0);
+    }
+}

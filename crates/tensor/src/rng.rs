@@ -1,0 +1,194 @@
+//! Deterministic random-number helpers.
+//!
+//! Every stochastic component in the reproduction (data generation, parameter
+//! initialisation, negative sampling, dropout masks, reparameterisation
+//! noise) draws from a [`Rng`](rand::Rng) seeded through this module so that
+//! an experiment is fully determined by its `u64` seed.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives a child seed from a parent seed and a component label.
+///
+/// This is a small splitmix-style mix so that independent components (e.g.
+/// "dropout" vs "negative-sampling") get decorrelated streams even though
+/// they share the experiment seed.
+pub fn derive_seed(parent: u64, label: &str) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15 ^ parent;
+    for &b in label.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+    }
+    h = h.wrapping_add(parent.rotate_left(17));
+    h ^= h >> 29;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 32;
+    h
+}
+
+/// Creates a [`StdRng`] for a named component of an experiment.
+pub fn component_rng(seed: u64, label: &str) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(seed, label))
+}
+
+/// Samples a standard-normal value using the Box-Muller transform.
+///
+/// We intentionally avoid `rand_distr` to stay within the allowed crate set;
+/// Box-Muller is accurate enough for VAE reparameterisation noise.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        let u2: f32 = rng.gen::<f32>();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        let z = r * theta.cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+/// Fills a tensor with i.i.d. `N(0, std^2)` samples.
+pub fn normal_tensor<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std: f32) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    for v in t.as_mut_slice() {
+        *v = sample_standard_normal(rng) * std;
+    }
+    t
+}
+
+/// Fills a tensor with i.i.d. `Uniform(lo, hi)` samples.
+pub fn uniform_tensor<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    for v in t.as_mut_slice() {
+        *v = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// A Bernoulli keep-mask scaled by `1/keep_prob` (inverted dropout).
+///
+/// `rate` is the probability of *dropping* an element. The returned mask is
+/// multiplied elementwise with activations during training so that the
+/// expected value matches evaluation-time behaviour.
+pub fn dropout_mask<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, rate: f32) -> Tensor {
+    debug_assert!((0.0..1.0).contains(&rate));
+    if rate <= 0.0 {
+        return Tensor::ones(rows, cols);
+    }
+    let keep = 1.0 - rate;
+    let scale = 1.0 / keep;
+    let mut t = Tensor::zeros(rows, cols);
+    for v in t.as_mut_slice() {
+        *v = if rng.gen::<f32>() < keep { scale } else { 0.0 };
+    }
+    t
+}
+
+/// Samples `k` distinct indices from `0..n` (k <= n) without replacement
+/// using a partial Fisher-Yates shuffle over a scratch vector.
+pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// Shuffles a slice in place with the Fisher-Yates algorithm.
+pub fn shuffle_in_place<T, R: Rng + ?Sized>(rng: &mut R, items: &mut [T]) {
+    if items.len() < 2 {
+        return;
+    }
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_deterministic_and_label_sensitive() {
+        assert_eq!(derive_seed(42, "dropout"), derive_seed(42, "dropout"));
+        assert_ne!(derive_seed(42, "dropout"), derive_seed(42, "negatives"));
+        assert_ne!(derive_seed(42, "dropout"), derive_seed(43, "dropout"));
+    }
+
+    #[test]
+    fn standard_normal_has_reasonable_moments() {
+        let mut rng = component_rng(7, "normal-test");
+        let n = 20_000;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for _ in 0..n {
+            let v = sample_standard_normal(&mut rng) as f64;
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn uniform_tensor_respects_bounds() {
+        let mut rng = component_rng(1, "uniform");
+        let t = uniform_tensor(&mut rng, 10, 10, -0.5, 0.5);
+        assert!(t.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn dropout_mask_preserves_expectation() {
+        let mut rng = component_rng(3, "dropout");
+        let rate = 0.3;
+        let m = dropout_mask(&mut rng, 100, 100, rate);
+        let mean = m.mean().unwrap();
+        assert!((mean - 1.0).abs() < 0.05, "mean of inverted dropout mask {mean}");
+        let zero_frac = m.as_slice().iter().filter(|&&v| v == 0.0).count() as f32 / 10_000.0;
+        assert!((zero_frac - rate).abs() < 0.05);
+        let none = dropout_mask(&mut rng, 4, 4, 0.0);
+        assert_eq!(none.sum(), 16.0);
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_distinct() {
+        let mut rng = component_rng(5, "wr");
+        let s = sample_without_replacement(&mut rng, 50, 20);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(s.iter().all(|&v| v < 50));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = component_rng(9, "shuffle");
+        let mut v: Vec<usize> = (0..100).collect();
+        shuffle_in_place(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn normal_tensor_scales_std() {
+        let mut rng = component_rng(11, "nt");
+        let t = normal_tensor(&mut rng, 50, 50, 0.01);
+        let var = t.sum_squares() / t.len() as f32;
+        assert!(var < 0.001, "variance should be around 1e-4, got {var}");
+    }
+}

@@ -1,0 +1,1018 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! The [`Tape`] records every operation of a forward pass as a node holding
+//! its output value and enough information to propagate gradients to its
+//! parents. Calling [`Tape::backward`] walks the recorded nodes in reverse,
+//! accumulates gradients, and finally writes parameter gradients into the
+//! [`ParamSet`] that was used during the forward pass.
+//!
+//! The operation set is exactly what CDRIB and its baselines need: dense and
+//! sparse matrix products, row gathering for embedding lookups, the LeakyReLU
+//! / Softplus / sigmoid nonlinearities of the VBGE, Gaussian KL divergence
+//! for the minimality terms, and binary cross-entropy for the reconstruction
+//! and contrastive terms.
+
+use crate::error::{Result, TensorError};
+use crate::params::{ParamId, ParamSet};
+use crate::sparse::CsrMatrix;
+use crate::tensor::Tensor;
+use std::sync::Arc;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var {
+    index: usize,
+    generation: u64,
+}
+
+impl Var {
+    /// Index of the node inside its tape (primarily for diagnostics).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// The recorded operation of a tape node.
+#[derive(Debug, Clone)]
+enum Op {
+    Constant,
+    Param(ParamId),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    AddRowBroadcast { matrix: usize, row: usize },
+    Scale { input: usize, factor: f32 },
+    AddScalar { input: usize },
+    Matmul(usize, usize),
+    Spmm { sparse: Arc<CsrMatrix>, dense: usize },
+    ConcatCols(usize, usize),
+    ConcatRows(usize, usize),
+    GatherRows { input: usize, indices: Arc<Vec<usize>> },
+    LeakyRelu { input: usize, slope: f32 },
+    Softplus { input: usize },
+    Sigmoid { input: usize },
+    Tanh { input: usize },
+    Exp { input: usize },
+    Log { input: usize },
+    SumAll { input: usize },
+    MeanAll { input: usize },
+    SumSquares { input: usize },
+    Dropout { input: usize, mask: Tensor },
+    RowwiseDot(usize, usize),
+    RowwiseSqDist(usize, usize),
+    KlStdNormal { mu: usize, sigma: usize },
+    BceWithLogits { logits: usize, targets: Tensor },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A single forward pass worth of recorded operations.
+#[derive(Debug)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    generation: u64,
+}
+
+/// Small epsilon protecting logs and divisions in the KL term.
+const EPS: f32 = 1e-8;
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape {
+            nodes: Vec::new(),
+            generation: 1,
+        }
+    }
+
+    /// Clears all recorded nodes so the tape can be reused for the next
+    /// forward pass without reallocating. Outstanding [`Var`] handles become
+    /// stale and are rejected by subsequent operations.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.generation += 1;
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
+        Var {
+            index: self.nodes.len() - 1,
+            generation: self.generation,
+        }
+    }
+
+    fn check(&self, v: Var) -> Result<usize> {
+        if v.generation != self.generation {
+            return Err(TensorError::StaleVariable {
+                var_generation: v.generation,
+                tape_generation: self.generation,
+            });
+        }
+        if v.index >= self.nodes.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: v.index,
+                bound: self.nodes.len(),
+            });
+        }
+        Ok(v.index)
+    }
+
+    fn val(&self, idx: usize) -> &Tensor {
+        &self.nodes[idx].value
+    }
+
+    fn rg(&self, idx: usize) -> bool {
+        self.nodes[idx].requires_grad
+    }
+
+    /// The value currently held by a node.
+    pub fn value(&self, v: Var) -> Result<&Tensor> {
+        let idx = self.check(v)?;
+        Ok(self.val(idx))
+    }
+
+    /// Records a constant (non-differentiable) tensor.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Constant, false)
+    }
+
+    /// Records a trainable parameter leaf. The parameter value is copied onto
+    /// the tape so later in-place updates do not invalidate the recording.
+    pub fn param(&mut self, params: &ParamSet, id: ParamId) -> Var {
+        self.push(params.value(id).clone(), Op::Param(id), true)
+    }
+
+    /// Elementwise addition.
+    pub fn add(&mut self, a: Var, b: Var) -> Result<Var> {
+        let (ia, ib) = (self.check(a)?, self.check(b)?);
+        let value = self.val(ia).add(self.val(ib))?;
+        let rg = self.rg(ia) || self.rg(ib);
+        Ok(self.push(value, Op::Add(ia, ib), rg))
+    }
+
+    /// Elementwise subtraction `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Result<Var> {
+        let (ia, ib) = (self.check(a)?, self.check(b)?);
+        let value = self.val(ia).sub(self.val(ib))?;
+        let rg = self.rg(ia) || self.rg(ib);
+        Ok(self.push(value, Op::Sub(ia, ib), rg))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let (ia, ib) = (self.check(a)?, self.check(b)?);
+        let value = self.val(ia).mul(self.val(ib))?;
+        let rg = self.rg(ia) || self.rg(ib);
+        Ok(self.push(value, Op::Mul(ia, ib), rg))
+    }
+
+    /// Adds a `1 x cols` bias row to every row of `matrix`.
+    pub fn add_row_broadcast(&mut self, matrix: Var, row: Var) -> Result<Var> {
+        let (im, ir) = (self.check(matrix)?, self.check(row)?);
+        let value = self.val(im).add_row_broadcast(self.val(ir))?;
+        let rg = self.rg(im) || self.rg(ir);
+        Ok(self.push(value, Op::AddRowBroadcast { matrix: im, row: ir }, rg))
+    }
+
+    /// Multiplies every element by a constant factor.
+    pub fn scale(&mut self, a: Var, factor: f32) -> Result<Var> {
+        let ia = self.check(a)?;
+        let value = self.val(ia).scale(factor);
+        let rg = self.rg(ia);
+        Ok(self.push(value, Op::Scale { input: ia, factor }, rg))
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&mut self, a: Var, value: f32) -> Result<Var> {
+        let ia = self.check(a)?;
+        let out = self.val(ia).add_scalar(value);
+        let rg = self.rg(ia);
+        Ok(self.push(out, Op::AddScalar { input: ia }, rg))
+    }
+
+    /// Dense matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let (ia, ib) = (self.check(a)?, self.check(b)?);
+        let value = self.val(ia).matmul(self.val(ib))?;
+        let rg = self.rg(ia) || self.rg(ib);
+        Ok(self.push(value, Op::Matmul(ia, ib), rg))
+    }
+
+    /// Sparse-dense matrix product with a constant sparse operand.
+    pub fn spmm(&mut self, sparse: &Arc<CsrMatrix>, dense: Var) -> Result<Var> {
+        let id = self.check(dense)?;
+        let value = sparse.spmm(self.val(id))?;
+        let rg = self.rg(id);
+        Ok(self.push(
+            value,
+            Op::Spmm {
+                sparse: Arc::clone(sparse),
+                dense: id,
+            },
+            rg,
+        ))
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Result<Var> {
+        let (ia, ib) = (self.check(a)?, self.check(b)?);
+        let value = self.val(ia).concat_cols(self.val(ib))?;
+        let rg = self.rg(ia) || self.rg(ib);
+        Ok(self.push(value, Op::ConcatCols(ia, ib), rg))
+    }
+
+    /// Vertical concatenation (stacking `b` below `a`).
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Result<Var> {
+        let (ia, ib) = (self.check(a)?, self.check(b)?);
+        let value = self.val(ia).concat_rows(self.val(ib))?;
+        let rg = self.rg(ia) || self.rg(ib);
+        Ok(self.push(value, Op::ConcatRows(ia, ib), rg))
+    }
+
+    /// Gathers rows of `input` (embedding lookup / sub-batch selection).
+    pub fn gather_rows(&mut self, input: Var, indices: &[usize]) -> Result<Var> {
+        let ii = self.check(input)?;
+        let value = self.val(ii).gather_rows(indices)?;
+        let rg = self.rg(ii);
+        Ok(self.push(
+            value,
+            Op::GatherRows {
+                input: ii,
+                indices: Arc::new(indices.to_vec()),
+            },
+            rg,
+        ))
+    }
+
+    /// LeakyReLU activation with the given negative slope.
+    pub fn leaky_relu(&mut self, input: Var, slope: f32) -> Result<Var> {
+        let ii = self.check(input)?;
+        let value = self.val(ii).map(|v| if v >= 0.0 { v } else { slope * v });
+        let rg = self.rg(ii);
+        Ok(self.push(value, Op::LeakyRelu { input: ii, slope }, rg))
+    }
+
+    /// Softplus activation `ln(1 + exp(x))`, computed stably.
+    pub fn softplus(&mut self, input: Var) -> Result<Var> {
+        let ii = self.check(input)?;
+        let value = self.val(ii).map(softplus_scalar);
+        let rg = self.rg(ii);
+        Ok(self.push(value, Op::Softplus { input: ii }, rg))
+    }
+
+    /// Logistic sigmoid activation.
+    pub fn sigmoid(&mut self, input: Var) -> Result<Var> {
+        let ii = self.check(input)?;
+        let value = self.val(ii).map(sigmoid_scalar);
+        let rg = self.rg(ii);
+        Ok(self.push(value, Op::Sigmoid { input: ii }, rg))
+    }
+
+    /// Hyperbolic tangent activation.
+    pub fn tanh(&mut self, input: Var) -> Result<Var> {
+        let ii = self.check(input)?;
+        let value = self.val(ii).map(|v| v.tanh());
+        let rg = self.rg(ii);
+        Ok(self.push(value, Op::Tanh { input: ii }, rg))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, input: Var) -> Result<Var> {
+        let ii = self.check(input)?;
+        let value = self.val(ii).map(|v| v.exp());
+        let rg = self.rg(ii);
+        Ok(self.push(value, Op::Exp { input: ii }, rg))
+    }
+
+    /// Elementwise natural logarithm of `x + EPS` (inputs must be >= 0).
+    pub fn log(&mut self, input: Var) -> Result<Var> {
+        let ii = self.check(input)?;
+        let value = self.val(ii).map(|v| (v + EPS).ln());
+        let rg = self.rg(ii);
+        Ok(self.push(value, Op::Log { input: ii }, rg))
+    }
+
+    /// Sum over every element, producing a `1 x 1` scalar node.
+    pub fn sum(&mut self, input: Var) -> Result<Var> {
+        let ii = self.check(input)?;
+        let value = Tensor::scalar(self.val(ii).sum());
+        let rg = self.rg(ii);
+        Ok(self.push(value, Op::SumAll { input: ii }, rg))
+    }
+
+    /// Mean over every element, producing a `1 x 1` scalar node.
+    pub fn mean(&mut self, input: Var) -> Result<Var> {
+        let ii = self.check(input)?;
+        let value = Tensor::scalar(self.val(ii).mean()?);
+        let rg = self.rg(ii);
+        Ok(self.push(value, Op::MeanAll { input: ii }, rg))
+    }
+
+    /// Sum of squared elements (used for explicit L2 regularisation).
+    pub fn sum_squares(&mut self, input: Var) -> Result<Var> {
+        let ii = self.check(input)?;
+        let value = Tensor::scalar(self.val(ii).sum_squares());
+        let rg = self.rg(ii);
+        Ok(self.push(value, Op::SumSquares { input: ii }, rg))
+    }
+
+    /// Inverted dropout with the given drop `rate`; the mask is supplied by
+    /// the caller (so that the caller owns the RNG stream).
+    pub fn dropout(&mut self, input: Var, mask: Tensor) -> Result<Var> {
+        let ii = self.check(input)?;
+        if mask.shape() != self.val(ii).shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dropout",
+                lhs: self.val(ii).shape(),
+                rhs: mask.shape(),
+            });
+        }
+        let value = self.val(ii).mul(&mask)?;
+        let rg = self.rg(ii);
+        Ok(self.push(value, Op::Dropout { input: ii, mask }, rg))
+    }
+
+    /// Row-wise inner product producing an `n x 1` column.
+    pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Result<Var> {
+        let (ia, ib) = (self.check(a)?, self.check(b)?);
+        let value = self.val(ia).rowwise_dot(self.val(ib))?;
+        let rg = self.rg(ia) || self.rg(ib);
+        Ok(self.push(value, Op::RowwiseDot(ia, ib), rg))
+    }
+
+    /// Row-wise squared Euclidean distance producing an `n x 1` column.
+    pub fn rowwise_sq_dist(&mut self, a: Var, b: Var) -> Result<Var> {
+        let (ia, ib) = (self.check(a)?, self.check(b)?);
+        let value = self.val(ia).rowwise_sq_dist(self.val(ib))?;
+        let rg = self.rg(ia) || self.rg(ib);
+        Ok(self.push(value, Op::RowwiseSqDist(ia, ib), rg))
+    }
+
+    /// Mean (over rows) KL divergence `KL(N(mu, diag(sigma^2)) || N(0, I))`.
+    ///
+    /// This is the tractable form of the minimality terms, Eq. (11) of the
+    /// paper.
+    pub fn kl_std_normal(&mut self, mu: Var, sigma: Var) -> Result<Var> {
+        let (im, is) = (self.check(mu)?, self.check(sigma)?);
+        let m = self.val(im);
+        let s = self.val(is);
+        if m.shape() != s.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "kl_std_normal",
+                lhs: m.shape(),
+                rhs: s.shape(),
+            });
+        }
+        if m.rows() == 0 {
+            return Err(TensorError::EmptyTensor { op: "kl_std_normal" });
+        }
+        let mut total = 0.0f64;
+        for (mv, sv) in m.as_slice().iter().zip(s.as_slice().iter()) {
+            let s2 = sv * sv;
+            total += 0.5 * (mv * mv + s2 - 2.0 * (sv + EPS).ln() - 1.0) as f64;
+        }
+        let value = Tensor::scalar((total / m.rows() as f64) as f32);
+        let rg = self.rg(im) || self.rg(is);
+        Ok(self.push(value, Op::KlStdNormal { mu: im, sigma: is }, rg))
+    }
+
+    /// Mean binary cross-entropy with logits:
+    /// `mean( max(x,0) - x*t + ln(1+exp(-|x|)) )`.
+    ///
+    /// This is the tractable form of the reconstruction (Eq. 13) and
+    /// contrastive (Eq. 14) terms, evaluated on sampled positive and negative
+    /// pairs.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Tensor) -> Result<Var> {
+        let il = self.check(logits)?;
+        let x = self.val(il);
+        if x.shape() != targets.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "bce_with_logits",
+                lhs: x.shape(),
+                rhs: targets.shape(),
+            });
+        }
+        if x.is_empty() {
+            return Err(TensorError::EmptyTensor { op: "bce_with_logits" });
+        }
+        let mut total = 0.0f64;
+        for (xv, tv) in x.as_slice().iter().zip(targets.as_slice().iter()) {
+            let loss = xv.max(0.0) - xv * tv + (1.0 + (-xv.abs()).exp()).ln();
+            total += loss as f64;
+        }
+        let value = Tensor::scalar((total / x.len() as f64) as f32);
+        let rg = self.rg(il);
+        Ok(self.push(value, Op::BceWithLogits { logits: il, targets }, rg))
+    }
+
+    /// Runs the backward pass from the scalar `loss` node and accumulates
+    /// parameter gradients into `params`. Returns the loss value.
+    pub fn backward(&self, loss: Var, params: &mut ParamSet) -> Result<f32> {
+        let il = self.check(loss)?;
+        let loss_value = self.val(il).scalar_value()?;
+        if !loss_value.is_finite() {
+            return Err(TensorError::NonFinite { op: "backward(loss)" });
+        }
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[il] = Some(Tensor::scalar(1.0));
+
+        for idx in (0..=il).rev() {
+            let grad = match grads[idx].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            if !self.nodes[idx].requires_grad {
+                continue;
+            }
+            self.backprop_node(idx, &grad, &mut grads, params)?;
+        }
+        Ok(loss_value)
+    }
+
+    fn backprop_node(
+        &self,
+        idx: usize,
+        grad: &Tensor,
+        grads: &mut [Option<Tensor>],
+        params: &mut ParamSet,
+    ) -> Result<()> {
+        match &self.nodes[idx].op {
+            Op::Constant => {}
+            Op::Param(id) => {
+                params.accumulate_grad(*id, grad)?;
+            }
+            Op::Add(a, b) => {
+                self.accum(grads, *a, grad.clone());
+                self.accum(grads, *b, grad.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accum(grads, *a, grad.clone());
+                self.accum(grads, *b, grad.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                if self.rg(*a) {
+                    self.accum(grads, *a, grad.mul(self.val(*b))?);
+                }
+                if self.rg(*b) {
+                    self.accum(grads, *b, grad.mul(self.val(*a))?);
+                }
+            }
+            Op::AddRowBroadcast { matrix, row } => {
+                self.accum(grads, *matrix, grad.clone());
+                if self.rg(*row) {
+                    self.accum(grads, *row, grad.sum_cols());
+                }
+            }
+            Op::Scale { input, factor } => {
+                self.accum(grads, *input, grad.scale(*factor));
+            }
+            Op::AddScalar { input } => {
+                self.accum(grads, *input, grad.clone());
+            }
+            Op::Matmul(a, b) => {
+                // y = A B; dA = G B^T, dB = A^T G
+                if self.rg(*a) {
+                    self.accum(grads, *a, grad.matmul_transpose_b(self.val(*b))?);
+                }
+                if self.rg(*b) {
+                    self.accum(grads, *b, self.val(*a).transpose_matmul(grad)?);
+                }
+            }
+            Op::Spmm { sparse, dense } => {
+                // y = S X; dX = S^T G
+                if self.rg(*dense) {
+                    self.accum(grads, *dense, sparse.spmm_transpose(grad)?);
+                }
+            }
+            Op::ConcatCols(a, b) => {
+                let ca = self.val(*a).cols();
+                let rows = grad.rows();
+                let mut ga = Tensor::zeros(rows, ca);
+                let mut gb = Tensor::zeros(rows, grad.cols() - ca);
+                for r in 0..rows {
+                    let g_row = grad.row(r);
+                    ga.row_mut(r).copy_from_slice(&g_row[..ca]);
+                    gb.row_mut(r).copy_from_slice(&g_row[ca..]);
+                }
+                if self.rg(*a) {
+                    self.accum(grads, *a, ga);
+                }
+                if self.rg(*b) {
+                    self.accum(grads, *b, gb);
+                }
+            }
+            Op::ConcatRows(a, b) => {
+                let ra = self.val(*a).rows();
+                if self.rg(*a) {
+                    self.accum(grads, *a, grad.slice_rows(0, ra)?);
+                }
+                if self.rg(*b) {
+                    self.accum(grads, *b, grad.slice_rows(ra, grad.rows())?);
+                }
+            }
+            Op::GatherRows { input, indices } => {
+                if self.rg(*input) {
+                    let src = self.val(*input);
+                    let mut g = Tensor::zeros(src.rows(), src.cols());
+                    g.scatter_add_rows(indices, grad)?;
+                    self.accum(grads, *input, g);
+                }
+            }
+            Op::LeakyRelu { input, slope } => {
+                let x = self.val(*input);
+                let g = grad.zip_map(x, |g, x| if x >= 0.0 { g } else { g * slope });
+                self.accum(grads, *input, g);
+            }
+            Op::Softplus { input } => {
+                let x = self.val(*input);
+                let g = grad.zip_map(x, |g, x| g * sigmoid_scalar(x));
+                self.accum(grads, *input, g);
+            }
+            Op::Sigmoid { input } => {
+                let y = self.val(idx);
+                let g = grad.zip_map(y, |g, y| g * y * (1.0 - y));
+                self.accum(grads, *input, g);
+            }
+            Op::Tanh { input } => {
+                let y = self.val(idx);
+                let g = grad.zip_map(y, |g, y| g * (1.0 - y * y));
+                self.accum(grads, *input, g);
+            }
+            Op::Exp { input } => {
+                let y = self.val(idx);
+                let g = grad.zip_map(y, |g, y| g * y);
+                self.accum(grads, *input, g);
+            }
+            Op::Log { input } => {
+                let x = self.val(*input);
+                let g = grad.zip_map(x, |g, x| g / (x + EPS));
+                self.accum(grads, *input, g);
+            }
+            Op::SumAll { input } => {
+                let gscalar = grad.scalar_value()?;
+                let x = self.val(*input);
+                self.accum(grads, *input, Tensor::full(x.rows(), x.cols(), gscalar));
+            }
+            Op::MeanAll { input } => {
+                let x = self.val(*input);
+                let gscalar = grad.scalar_value()? / x.len() as f32;
+                self.accum(grads, *input, Tensor::full(x.rows(), x.cols(), gscalar));
+            }
+            Op::SumSquares { input } => {
+                let gscalar = grad.scalar_value()?;
+                let x = self.val(*input);
+                self.accum(grads, *input, x.scale(2.0 * gscalar));
+            }
+            Op::Dropout { input, mask } => {
+                self.accum(grads, *input, grad.mul(mask)?);
+            }
+            Op::RowwiseDot(a, b) => {
+                // y_r = <a_r, b_r>; dA_r = g_r * b_r; dB_r = g_r * a_r
+                let av = self.val(*a);
+                let bv = self.val(*b);
+                if self.rg(*a) {
+                    let mut ga = Tensor::zeros(av.rows(), av.cols());
+                    for r in 0..av.rows() {
+                        let g = grad.get(r, 0);
+                        for (o, &b) in ga.row_mut(r).iter_mut().zip(bv.row(r).iter()) {
+                            *o = g * b;
+                        }
+                    }
+                    self.accum(grads, *a, ga);
+                }
+                if self.rg(*b) {
+                    let mut gb = Tensor::zeros(bv.rows(), bv.cols());
+                    for r in 0..bv.rows() {
+                        let g = grad.get(r, 0);
+                        for (o, &a) in gb.row_mut(r).iter_mut().zip(av.row(r).iter()) {
+                            *o = g * a;
+                        }
+                    }
+                    self.accum(grads, *b, gb);
+                }
+            }
+            Op::RowwiseSqDist(a, b) => {
+                // y_r = ||a_r - b_r||^2; dA_r = 2 g_r (a_r - b_r); dB_r = -dA_r
+                let av = self.val(*a);
+                let bv = self.val(*b);
+                let diff = av.sub(bv)?;
+                if self.rg(*a) {
+                    let mut ga = Tensor::zeros(av.rows(), av.cols());
+                    for r in 0..av.rows() {
+                        let g = 2.0 * grad.get(r, 0);
+                        for (o, &d) in ga.row_mut(r).iter_mut().zip(diff.row(r).iter()) {
+                            *o = g * d;
+                        }
+                    }
+                    self.accum(grads, *a, ga);
+                }
+                if self.rg(*b) {
+                    let mut gb = Tensor::zeros(bv.rows(), bv.cols());
+                    for r in 0..bv.rows() {
+                        let g = -2.0 * grad.get(r, 0);
+                        for (o, &d) in gb.row_mut(r).iter_mut().zip(diff.row(r).iter()) {
+                            *o = g * d;
+                        }
+                    }
+                    self.accum(grads, *b, gb);
+                }
+            }
+            Op::KlStdNormal { mu, sigma } => {
+                let m = self.val(*mu);
+                let s = self.val(*sigma);
+                let scale = grad.scalar_value()? / m.rows() as f32;
+                if self.rg(*mu) {
+                    self.accum(grads, *mu, m.scale(scale));
+                }
+                if self.rg(*sigma) {
+                    let gs = s.map(|sv| scale * (sv - 1.0 / (sv + EPS)));
+                    self.accum(grads, *sigma, gs);
+                }
+            }
+            Op::BceWithLogits { logits, targets } => {
+                let x = self.val(*logits);
+                let scale = grad.scalar_value()? / x.len() as f32;
+                let g = x.zip_map(targets, |xv, tv| scale * (sigmoid_scalar(xv) - tv));
+                self.accum(grads, *logits, g);
+            }
+        }
+        Ok(())
+    }
+
+    fn accum(&self, grads: &mut [Option<Tensor>], idx: usize, delta: Tensor) {
+        if !self.rg(idx) {
+            return;
+        }
+        match &mut grads[idx] {
+            Some(existing) => {
+                existing
+                    .add_assign(&delta)
+                    .expect("gradient shapes for a node must agree");
+            }
+            slot @ None => *slot = Some(delta),
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softplus `ln(1 + exp(x))`.
+pub fn softplus_scalar(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::component_rng;
+
+    fn finite_diff_check<F>(params: &mut ParamSet, ids: &[ParamId], f: F, tol: f32)
+    where
+        F: Fn(&mut Tape, &ParamSet) -> Var,
+    {
+        // Analytic gradients.
+        params.zero_grad();
+        let mut tape = Tape::new();
+        let loss = f(&mut tape, params);
+        tape.backward(loss, params).unwrap();
+        let analytic: Vec<Tensor> = ids.iter().map(|&id| params.grad(id).clone()).collect();
+
+        // Central finite differences.
+        let h = 1e-3f32;
+        for (k, &id) in ids.iter().enumerate() {
+            let (rows, cols) = params.value(id).shape();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let orig = params.value(id).get(r, c);
+                    params.value_mut(id).set(r, c, orig + h);
+                    let mut t1 = Tape::new();
+                    let l1 = f(&mut t1, params);
+                    let up = t1.value(l1).unwrap().scalar_value().unwrap();
+                    params.value_mut(id).set(r, c, orig - h);
+                    let mut t2 = Tape::new();
+                    let l2 = f(&mut t2, params);
+                    let down = t2.value(l2).unwrap().scalar_value().unwrap();
+                    params.value_mut(id).set(r, c, orig);
+                    let numeric = (up - down) / (2.0 * h);
+                    let a = analytic[k].get(r, c);
+                    assert!(
+                        (numeric - a).abs() < tol + tol * numeric.abs().max(a.abs()),
+                        "param {k} ({r},{c}): numeric {numeric} vs analytic {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_dense_chain() {
+        let mut rng = component_rng(1, "gradcheck-dense");
+        let mut params = ParamSet::new();
+        let w1 = params
+            .add("w1", crate::rng::normal_tensor(&mut rng, 3, 4, 0.5))
+            .unwrap();
+        let w2 = params
+            .add("w2", crate::rng::normal_tensor(&mut rng, 4, 2, 0.5))
+            .unwrap();
+        let b = params
+            .add("b", crate::rng::normal_tensor(&mut rng, 1, 2, 0.5))
+            .unwrap();
+        let x = crate::rng::normal_tensor(&mut rng, 5, 3, 1.0);
+        let targets = Tensor::from_vec(5, 1, vec![1.0, 0.0, 1.0, 0.0, 1.0]).unwrap();
+
+        finite_diff_check(
+            &mut params,
+            &[w1, w2, b],
+            |tape, params| {
+                let xv = tape.constant(x.clone());
+                let w1v = tape.param(params, w1);
+                let w2v = tape.param(params, w2);
+                let bv = tape.param(params, b);
+                let h = tape.matmul(xv, w1v).unwrap();
+                let h = tape.leaky_relu(h, 0.1).unwrap();
+                let o = tape.matmul(h, w2v).unwrap();
+                let o = tape.add_row_broadcast(o, bv).unwrap();
+                let o = tape.tanh(o).unwrap();
+                let dots = tape.rowwise_dot(o, o).unwrap();
+                tape.bce_with_logits(dots, targets.clone()).unwrap()
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_vbge_style_chain() {
+        // Mimics the VBGE pipeline: spmm -> matmul -> leakyrelu -> concat ->
+        // matmul (mu), softplus (sigma) -> KL + reconstruction.
+        let mut rng = component_rng(2, "gradcheck-vbge");
+        let adj = Arc::new(
+            CsrMatrix::from_edges(4, 3, &[(0, 0), (0, 2), (1, 1), (2, 0), (2, 1), (3, 2)])
+                .unwrap()
+                .row_normalized(),
+        );
+        let mut params = ParamSet::new();
+        let emb = params
+            .add("emb", crate::rng::normal_tensor(&mut rng, 4, 3, 0.5))
+            .unwrap();
+        let wmu = params
+            .add("wmu", crate::rng::normal_tensor(&mut rng, 6, 2, 0.5))
+            .unwrap();
+        let wsig = params
+            .add("wsig", crate::rng::normal_tensor(&mut rng, 6, 2, 0.5))
+            .unwrap();
+        let eps = crate::rng::normal_tensor(&mut rng, 4, 2, 1.0);
+        let item_emb = crate::rng::normal_tensor(&mut rng, 4, 2, 0.7);
+        let targets = Tensor::from_vec(4, 1, vec![1.0, 0.0, 1.0, 1.0]).unwrap();
+        let adj_t = Arc::new(adj.transpose());
+
+        finite_diff_check(
+            &mut params,
+            &[emb, wmu, wsig],
+            |tape, params| {
+                let u = tape.param(params, emb);
+                let interim = tape.spmm(&adj_t, u).unwrap(); // items x 3
+                let back = tape.spmm(&adj, interim).unwrap(); // users x 3
+                let back = tape.leaky_relu(back, 0.1).unwrap();
+                let cat = tape.concat_cols(back, u).unwrap(); // users x 6
+                let wmu_v = tape.param(params, wmu);
+                let wsig_v = tape.param(params, wsig);
+                let mu = tape.matmul(cat, wmu_v).unwrap();
+                let pre_sig = tape.matmul(cat, wsig_v).unwrap();
+                let sigma = tape.softplus(pre_sig).unwrap();
+                let noise = tape.constant(eps.clone());
+                let scaled = tape.mul(sigma, noise).unwrap();
+                let z = tape.add(mu, scaled).unwrap();
+                let items = tape.constant(item_emb.clone());
+                let scores = tape.rowwise_dot(z, items).unwrap();
+                let rec = tape.bce_with_logits(scores, targets.clone()).unwrap();
+                let kl = tape.kl_std_normal(mu, sigma).unwrap();
+                let kl_scaled = tape.scale(kl, 0.7).unwrap();
+                tape.add(rec, kl_scaled).unwrap()
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_gather_dropout_and_reductions() {
+        let mut rng = component_rng(3, "gradcheck-misc");
+        let mut params = ParamSet::new();
+        let emb = params
+            .add("emb", crate::rng::normal_tensor(&mut rng, 5, 3, 0.5))
+            .unwrap();
+        // Fixed mask so the function stays deterministic across perturbations.
+        let mask = Tensor::from_vec(3, 3, vec![2.0, 0.0, 2.0, 2.0, 2.0, 0.0, 0.0, 2.0, 2.0]).unwrap();
+        let idx = vec![0usize, 2, 4];
+
+        finite_diff_check(
+            &mut params,
+            &[emb],
+            |tape, params| {
+                let e = tape.param(params, emb);
+                let g = tape.gather_rows(e, &idx).unwrap();
+                let d = tape.dropout(g, mask.clone()).unwrap();
+                let sq = tape.mul(d, d).unwrap();
+                let s = tape.mean(sq).unwrap();
+                let reg = tape.sum_squares(e).unwrap();
+                let reg = tape.scale(reg, 0.01).unwrap();
+                tape.add(s, reg).unwrap()
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_remaining_unary_ops() {
+        let mut rng = component_rng(4, "gradcheck-unary");
+        let mut params = ParamSet::new();
+        let w = params
+            .add("w", crate::rng::uniform_tensor(&mut rng, 2, 3, 0.2, 1.5))
+            .unwrap();
+        finite_diff_check(
+            &mut params,
+            &[w],
+            |tape, params| {
+                let x = tape.param(params, w);
+                let e = tape.exp(x).unwrap();
+                let l = tape.log(e).unwrap();
+                let sgm = tape.sigmoid(l).unwrap();
+                let sp = tape.softplus(sgm).unwrap();
+                let shifted = tape.add_scalar(sp, 0.3).unwrap();
+                let neg = tape.scale(shifted, -0.5).unwrap();
+                let a = tape.sub(sp, neg).unwrap();
+                let d = tape.rowwise_sq_dist(a, sp).unwrap();
+                tape.sum(d).unwrap()
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_concat_rows() {
+        let mut rng = component_rng(5, "gradcheck-cr");
+        let mut params = ParamSet::new();
+        let a = params
+            .add("a", crate::rng::normal_tensor(&mut rng, 2, 2, 0.5))
+            .unwrap();
+        let b = params
+            .add("b", crate::rng::normal_tensor(&mut rng, 3, 2, 0.5))
+            .unwrap();
+        finite_diff_check(
+            &mut params,
+            &[a, b],
+            |tape, params| {
+                let av = tape.param(params, a);
+                let bv = tape.param(params, b);
+                let stacked = tape.concat_rows(av, bv).unwrap();
+                let sq = tape.mul(stacked, stacked).unwrap();
+                tape.sum(sq).unwrap()
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn stale_variables_are_rejected() {
+        let mut tape = Tape::new();
+        let v = tape.constant(Tensor::scalar(1.0));
+        tape.reset();
+        assert!(matches!(
+            tape.sum(v),
+            Err(TensorError::StaleVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_requires_scalar_loss() {
+        let mut tape = Tape::new();
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::ones(2, 2)).unwrap();
+        let v = tape.param(&params, w);
+        assert!(tape.backward(v, &mut params).is_err());
+    }
+
+    #[test]
+    fn backward_rejects_nan_loss() {
+        let mut tape = Tape::new();
+        let mut params = ParamSet::new();
+        let v = tape.constant(Tensor::scalar(f32::NAN));
+        assert!(matches!(
+            tape.backward(v, &mut params),
+            Err(TensorError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn constants_do_not_receive_gradients() {
+        let mut tape = Tape::new();
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::full(1, 2, 2.0)).unwrap();
+        let wv = tape.param(&params, w);
+        let c = tape.constant(Tensor::full(1, 2, 3.0));
+        let prod = tape.mul(wv, c).unwrap();
+        let loss = tape.sum(prod).unwrap();
+        let lv = tape.backward(loss, &mut params).unwrap();
+        assert!((lv - 12.0).abs() < 1e-6);
+        assert_eq!(params.grad(w).as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn shared_subexpression_accumulates_gradient() {
+        // loss = sum(w * w) should give grad 2w even though w is used twice.
+        let mut tape = Tape::new();
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::from_vec(1, 2, vec![2.0, -3.0]).unwrap()).unwrap();
+        let wv = tape.param(&params, w);
+        let prod = tape.mul(wv, wv).unwrap();
+        let loss = tape.sum(prod).unwrap();
+        tape.backward(loss, &mut params).unwrap();
+        assert_eq!(params.grad(w).as_slice(), &[4.0, -6.0]);
+    }
+
+    #[test]
+    fn sigmoid_softplus_scalar_stability() {
+        assert!((sigmoid_scalar(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid_scalar(100.0) > 0.999);
+        assert!(sigmoid_scalar(-100.0) < 1e-4);
+        assert!(sigmoid_scalar(-1000.0).is_finite());
+        assert!((softplus_scalar(30.0) - 30.0).abs() < 1e-3);
+        assert!(softplus_scalar(-30.0) > 0.0);
+        assert!(softplus_scalar(-1000.0).is_finite());
+        assert!((softplus_scalar(0.0) - (2.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_matches_manual_value() {
+        let mut tape = Tape::new();
+        let logits = tape.constant(Tensor::from_vec(2, 1, vec![0.0, 2.0]).unwrap());
+        let targets = Tensor::from_vec(2, 1, vec![1.0, 0.0]).unwrap();
+        let loss = tape.bce_with_logits(logits, targets).unwrap();
+        let expected = ((2.0f32).ln() + (2.0 + (1.0 + (-2.0f32).exp()).ln())) / 2.0;
+        assert!((tape.value(loss).unwrap().scalar_value().unwrap() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn kl_zero_for_standard_normal() {
+        let mut tape = Tape::new();
+        let mu = tape.constant(Tensor::zeros(3, 4));
+        let sigma = tape.constant(Tensor::ones(3, 4));
+        let kl = tape.kl_std_normal(mu, sigma).unwrap();
+        assert!(tape.value(kl).unwrap().scalar_value().unwrap().abs() < 1e-5);
+        // KL grows when the distribution moves away from the prior.
+        let mu2 = tape.constant(Tensor::full(3, 4, 1.0));
+        let sigma2 = tape.constant(Tensor::full(3, 4, 2.0));
+        let kl2 = tape.kl_std_normal(mu2, sigma2).unwrap();
+        assert!(tape.value(kl2).unwrap().scalar_value().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn tape_reset_reuses_allocation() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::ones(2, 2));
+        let _ = tape.sum(a).unwrap();
+        assert_eq!(tape.len(), 2);
+        tape.reset();
+        assert!(tape.is_empty());
+        let b = tape.constant(Tensor::ones(1, 1));
+        assert_eq!(b.index(), 0);
+    }
+}

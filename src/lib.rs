@@ -1,0 +1,58 @@
+//! # cdrib
+//!
+//! Umbrella crate of the CDRIB reproduction — *Cross-Domain Recommendation to
+//! Cold-Start Users via Variational Information Bottleneck* (ICDE 2022).
+//!
+//! It re-exports the workspace crates under one roof so applications can add
+//! a single dependency:
+//!
+//! * [`tensor`] — dense tensors, CSR sparse matrices, reverse-mode autodiff,
+//!   optimizers;
+//! * [`graph`] — bipartite user-item interaction graphs;
+//! * [`data`] — synthetic cross-domain scenarios, preprocessing and
+//!   cold-start splits;
+//! * [`eval`] — the leave-one-out ranking protocol, metrics and statistics;
+//! * [`core`] — the CDRIB model (VBGE + IB + contrastive regularizers) and
+//!   its trainer;
+//! * [`baselines`] — every comparison method of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cdrib::prelude::*;
+//!
+//! // A tiny synthetic Game-Video scenario (§IV-A preprocessing + split).
+//! let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 7).unwrap();
+//! // Train CDRIB briefly and rank held-out items for cold-start users.
+//! let mut config = CdribConfig::fast_test();
+//! config.epochs = 5;
+//! let trained = train(&config, &scenario).unwrap();
+//! let eval_cfg = EvalConfig { n_negatives: 40, seed: 1, max_cases: Some(50) };
+//! let (x2y, y2x) =
+//!     evaluate_both_directions(&trained.scorer(), &scenario, EvalSplit::Test, &eval_cfg).unwrap();
+//! assert!(x2y.metrics.mrr > 0.0 && y2x.metrics.mrr > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cdrib_baselines as baselines;
+pub use cdrib_core as core;
+pub use cdrib_data as data;
+pub use cdrib_eval as eval;
+pub use cdrib_graph as graph;
+pub use cdrib_tensor as tensor;
+
+/// The most commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use cdrib_baselines::{BaselineOpts, Method};
+    pub use cdrib_core::{train, CdribConfig, CdribModel, CdribVariant, TrainedCdrib};
+    pub use cdrib_data::{
+        build_preset, generate_scenario, with_overlap_ratio, CdrScenario, Direction, DomainId, Scale, ScenarioKind,
+        SplitConfig, SyntheticConfig,
+    };
+    pub use cdrib_eval::{
+        evaluate_both_directions, evaluate_cold_start, EmbeddingScorer, EvalConfig, EvalSplit, RankingMetrics,
+    };
+    pub use cdrib_graph::BipartiteGraph;
+    pub use cdrib_tensor::{Adam, Optimizer, ParamSet, Tape, Tensor};
+}

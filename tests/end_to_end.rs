@@ -1,0 +1,128 @@
+//! Cross-crate integration tests: full pipeline from synthetic data
+//! generation through CDRIB training to the paper's evaluation protocol.
+
+use cdrib::prelude::*;
+
+fn tiny_scenario(seed: u64) -> CdrScenario {
+    build_preset(ScenarioKind::GameVideo, Scale::Tiny, seed).unwrap()
+}
+
+#[test]
+fn full_pipeline_trains_and_evaluates() {
+    let scenario = tiny_scenario(101);
+    scenario.validate().unwrap();
+    let config = CdribConfig {
+        dim: 16,
+        layers: 1,
+        epochs: 10,
+        eval_every: 5,
+        ..CdribConfig::default()
+    };
+    let trained = train(&config, &scenario).unwrap();
+    assert!(trained.report.epochs_run == 10);
+    let eval_cfg = EvalConfig {
+        n_negatives: 40,
+        seed: 1,
+        max_cases: Some(100),
+    };
+    let (x2y, y2x) = evaluate_both_directions(&trained.scorer(), &scenario, EvalSplit::Test, &eval_cfg).unwrap();
+    assert!(x2y.metrics.is_normalized());
+    assert!(y2x.metrics.is_normalized());
+    assert!(x2y.n_cases() > 0 && y2x.n_cases() > 0);
+}
+
+#[test]
+fn cdrib_beats_an_untrained_model_on_validation() {
+    let scenario = tiny_scenario(102);
+    let config = CdribConfig {
+        dim: 32,
+        layers: 2,
+        epochs: 60,
+        eval_every: 15,
+        ..CdribConfig::default()
+    };
+    let eval_cfg = EvalConfig {
+        n_negatives: cdrib::core::validation_negatives(&scenario),
+        seed: 2,
+        max_cases: None,
+    };
+    // Untrained model = freshly initialised embeddings.
+    let untrained = CdribModel::new(&config, &scenario).unwrap().infer_embeddings().unwrap();
+    let (u1, u2) = evaluate_both_directions(&untrained.scorer(), &scenario, EvalSplit::Validation, &eval_cfg).unwrap();
+    let untrained_mrr = 0.5 * (u1.metrics.mrr + u2.metrics.mrr);
+
+    let trained = train(&config, &scenario).unwrap();
+    let (t1, t2) = evaluate_both_directions(&trained.scorer(), &scenario, EvalSplit::Validation, &eval_cfg).unwrap();
+    let trained_mrr = 0.5 * (t1.metrics.mrr + t2.metrics.mrr);
+    assert!(
+        trained_mrr > untrained_mrr,
+        "trained {trained_mrr} should beat untrained {untrained_mrr}"
+    );
+}
+
+#[test]
+fn ablation_variants_train_end_to_end() {
+    let scenario = tiny_scenario(103);
+    for variant in [
+        CdribVariant::Full,
+        CdribVariant::WithoutContrastive,
+        CdribVariant::WithoutInDomainAndContrastive,
+    ] {
+        let config = CdribConfig {
+            dim: 16,
+            layers: 1,
+            epochs: 8,
+            eval_every: 0,
+            variant,
+            ..CdribConfig::default()
+        };
+        let trained = train(&config, &scenario).unwrap();
+        let eval_cfg = EvalConfig {
+            n_negatives: 30,
+            seed: 3,
+            max_cases: Some(50),
+        };
+        let (x2y, _) = evaluate_both_directions(&trained.scorer(), &scenario, EvalSplit::Test, &eval_cfg).unwrap();
+        assert!(x2y.metrics.mrr > 0.0, "{:?}", variant);
+    }
+}
+
+#[test]
+fn overlap_ratio_manipulation_composes_with_training() {
+    let scenario = tiny_scenario(104);
+    let reduced = with_overlap_ratio(&scenario, 0.4, 7).unwrap();
+    assert!(reduced.n_train_overlap() < scenario.n_train_overlap());
+    let config = CdribConfig {
+        dim: 16,
+        layers: 1,
+        epochs: 6,
+        eval_every: 0,
+        ..CdribConfig::default()
+    };
+    let trained = train(&config, &reduced).unwrap();
+    let eval_cfg = EvalConfig {
+        n_negatives: 30,
+        seed: 4,
+        max_cases: Some(50),
+    };
+    let (x2y, y2x) = evaluate_both_directions(&trained.scorer(), &reduced, EvalSplit::Test, &eval_cfg).unwrap();
+    assert!(x2y.metrics.mrr > 0.0 && y2x.metrics.mrr > 0.0);
+}
+
+#[test]
+fn evaluation_is_deterministic_for_a_fixed_scorer() {
+    let scenario = tiny_scenario(105);
+    let config = CdribConfig::fast_test();
+    let model = CdribModel::new(&config, &scenario).unwrap();
+    let emb = model.infer_embeddings().unwrap();
+    let scorer = emb.scorer();
+    let eval_cfg = EvalConfig {
+        n_negatives: 50,
+        seed: 11,
+        max_cases: None,
+    };
+    let a = evaluate_cold_start(&scorer, &scenario, Direction::X_TO_Y, EvalSplit::Test, &eval_cfg).unwrap();
+    let b = evaluate_cold_start(&scorer, &scenario, Direction::X_TO_Y, EvalSplit::Test, &eval_cfg).unwrap();
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.cases.len(), b.cases.len());
+}

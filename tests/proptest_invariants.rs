@@ -1,0 +1,139 @@
+//! Property-based tests of the core invariants that every experiment relies
+//! on: tensor algebra identities, CSR/graph consistency, metric bounds and
+//! split correctness.
+
+use cdrib::data::{RawCdrData, RawDomain};
+use cdrib::eval::{hit_rate_at_k, ndcg_at_k, rank_of_positive, reciprocal_rank, RankingMetrics};
+use cdrib::graph::BipartiteGraph;
+use cdrib::prelude::*;
+use cdrib::tensor::CsrMatrix;
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |v| (r, c, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_transpose_identity((r, k, a_data) in small_matrix(), c in 1usize..5) {
+        // (A B)^T == B^T A^T
+        let a = Tensor::from_vec(r, k, a_data).unwrap();
+        let b = Tensor::from_vec(k, c, vec![0.5; k * c]).unwrap();
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn elementwise_ops_are_commutative_and_distributive((r, c, data) in small_matrix()) {
+        let a = Tensor::from_vec(r, c, data.clone()).unwrap();
+        let b = a.scale(0.3);
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+        prop_assert_eq!(a.mul(&b).unwrap(), b.mul(&a).unwrap());
+        // (a + b) * 2 == 2a + 2b
+        let lhs = a.add(&b).unwrap().scale(2.0);
+        let rhs = a.scale(2.0).add(&b.scale(2.0)).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip_matches_dense(edges in proptest::collection::vec((0usize..8, 0usize..8), 1..30)) {
+        let csr = CsrMatrix::from_edges(8, 8, &edges).unwrap();
+        let dense = csr.to_dense();
+        // nnz equals the number of distinct edges
+        let mut distinct = edges.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(csr.nnz(), distinct.len());
+        // transpose twice is identity, and spmm matches dense matmul
+        prop_assert_eq!(csr.transpose().transpose().to_dense(), dense.clone());
+        let x = Tensor::ones(8, 3);
+        let sparse_result = csr.spmm(&x).unwrap();
+        let dense_result = dense.matmul(&x).unwrap();
+        for (a, b) in sparse_result.as_slice().iter().zip(dense_result.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        // row-normalised rows sum to one (or zero for empty rows)
+        let norm = csr.row_normalized();
+        for r in 0..8 {
+            let s: f32 = norm.row_iter(r).map(|(_, v)| v).sum();
+            prop_assert!(s.abs() < 1e-5 || (s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn graph_degrees_sum_to_edge_count(edges in proptest::collection::vec((0usize..10, 0usize..12), 1..60)) {
+        let g = BipartiteGraph::new(10, 12, &edges).unwrap();
+        let user_sum: usize = (0..10).map(|u| g.user_degree(u)).sum();
+        let item_sum: usize = (0..12).map(|i| g.item_degree(i)).sum();
+        prop_assert_eq!(user_sum, g.n_edges());
+        prop_assert_eq!(item_sum, g.n_edges());
+        // two-hop neighbours never contain the user itself
+        for u in 0..10 {
+            prop_assert!(!g.two_hop_users(u).contains(&(u as u32)));
+        }
+    }
+
+    #[test]
+    fn ranking_metrics_are_bounded_and_monotone(rank in 1usize..2000) {
+        let m = RankingMetrics::from_rank(rank);
+        prop_assert!(m.is_normalized());
+        prop_assert!(reciprocal_rank(rank) <= 1.0);
+        prop_assert!(ndcg_at_k(rank, 10) <= 1.0);
+        prop_assert!(hit_rate_at_k(rank, 5) <= hit_rate_at_k(rank, 10));
+        prop_assert!(ndcg_at_k(rank, 5) <= ndcg_at_k(rank, 10) + 1e-12);
+    }
+
+    #[test]
+    fn rank_of_positive_is_consistent(pos in -5.0f32..5.0, negs in proptest::collection::vec(-5.0f32..5.0, 0..50)) {
+        let rank = rank_of_positive(pos, &negs);
+        prop_assert!(rank >= 1);
+        prop_assert!(rank <= negs.len() + 1);
+        let strictly_higher = negs.iter().filter(|&&s| s > pos).count();
+        prop_assert!(rank >= strictly_higher.min(negs.len()) + 1 - negs.iter().filter(|&&s| s == pos).count());
+    }
+
+    #[test]
+    fn cold_start_split_invariants(seed in 0u64..500) {
+        // Build a random raw dataset and check the split never leaks
+        // target-domain interactions of cold-start users into training.
+        let mut edges_x = Vec::new();
+        let mut edges_y = Vec::new();
+        for u in 0..30u32 {
+            for k in 0..6u32 {
+                edges_x.push((u, (u * 7 + k * 3) % 25));
+                edges_y.push((u, (u * 5 + k * 11) % 20));
+            }
+        }
+        let raw = RawCdrData {
+            x: RawDomain { name: "X".into(), n_users: 30, n_items: 25, edges: edges_x },
+            y: RawDomain { name: "Y".into(), n_users: 30, n_items: 20, edges: edges_y },
+            n_overlap: 30,
+        };
+        let scenario = CdrScenario::from_raw("prop", &raw, SplitConfig { seed, ..SplitConfig::default() }).unwrap();
+        prop_assert!(scenario.validate().is_ok());
+        // training overlap users and cold-start users are disjoint
+        let cold: std::collections::HashSet<u32> = scenario
+            .cold_x_to_y
+            .all_users()
+            .into_iter()
+            .chain(scenario.cold_y_to_x.all_users())
+            .collect();
+        for u in &scenario.train_overlap_users {
+            prop_assert!(!cold.contains(u));
+        }
+        // every evaluation case's item exists in the full graph
+        for case in scenario.cold_x_to_y.test.iter().chain(scenario.cold_x_to_y.validation.iter()) {
+            prop_assert!(scenario.y.full.has_edge(case.user as usize, case.item as usize));
+            prop_assert_eq!(scenario.y.train.user_degree(case.user as usize), 0);
+        }
+    }
+}
