@@ -85,7 +85,8 @@ impl MergedGraph {
         let y_items = scenario.y.n_items;
         let n_users = x_users + (y_users - n_overlap);
         let n_items = x_items + y_items;
-        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(scenario.x.train.n_edges() + scenario.y.train.n_edges());
+        let mut edges: Vec<(usize, usize)> =
+            Vec::with_capacity(scenario.x.train.n_edges() + scenario.y.train.n_edges());
         for &(u, i) in scenario.x.train.edges() {
             edges.push((u as usize, i as usize));
         }

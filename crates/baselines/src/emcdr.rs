@@ -125,7 +125,9 @@ fn train_mapping(
     label: &str,
 ) -> Result<Tensor> {
     if overlap.is_empty() {
-        return Err(DataError::EmptyDataset { stage: "emcdr overlap users" });
+        return Err(DataError::EmptyDataset {
+            stage: "emcdr overlap users",
+        });
     }
     let in_dim = source.users.cols();
     let out_dim = target.users.cols();
@@ -311,6 +313,9 @@ mod tests {
                 base += model.users.get(u, d).powi(2);
             }
         }
-        assert!(err < base * 0.3, "mapping should approximate identity: err {err} base {base}");
+        assert!(
+            err < base * 0.3,
+            "mapping should approximate identity: err {err} base {base}"
+        );
     }
 }

@@ -27,21 +27,43 @@ pub fn train_gcn(graph: &BipartiteGraph, opts: &BaselineOpts, layers: usize) -> 
     let mut rng = component_rng(opts.seed, "gcn-init");
     let mut params = ParamSet::new();
     let user_emb = params
-        .add("user_emb", cdrib_tensor::init::embedding_normal(&mut rng, graph.n_users(), opts.dim, 0.1))
+        .add(
+            "user_emb",
+            cdrib_tensor::init::embedding_normal(&mut rng, graph.n_users(), opts.dim, 0.1),
+        )
         .expect("fresh parameter set");
     let item_emb = params
-        .add("item_emb", cdrib_tensor::init::embedding_normal(&mut rng, graph.n_items(), opts.dim, 0.1))
+        .add(
+            "item_emb",
+            cdrib_tensor::init::embedding_normal(&mut rng, graph.n_items(), opts.dim, 0.1),
+        )
         .expect("fresh parameter set");
     let mut user_layers = Vec::with_capacity(layers);
     let mut item_layers = Vec::with_capacity(layers);
     for l in 0..layers {
         user_layers.push(
-            Linear::new(&mut params, &mut rng, &format!("u{l}"), opts.dim, opts.dim, false, Activation::Identity)
-                .expect("fresh parameter set"),
+            Linear::new(
+                &mut params,
+                &mut rng,
+                &format!("u{l}"),
+                opts.dim,
+                opts.dim,
+                false,
+                Activation::Identity,
+            )
+            .expect("fresh parameter set"),
         );
         item_layers.push(
-            Linear::new(&mut params, &mut rng, &format!("i{l}"), opts.dim, opts.dim, false, Activation::Identity)
-                .expect("fresh parameter set"),
+            Linear::new(
+                &mut params,
+                &mut rng,
+                &format!("i{l}"),
+                opts.dim,
+                opts.dim,
+                false,
+                Activation::Identity,
+            )
+            .expect("fresh parameter set"),
         );
     }
     let sym_a = graph.sym_adjacency();
@@ -130,7 +152,13 @@ mod tests {
         // concatenated output: dim * (layers + 1)
         assert_eq!(model.users.cols(), 8 * 3);
         let score = |u: usize, v: usize| -> f32 {
-            model.users.row(u).iter().zip(model.items.row(v).iter()).map(|(a, b)| a * b).sum()
+            model
+                .users
+                .row(u)
+                .iter()
+                .zip(model.items.row(v).iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let mut correct = 0;
         let mut total = 0;

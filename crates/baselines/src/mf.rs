@@ -165,7 +165,13 @@ mod tests {
                     .map(|(a, b)| (a - b) * (a - b))
                     .sum::<f32>()
             } else {
-                model.users.row(u).iter().zip(model.items.row(v).iter()).map(|(a, b)| a * b).sum()
+                model
+                    .users
+                    .row(u)
+                    .iter()
+                    .zip(model.items.row(v).iter())
+                    .map(|(a, b)| a * b)
+                    .sum()
             }
         };
         for u in 0..graph.n_users() {

@@ -57,17 +57,32 @@ pub fn train_conet(scenario: &CdrScenario, opts: &BaselineOpts) -> Result<Embedd
     let mut rng = component_rng(opts.seed, "conet-init");
     let mut params = ParamSet::new();
     let shared_users = params
-        .add("shared_users", init::embedding_normal(&mut rng, ctx.n_shared_users(), opts.dim, 0.1))
+        .add(
+            "shared_users",
+            init::embedding_normal(&mut rng, ctx.n_shared_users(), opts.dim, 0.1),
+        )
         .expect("fresh set");
     let x_items = params
-        .add("x_items", init::embedding_normal(&mut rng, scenario.x.n_items, opts.dim, 0.1))
+        .add(
+            "x_items",
+            init::embedding_normal(&mut rng, scenario.x.n_items, opts.dim, 0.1),
+        )
         .expect("fresh set");
     let y_items = params
-        .add("y_items", init::embedding_normal(&mut rng, scenario.y.n_items, opts.dim, 0.1))
+        .add(
+            "y_items",
+            init::embedding_normal(&mut rng, scenario.y.n_items, opts.dim, 0.1),
+        )
         .expect("fresh set");
-    let w_shared = params.add("w_shared", init::xavier_uniform(&mut rng, opts.dim, opts.dim)).expect("fresh set");
-    let w_x = params.add("w_x", init::xavier_uniform(&mut rng, opts.dim, opts.dim)).expect("fresh set");
-    let w_y = params.add("w_y", init::xavier_uniform(&mut rng, opts.dim, opts.dim)).expect("fresh set");
+    let w_shared = params
+        .add("w_shared", init::xavier_uniform(&mut rng, opts.dim, opts.dim))
+        .expect("fresh set");
+    let w_x = params
+        .add("w_x", init::xavier_uniform(&mut rng, opts.dim, opts.dim))
+        .expect("fresh set");
+    let w_y = params
+        .add("w_y", init::xavier_uniform(&mut rng, opts.dim, opts.dim))
+        .expect("fresh set");
 
     let mut opt = Adam::new(opts.learning_rate.min(0.02), 0.9, 0.999, 1e-8, opts.l2);
     let mut rng_train = component_rng(opts.seed, "conet-train");
@@ -85,7 +100,11 @@ pub fn train_conet(scenario: &CdrScenario, opts: &BaselineOpts) -> Result<Embedd
                 let wd = tape.param(&params, w_id);
                 let w = tape.add(ws, wd).map_err(to_data_err)?;
                 let transformed = tape.matmul(u_table, w).map_err(to_data_err)?;
-                let mut users: Vec<usize> = batch.users.iter().map(|&u| ctx.shared_user(domain, u as usize)).collect();
+                let mut users: Vec<usize> = batch
+                    .users
+                    .iter()
+                    .map(|&u| ctx.shared_user(domain, u as usize))
+                    .collect();
                 users.extend(batch.neg_users.iter().map(|&u| ctx.shared_user(domain, u as usize)));
                 let mut items: Vec<usize> = batch.pos_items.iter().map(|&i| i as usize).collect();
                 items.extend(batch.neg_items.iter().map(|&i| i as usize));
@@ -129,19 +148,34 @@ pub fn train_star(scenario: &CdrScenario, opts: &BaselineOpts) -> Result<Embeddi
     let mut rng = component_rng(opts.seed, "star-init");
     let mut params = ParamSet::new();
     let shared_users = params
-        .add("shared_users", init::embedding_normal(&mut rng, ctx.n_shared_users(), opts.dim, 0.1))
+        .add(
+            "shared_users",
+            init::embedding_normal(&mut rng, ctx.n_shared_users(), opts.dim, 0.1),
+        )
         .expect("fresh set");
     let x_users = params
-        .add("x_users", init::embedding_normal(&mut rng, scenario.x.n_users, opts.dim, 0.05))
+        .add(
+            "x_users",
+            init::embedding_normal(&mut rng, scenario.x.n_users, opts.dim, 0.05),
+        )
         .expect("fresh set");
     let y_users = params
-        .add("y_users", init::embedding_normal(&mut rng, scenario.y.n_users, opts.dim, 0.05))
+        .add(
+            "y_users",
+            init::embedding_normal(&mut rng, scenario.y.n_users, opts.dim, 0.05),
+        )
         .expect("fresh set");
     let x_items = params
-        .add("x_items", init::embedding_normal(&mut rng, scenario.x.n_items, opts.dim, 0.1))
+        .add(
+            "x_items",
+            init::embedding_normal(&mut rng, scenario.x.n_items, opts.dim, 0.1),
+        )
         .expect("fresh set");
     let y_items = params
-        .add("y_items", init::embedding_normal(&mut rng, scenario.y.n_items, opts.dim, 0.1))
+        .add(
+            "y_items",
+            init::embedding_normal(&mut rng, scenario.y.n_items, opts.dim, 0.1),
+        )
         .expect("fresh set");
 
     let mut opt = Adam::new(opts.learning_rate.min(0.02), 0.9, 0.999, 1e-8, opts.l2);
@@ -157,7 +191,11 @@ pub fn train_star(scenario: &CdrScenario, opts: &BaselineOpts) -> Result<Embeddi
                 let su = tape.param(&params, shared_users);
                 let du = tape.param(&params, users_id);
                 let iv = tape.param(&params, items_id);
-                let mut shared_idx: Vec<usize> = batch.users.iter().map(|&u| ctx.shared_user(domain, u as usize)).collect();
+                let mut shared_idx: Vec<usize> = batch
+                    .users
+                    .iter()
+                    .map(|&u| ctx.shared_user(domain, u as usize))
+                    .collect();
                 shared_idx.extend(batch.neg_users.iter().map(|&u| ctx.shared_user(domain, u as usize)));
                 let mut local_idx: Vec<usize> = batch.users.iter().map(|&u| u as usize).collect();
                 local_idx.extend(batch.neg_users.iter().map(|&u| u as usize));

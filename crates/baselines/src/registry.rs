@@ -133,11 +133,19 @@ impl Method {
 
     /// Parses a method from a CLI-style name.
     pub fn parse(s: &str) -> Option<Method> {
-        let key: String = s.to_ascii_lowercase().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
-        Method::ALL
-            .iter()
-            .copied()
-            .find(|m| m.name().to_ascii_lowercase().chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>() == key)
+        let key: String = s
+            .to_ascii_lowercase()
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect();
+        Method::ALL.iter().copied().find(|m| {
+            m.name()
+                .to_ascii_lowercase()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                == key
+        })
     }
 }
 
@@ -192,7 +200,9 @@ mod tests {
             max_cases: Some(30),
         };
         for m in Method::ALL {
-            let scorer = m.train(&s, &opts).unwrap_or_else(|e| panic!("{} failed: {e}", m.name()));
+            let scorer = m
+                .train(&s, &opts)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", m.name()));
             assert!(scorer.x_users.all_finite(), "{} produced NaNs", m.name());
             let (a, b) = evaluate_both_directions(&scorer, &s, EvalSplit::Test, &cfg).unwrap();
             assert!(a.metrics.mrr > 0.0, "{}", m.name());

@@ -27,19 +27,43 @@ pub fn train_vgae(graph: &BipartiteGraph, opts: &BaselineOpts, layers: usize) ->
     let mut rng = component_rng(opts.seed, "vgae-init");
     let mut params = ParamSet::new();
     let user_emb = params
-        .add("user_emb", cdrib_tensor::init::embedding_normal(&mut rng, graph.n_users(), opts.dim, 0.1))
+        .add(
+            "user_emb",
+            cdrib_tensor::init::embedding_normal(&mut rng, graph.n_users(), opts.dim, 0.1),
+        )
         .expect("fresh parameter set");
     let item_emb = params
-        .add("item_emb", cdrib_tensor::init::embedding_normal(&mut rng, graph.n_items(), opts.dim, 0.1))
+        .add(
+            "item_emb",
+            cdrib_tensor::init::embedding_normal(&mut rng, graph.n_items(), opts.dim, 0.1),
+        )
         .expect("fresh parameter set");
     let user_enc = VbgeEncoder::with_mean_activation(
-        &mut params, &mut rng, "user_vbge", opts.dim, layers, 0.1, MeanActivation::Identity,
+        &mut params,
+        &mut rng,
+        "user_vbge",
+        opts.dim,
+        layers,
+        0.1,
+        MeanActivation::Identity,
     )
-    .map_err(|e| DataError::InvalidConfig { field: "vgae", detail: e.to_string() })?;
+    .map_err(|e| DataError::InvalidConfig {
+        field: "vgae",
+        detail: e.to_string(),
+    })?;
     let item_enc = VbgeEncoder::with_mean_activation(
-        &mut params, &mut rng, "item_vbge", opts.dim, layers, 0.1, MeanActivation::Identity,
+        &mut params,
+        &mut rng,
+        "item_vbge",
+        opts.dim,
+        layers,
+        0.1,
+        MeanActivation::Identity,
     )
-    .map_err(|e| DataError::InvalidConfig { field: "vgae", detail: e.to_string() })?;
+    .map_err(|e| DataError::InvalidConfig {
+        field: "vgae",
+        detail: e.to_string(),
+    })?;
     let norm_a = graph.norm_adjacency();
     let norm_a_t = graph.norm_adjacency_transpose();
 
@@ -54,10 +78,30 @@ pub fn train_vgae(graph: &BipartiteGraph, opts: &BaselineOpts, layers: usize) ->
             let ue = tape.param(&params, user_emb);
             let ie = tape.param(&params, item_emb);
             let uo = user_enc
-                .forward(&mut tape, &params, ue, &norm_a_t, &norm_a, Some(ForwardNoise { dropout: 0.1, rng: &mut rng_train }))
+                .forward(
+                    &mut tape,
+                    &params,
+                    ue,
+                    &norm_a_t,
+                    &norm_a,
+                    Some(ForwardNoise {
+                        dropout: 0.1,
+                        rng: &mut rng_train,
+                    }),
+                )
                 .map_err(to_data_err)?;
             let io = item_enc
-                .forward(&mut tape, &params, ie, &norm_a, &norm_a_t, Some(ForwardNoise { dropout: 0.1, rng: &mut rng_train }))
+                .forward(
+                    &mut tape,
+                    &params,
+                    ie,
+                    &norm_a,
+                    &norm_a_t,
+                    Some(ForwardNoise {
+                        dropout: 0.1,
+                        rng: &mut rng_train,
+                    }),
+                )
                 .map_err(to_data_err)?;
             let mut users: Vec<usize> = batch.users.iter().map(|&u| u as usize).collect();
             users.extend(batch.neg_users.iter().map(|&u| u as usize));
@@ -109,7 +153,7 @@ mod tests {
         let g = BipartiteGraph::new(6, 6, &edges).unwrap();
         let opts = BaselineOpts {
             dim: 8,
-            epochs: 60,
+            epochs: 120,
             learning_rate: 0.02,
             ..BaselineOpts::default()
         };
@@ -117,7 +161,13 @@ mod tests {
         assert_eq!(model.users.shape(), (6, 8));
         assert!(model.users.all_finite());
         let score = |u: usize, v: usize| -> f32 {
-            model.users.row(u).iter().zip(model.items.row(v).iter()).map(|(a, b)| a * b).sum()
+            model
+                .users
+                .row(u)
+                .iter()
+                .zip(model.items.row(v).iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         // within-block scores should beat cross-block scores on average
         let mut within = 0.0;

@@ -36,6 +36,52 @@ fn bench_dense_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial-reference vs dispatched kernel pairs at the acceptance shapes
+/// (`rows x 256 * 256 x 256`). The dispatched path adds runtime SIMD
+/// selection and, above the work threshold on multi-core machines, row
+/// chunking across threads; the pair makes the resulting speedup visible in
+/// the bench trajectory. The active ISA and thread count are printed so a
+/// bench log is interpretable on its own.
+fn bench_matmul_serial_vs_parallel(c: &mut Criterion) {
+    println!(
+        "kernel dispatch: isa={}, threads={}",
+        cdrib_tensor::kernels::active_isa(),
+        cdrib_tensor::kernels::parallelism()
+    );
+    let mut rng = component_rng(5, "bench-matmul-pair");
+    let k = 256usize;
+    let n = 256usize;
+    let b_mat = cdrib_tensor::rng::normal_tensor(&mut rng, k, n, 0.1);
+    let mut group = c.benchmark_group("matmul_serial_vs_parallel");
+    for rows in [256usize, 1024, 4096] {
+        let a = cdrib_tensor::rng::normal_tensor(&mut rng, rows, k, 0.1);
+        group.bench_with_input(BenchmarkId::new("serial", rows), &rows, |bench, _| {
+            bench.iter(|| black_box(a.matmul_serial(black_box(&b_mat)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", rows), &rows, |bench, _| {
+            bench.iter(|| black_box(a.matmul(black_box(&b_mat)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Serial vs dispatched spmm on the synthetic scenario graph's normalised
+/// adjacency — the exact operand shape of a VBGE propagation step.
+fn bench_spmm_serial_vs_parallel(c: &mut Criterion) {
+    let scenario = build_preset(ScenarioKind::MusicMovie, Scale::Tiny, 1).unwrap();
+    let adj = scenario.x.train.norm_adjacency();
+    let mut rng = component_rng(6, "bench-spmm-pair");
+    let dense = cdrib_tensor::rng::normal_tensor(&mut rng, adj.cols(), 128, 0.1);
+    let mut group = c.benchmark_group("spmm_serial_vs_parallel");
+    group.bench_function(BenchmarkId::new("serial", "scenario"), |b| {
+        b.iter(|| black_box(adj.spmm_serial(black_box(&dense)).unwrap()))
+    });
+    group.bench_function(BenchmarkId::new("parallel", "scenario"), |b| {
+        b.iter(|| black_box(adj.spmm(black_box(&dense)).unwrap()))
+    });
+    group.finish();
+}
+
 fn bench_vbge_forward(c: &mut Criterion) {
     let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 2).unwrap();
     let norm_a = scenario.x.train.norm_adjacency();
@@ -44,10 +90,9 @@ fn bench_vbge_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("vbge_forward");
     for layers in [1usize, 2, 3] {
         let mut params = ParamSet::new();
-        let enc = VbgeEncoder::with_mean_activation(
-            &mut params, &mut rng, "u", 64, layers, 0.1, MeanActivation::Identity,
-        )
-        .unwrap();
+        let enc =
+            VbgeEncoder::with_mean_activation(&mut params, &mut rng, "u", 64, layers, 0.1, MeanActivation::Identity)
+                .unwrap();
         let emb = cdrib_tensor::rng::normal_tensor(&mut rng, scenario.x.n_users, 64, 0.1);
         group.bench_with_input(BenchmarkId::new("layers", layers), &layers, |b, _| {
             b.iter(|| {
@@ -90,6 +135,7 @@ fn bench_ranking(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sparse_dense, bench_dense_matmul, bench_vbge_forward, bench_negative_sampling, bench_ranking
+    targets = bench_sparse_dense, bench_dense_matmul, bench_matmul_serial_vs_parallel,
+        bench_spmm_serial_vs_parallel, bench_vbge_forward, bench_negative_sampling, bench_ranking
 }
 criterion_main!(kernels);

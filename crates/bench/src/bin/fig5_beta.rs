@@ -17,8 +17,14 @@ fn main() {
     let scenario = settings.scenario(kind, seed);
     let (x_name, y_name) = kind.domain_names();
 
-    println!("Figure 5 — effect of the Lagrangian multiplier beta on {} (scale {:?})", kind.name(), settings.scale);
-    println!("Paper reference: the best beta depends on the interaction scale; denser scenarios prefer smaller beta.\n");
+    println!(
+        "Figure 5 — effect of the Lagrangian multiplier beta on {} (scale {:?})",
+        kind.name(),
+        settings.scale
+    );
+    println!(
+        "Paper reference: the best beta depends on the interaction scale; denser scenarios prefer smaller beta.\n"
+    );
 
     let mut table = TextTable::new(vec![
         "beta",

@@ -17,7 +17,11 @@ fn main() {
     let scenario = settings.scenario(kind, seed);
     let (x_name, y_name) = kind.domain_names();
 
-    println!("Figure 6 — impact of the VBGE layer count on {} (scale {:?})", kind.name(), settings.scale);
+    println!(
+        "Figure 6 — impact of the VBGE layer count on {} (scale {:?})",
+        kind.name(),
+        settings.scale
+    );
     println!("Paper reference: neighbourhood aggregation helps; 4 layers often drops below 3 due to over-smoothing.\n");
 
     let mut table = TextTable::new(vec![

@@ -12,7 +12,16 @@ fn main() {
     let seed: u64 = args.get_or("seed", 2022);
 
     let mut table = TextTable::new(vec![
-        "Scenario", "Domain", "|U|", "|V|", "Training", "#Overlap", "Validation", "Test", "#Cold-start", "Density",
+        "Scenario",
+        "Domain",
+        "|U|",
+        "|V|",
+        "Training",
+        "#Overlap",
+        "Validation",
+        "Test",
+        "#Cold-start",
+        "Density",
     ]);
     println!("Table II — statistics of the synthetic CDR scenarios (scale {scale:?}, seed {seed})");
     println!("(Paper reference: Music-Movie is the largest pair, Game-Video the smallest and densest.)\n");
@@ -26,7 +35,11 @@ fn main() {
                 dom.n_users.to_string(),
                 dom.n_items.to_string(),
                 dom.n_train.to_string(),
-                if overlap > 0 { overlap.to_string() } else { String::new() },
+                if overlap > 0 {
+                    overlap.to_string()
+                } else {
+                    String::new()
+                },
                 dom.n_validation.to_string(),
                 dom.n_test.to_string(),
                 dom.n_cold_start_users.to_string(),

@@ -28,10 +28,7 @@ fn main() {
     let mut rows: Vec<MethodResult> = Vec::new();
     let aggregate = |name: &str, per_seed: Vec<MethodResult>| -> MethodResult {
         let mrr_x: Vec<f64> = per_seed.iter().map(|r| r.x_to_y.mrr).collect();
-        println!(
-            "  {name}: X->Y MRR over seeds = {}",
-            MeanStd::of(&mrr_x).format(4)
-        );
+        println!("  {name}: X->Y MRR over seeds = {}", MeanStd::of(&mrr_x).format(4));
         // average all metrics over seeds
         let n = per_seed.len() as f64;
         let mut acc = per_seed[0].clone();
@@ -80,7 +77,11 @@ fn main() {
             "CDRIB vs best baseline (best-direction MRR): {:.4} vs {:.4} ({})",
             cdrib_best,
             best_baseline,
-            if cdrib_best > best_baseline { "CDRIB wins, as in the paper" } else { "baseline wins on this run" }
+            if cdrib_best > best_baseline {
+                "CDRIB wins, as in the paper"
+            } else {
+                "baseline wins on this run"
+            }
         );
     }
 }

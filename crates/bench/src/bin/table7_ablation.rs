@@ -25,7 +25,14 @@ fn main() {
 
     println!("Table VII — ablation study (scale {:?})", settings.scale);
     println!("Paper reference: full CDRIB > w/o Con > w/o In-IB&Con on every scenario and metric.\n");
-    let mut table = TextTable::new(vec!["Scenario", "Direction", "Metric", "w/o In-IB&Con", "w/o Con", "CDRIB"]);
+    let mut table = TextTable::new(vec![
+        "Scenario",
+        "Direction",
+        "Metric",
+        "w/o In-IB&Con",
+        "w/o Con",
+        "CDRIB",
+    ]);
     for kind in kinds {
         let seed = settings.seeds[0];
         let scenario = settings.scenario(kind, seed);
@@ -35,11 +42,7 @@ fn main() {
             per_variant.push(row);
         }
         let (x_name, y_name) = kind.domain_names();
-        for (label, extract) in [
-            ("MRR", 0usize),
-            ("NDCG@10", 1),
-            ("HR@10", 2),
-        ] {
+        for (label, extract) in [("MRR", 0usize), ("NDCG@10", 1), ("HR@10", 2)] {
             let pick = |m: &cdrib_eval::RankingMetrics| match extract {
                 0 => m.mrr,
                 1 => m.ndcg10,

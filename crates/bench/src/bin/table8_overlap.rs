@@ -18,8 +18,14 @@ fn main() {
     let scenario = settings.scenario(kind, seed);
     let (x_name, y_name) = kind.domain_names();
 
-    println!("Table VIII — overlap-ratio robustness on {} (scale {:?})", kind.name(), settings.scale);
-    println!("Paper reference: performance improves monotonically with the ratio and CDRIB beats SA-VAE at every ratio.\n");
+    println!(
+        "Table VIII — overlap-ratio robustness on {} (scale {:?})",
+        kind.name(),
+        settings.scale
+    );
+    println!(
+        "Paper reference: performance improves monotonically with the ratio and CDRIB beats SA-VAE at every ratio.\n"
+    );
 
     let mut table = TextTable::new(vec![
         "Ratio",

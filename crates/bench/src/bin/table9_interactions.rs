@@ -20,7 +20,10 @@ fn main() {
 
     println!(
         "Table IX — performance by source-domain interaction count, {} -> {} direction ({}, scale {:?})",
-        x_name, y_name, kind.name(), settings.scale
+        x_name,
+        y_name,
+        kind.name(),
+        settings.scale
     );
     println!("Paper reference: more source interactions generally help, with fluctuations in sparse buckets;");
     println!("CDRIB beats SA-VAE in every bucket.\n");
@@ -44,7 +47,14 @@ fn main() {
     let savae_groups = group_by_source_interactions(&scenario, Direction::X_TO_Y, &savae_out);
 
     let mut table = TextTable::new(vec![
-        "#Inter", "#cases", "CDRIB MRR", "CDRIB NDCG@10", "CDRIB HR@10", "SA-VAE MRR", "SA-VAE NDCG@10", "SA-VAE HR@10",
+        "#Inter",
+        "#cases",
+        "CDRIB MRR",
+        "CDRIB NDCG@10",
+        "CDRIB HR@10",
+        "SA-VAE MRR",
+        "SA-VAE NDCG@10",
+        "SA-VAE HR@10",
     ]);
     for (c, s) in cdrib_groups.iter().zip(savae_groups.iter()) {
         let fmt = |m: &Option<cdrib_eval::RankingMetrics>, f: fn(&cdrib_eval::RankingMetrics) -> f64| {

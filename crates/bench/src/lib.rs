@@ -11,9 +11,7 @@
 use cdrib_baselines::{BaselineOpts, Method};
 use cdrib_core::{train, CdribConfig, CdribVariant};
 use cdrib_data::{build_preset, CdrScenario, Scale, ScenarioKind};
-use cdrib_eval::{
-    evaluate_both_directions, EvalConfig, EvalOutcome, EvalSplit, RankingMetrics, TextTable,
-};
+use cdrib_eval::{evaluate_both_directions, EvalConfig, EvalOutcome, EvalSplit, RankingMetrics, TextTable};
 
 /// A very small `--key value` command-line parser (no external crates).
 #[derive(Debug, Clone, Default)]
@@ -154,19 +152,19 @@ pub struct MethodResult {
 }
 
 /// Trains and evaluates one baseline method.
-pub fn run_baseline(
-    method: Method,
-    scenario: &CdrScenario,
-    settings: &ExperimentSettings,
-    seed: u64,
-) -> MethodResult {
+pub fn run_baseline(method: Method, scenario: &CdrScenario, settings: &ExperimentSettings, seed: u64) -> MethodResult {
     let start = std::time::Instant::now();
     let scorer = method
         .train(scenario, &settings.baseline_opts(seed))
         .expect("baseline training failed");
     let train_seconds = start.elapsed().as_secs_f64();
-    let (x2y, y2x) = evaluate_both_directions(&scorer, scenario, EvalSplit::Test, &settings.eval_config(scenario, seed))
-        .expect("evaluation failed");
+    let (x2y, y2x) = evaluate_both_directions(
+        &scorer,
+        scenario,
+        EvalSplit::Test,
+        &settings.eval_config(scenario, seed),
+    )
+    .expect("evaluation failed");
     MethodResult {
         name: method.name().to_string(),
         x_to_y: x2y.metrics,
@@ -188,9 +186,13 @@ pub fn run_cdrib_detailed(
     let trained = train(&config, scenario).expect("CDRIB training failed");
     let train_seconds = start.elapsed().as_secs_f64();
     let scorer = trained.scorer();
-    let (x2y, y2x) =
-        evaluate_both_directions(&scorer, scenario, EvalSplit::Test, &settings.eval_config(scenario, seed))
-            .expect("evaluation failed");
+    let (x2y, y2x) = evaluate_both_directions(
+        &scorer,
+        scenario,
+        EvalSplit::Test,
+        &settings.eval_config(scenario, seed),
+    )
+    .expect("evaluation failed");
     (
         MethodResult {
             name: variant.label().to_string(),
@@ -241,10 +243,7 @@ pub fn parse_methods(spec: Option<&str>) -> Vec<Method> {
     match spec.unwrap_or("all") {
         "all" => Method::ALL.to_vec(),
         "quick" => Method::QUICK.to_vec(),
-        other => other
-            .split(',')
-            .filter_map(|name| Method::parse(name.trim()))
-            .collect(),
+        other => other.split(',').filter_map(|name| Method::parse(name.trim())).collect(),
     }
 }
 

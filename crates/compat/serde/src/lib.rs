@@ -1,0 +1,24 @@
+//! In-tree stand-in for [serde](https://serde.rs) so the workspace builds
+//! offline.
+//!
+//! The repository uses `#[derive(Serialize, Deserialize)]` to mark the types
+//! that form the persistence boundary (tensors, scenarios, reports, …), but
+//! nothing in-tree serializes through serde yet — there is no `serde_json`
+//! and no format crate. Until a PR actually needs wire/disk formats, the
+//! traits below are empty markers and the derives emit empty impls, keeping
+//! every annotation site source-compatible with the real crate. Swapping the
+//! real serde back in is a two-line Cargo.toml change.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,57 @@
+//! Derive macros for the in-tree `serde` stand-in.
+//!
+//! The workspace builds offline, so the real `serde_derive` (and its `syn` /
+//! `quote` dependency tree) is unavailable. The stand-in traits carry no
+//! methods, which means the derives only need to find the name of the item
+//! they are attached to and emit empty trait impls — no full Rust parser
+//! required.
+//!
+//! Supported input shape: non-generic `struct` / `enum` items, optionally
+//! preceded by attributes, doc comments and a visibility modifier. That is
+//! every `#[derive(Serialize, Deserialize)]` site in this workspace; a
+//! generic item produces a compile error pointing here.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier following the `struct` / `enum` keyword.
+fn item_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "the in-tree serde_derive stand-in does not support \
+                                     generic items (deriving on `{name}`)"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected an identifier after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde derive applied to an item that is neither a struct nor an enum");
+}
+
+/// Derives the no-op [`serde::Serialize`] marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+/// Derives the no-op [`serde::Deserialize`] marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

@@ -198,7 +198,10 @@ impl CdribConfig {
 
     /// Returns a copy with a different variant (used by the ablation study).
     pub fn with_variant(&self, variant: CdribVariant) -> Self {
-        CdribConfig { variant, ..self.clone() }
+        CdribConfig {
+            variant,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with both betas set to the same value (Fig. 5 sweep).
@@ -230,15 +233,60 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let base = CdribConfig::default();
         assert!(CdribConfig { dim: 0, ..base.clone() }.validate().is_err());
-        assert!(CdribConfig { layers: 0, ..base.clone() }.validate().is_err());
-        assert!(CdribConfig { layers: 9, ..base.clone() }.validate().is_err());
-        assert!(CdribConfig { beta1: -1.0, ..base.clone() }.validate().is_err());
-        assert!(CdribConfig { dropout: 1.0, ..base.clone() }.validate().is_err());
-        assert!(CdribConfig { learning_rate: 0.0, ..base.clone() }.validate().is_err());
-        assert!(CdribConfig { epochs: 0, ..base.clone() }.validate().is_err());
-        assert!(CdribConfig { batches_per_epoch: 0, ..base.clone() }.validate().is_err());
-        assert!(CdribConfig { neg_ratio: 0, ..base.clone() }.validate().is_err());
-        assert!(CdribConfig { contrastive_batch: 0, ..base }.validate().is_err());
+        assert!(CdribConfig {
+            layers: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CdribConfig {
+            layers: 9,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CdribConfig {
+            beta1: -1.0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CdribConfig {
+            dropout: 1.0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CdribConfig {
+            learning_rate: 0.0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CdribConfig {
+            epochs: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CdribConfig {
+            batches_per_epoch: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CdribConfig {
+            neg_ratio: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CdribConfig {
+            contrastive_batch: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

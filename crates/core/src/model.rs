@@ -120,9 +120,9 @@ impl CdribModel {
         let mut params = ParamSet::new();
 
         let build_domain = |params: &mut ParamSet,
-                                rng: &mut StdRng,
-                                prefix: &str,
-                                dom: &cdrib_data::DomainData|
+                            rng: &mut StdRng,
+                            prefix: &str,
+                            dom: &cdrib_data::DomainData|
          -> Result<DomainState> {
             let user_emb = params.add(
                 format!("{prefix}.user_emb"),
@@ -252,7 +252,7 @@ impl CdribModel {
             item_emb,
             &dom.norm_a,
             &dom.norm_a_t,
-            noise_rng.as_deref_mut().map(|rng| ForwardNoise {
+            noise_rng.map(|rng| ForwardNoise {
                 dropout: self.config.dropout,
                 rng,
             }),
@@ -433,11 +433,9 @@ impl CdribModel {
         let minimality = self.minimality_terms(tape, &enc_x, &enc_y, &mut losses)?;
         // Reconstruction of domain X interactions: overlap users are encoded
         // by domain Y (cross term of L_{o2X}), the rest by domain X itself.
-        let (cross_x, in_x) =
-            self.reconstruction_terms(tape, x_batch, &enc_x, &enc_y, &enc_x, &mut losses)?;
+        let (cross_x, in_x) = self.reconstruction_terms(tape, x_batch, &enc_x, &enc_y, &enc_x, &mut losses)?;
         // Reconstruction of domain Y interactions (L_{o2Y} and L_{y2Y}).
-        let (cross_y, in_y) =
-            self.reconstruction_terms(tape, y_batch, &enc_y, &enc_x, &enc_y, &mut losses)?;
+        let (cross_y, in_y) = self.reconstruction_terms(tape, y_batch, &enc_y, &enc_x, &enc_y, &mut losses)?;
         let contrastive = self.contrastive_term(tape, &enc_x, &enc_y, rng, &mut losses)?;
 
         let mut total = losses[0];
@@ -468,11 +466,7 @@ impl CdribModel {
 
     /// Samples one epoch of edge batches for both domains. The two domains
     /// have different interaction counts, so the shorter one is cycled.
-    pub fn make_batches(
-        &self,
-        scenario: &CdrScenario,
-        rng: &mut StdRng,
-    ) -> Result<Vec<(EdgeBatch, EdgeBatch)>> {
+    pub fn make_batches(&self, scenario: &CdrScenario, rng: &mut StdRng) -> Result<Vec<(EdgeBatch, EdgeBatch)>> {
         let n_batches = self.config.batches_per_epoch;
         let x_batches = make_domain_batches(&scenario.x.train, n_batches, self.config.neg_ratio, rng)?;
         let y_batches = make_domain_batches(&scenario.y.train, n_batches, self.config.neg_ratio, rng)?;

@@ -63,11 +63,7 @@ pub fn train(config: &CdribConfig, scenario: &CdrScenario) -> Result<TrainedCdri
 
 /// Trains an already constructed model (used by the overlap-ratio study that
 /// manipulates the model's bridge-user list before training).
-pub fn train_model(
-    model: &mut CdribModel,
-    config: &CdribConfig,
-    scenario: &CdrScenario,
-) -> Result<TrainedCdrib> {
+pub fn train_model(model: &mut CdribModel, config: &CdribConfig, scenario: &CdrScenario) -> Result<TrainedCdrib> {
     config.validate()?;
     let mut opt = Adam::new(config.learning_rate, 0.9, 0.999, 1e-8, config.l2_weight);
     let mut rng = component_rng(config.seed, "cdrib-train");
@@ -116,16 +112,14 @@ pub fn train_model(
         }
 
         let mut validation_mrr = None;
-        let should_eval = config.eval_every > 0
-            && ((epoch + 1) % config.eval_every == 0 || epoch + 1 == config.epochs);
+        let should_eval = config.eval_every > 0 && ((epoch + 1) % config.eval_every == 0 || epoch + 1 == config.epochs);
         if should_eval {
             let embeddings = model.infer_embeddings()?;
             let scorer = embeddings.scorer();
-            let (x2y, y2x) =
-                evaluate_both_directions(&scorer, scenario, EvalSplit::Validation, &val_config)?;
+            let (x2y, y2x) = evaluate_both_directions(&scorer, scenario, EvalSplit::Validation, &val_config)?;
             let mrr = 0.5 * (x2y.metrics.mrr + y2x.metrics.mrr);
             validation_mrr = Some(mrr);
-            if best_mrr.map_or(true, |b| mrr > b) {
+            if best_mrr.is_none_or(|b| mrr > b) {
                 best_mrr = Some(mrr);
                 best_embeddings = embeddings;
                 evals_without_improvement = 0;

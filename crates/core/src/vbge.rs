@@ -255,12 +255,8 @@ mod tests {
 
     fn toy_graph() -> (Arc<CsrMatrix>, Arc<CsrMatrix>) {
         // 5 users x 4 items
-        let adj = CsrMatrix::from_edges(
-            5,
-            4,
-            &[(0, 0), (0, 1), (1, 1), (2, 2), (2, 3), (3, 0), (3, 3), (4, 2)],
-        )
-        .unwrap();
+        let adj =
+            CsrMatrix::from_edges(5, 4, &[(0, 0), (0, 1), (1, 1), (2, 2), (2, 3), (3, 0), (3, 3), (4, 2)]).unwrap();
         let norm_a = Arc::new(adj.row_normalized());
         let norm_at = Arc::new(adj.transpose().row_normalized());
         (norm_a, norm_at)
@@ -358,10 +354,30 @@ mod tests {
             let ue = tape.param(&params, user_emb);
             let ie = tape.param(&params, item_emb);
             let uo = user_enc
-                .forward(&mut tape, &params, ue, &norm_at, &norm_a, Some(ForwardNoise { dropout: 0.0, rng: &mut noise_rng }))
+                .forward(
+                    &mut tape,
+                    &params,
+                    ue,
+                    &norm_at,
+                    &norm_a,
+                    Some(ForwardNoise {
+                        dropout: 0.0,
+                        rng: &mut noise_rng,
+                    }),
+                )
                 .unwrap();
             let io = item_enc
-                .forward(&mut tape, &params, ie, &norm_a, &norm_at, Some(ForwardNoise { dropout: 0.0, rng: &mut noise_rng }))
+                .forward(
+                    &mut tape,
+                    &params,
+                    ie,
+                    &norm_a,
+                    &norm_at,
+                    Some(ForwardNoise {
+                        dropout: 0.0,
+                        rng: &mut noise_rng,
+                    }),
+                )
                 .unwrap();
             let zu = tape.gather_rows(uo.z, &users).unwrap();
             let zi = tape.gather_rows(io.z, &items).unwrap();
@@ -379,9 +395,8 @@ mod tests {
         // Score with the deterministic means.
         let u_mu = encode_mean(&user_enc, &params, params.value(user_emb), &norm_at, &norm_a).unwrap();
         let i_mu = encode_mean(&item_enc, &params, params.value(item_emb), &norm_a, &norm_at).unwrap();
-        let score = |u: usize, v: usize| -> f32 {
-            u_mu.row(u).iter().zip(i_mu.row(v).iter()).map(|(a, b)| a * b).sum()
-        };
+        let score =
+            |u: usize, v: usize| -> f32 { u_mu.row(u).iter().zip(i_mu.row(v).iter()).map(|(a, b)| a * b).sum() };
         let pos_mean: f32 = edges.iter().map(|&(u, v)| score(u, v)).sum::<f32>() / edges.len() as f32;
         let neg_mean: f32 = non_edges.iter().map(|&(u, v)| score(u, v)).sum::<f32>() / non_edges.len() as f32;
         assert!(

@@ -34,7 +34,9 @@ impl NegativeSampler {
     /// Samples one item the user has not interacted with in `graph`.
     pub fn sample_one(&self, graph: &BipartiteGraph, user: usize, rng: &mut StdRng) -> Result<u32> {
         if self.n_items == 0 {
-            return Err(DataError::EmptyDataset { stage: "negative sampling" });
+            return Err(DataError::EmptyDataset {
+                stage: "negative sampling",
+            });
         }
         if graph.user_degree(user) >= self.n_items {
             return Err(DataError::EmptyDataset {

@@ -87,7 +87,9 @@ mod tests {
         }
         .to_string()
         .contains("n_overlap"));
-        assert!(DataError::EmptyDataset { stage: "filter" }.to_string().contains("filter"));
+        assert!(DataError::EmptyDataset { stage: "filter" }
+            .to_string()
+            .contains("filter"));
         assert!(DataError::IndexOutOfRange {
             entity: "user",
             index: 5,

@@ -57,7 +57,11 @@ impl ScenarioKind {
     /// Parses a scenario from a CLI-style string (case-insensitive, accepts
     /// "music-movie", "MusicMovie", "music_movie", ...).
     pub fn parse(s: &str) -> Result<ScenarioKind> {
-        let key: String = s.to_ascii_lowercase().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+        let key: String = s
+            .to_ascii_lowercase()
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect();
         match key.as_str() {
             "musicmovie" => Ok(ScenarioKind::MusicMovie),
             "phoneelec" => Ok(ScenarioKind::PhoneElec),

@@ -217,7 +217,9 @@ impl RawCdrData {
         };
         out.validate()?;
         if out.n_overlap == 0 {
-            return Err(DataError::EmptyDataset { stage: "filter (overlap users)" });
+            return Err(DataError::EmptyDataset {
+                stage: "filter (overlap users)",
+            });
         }
         Ok(out)
     }
@@ -235,17 +237,7 @@ mod tests {
                 name: "X".into(),
                 n_users: 4,
                 n_items: 4,
-                edges: vec![
-                    (0, 0),
-                    (0, 1),
-                    (1, 0),
-                    (1, 2),
-                    (2, 0),
-                    (2, 1),
-                    (3, 1),
-                    (3, 0),
-                    (3, 2),
-                ],
+                edges: vec![(0, 0), (0, 1), (1, 0), (1, 2), (2, 0), (2, 1), (3, 1), (3, 0), (3, 2)],
             },
             y: RawDomain {
                 name: "Y".into(),
@@ -347,9 +339,6 @@ mod tests {
     #[test]
     fn filter_that_wipes_everything_errors() {
         let d = toy();
-        assert!(matches!(
-            d.filtered(100, 100),
-            Err(DataError::EmptyDataset { .. })
-        ));
+        assert!(matches!(d.filtered(100, 100), Err(DataError::EmptyDataset { .. })));
     }
 }

@@ -204,11 +204,7 @@ impl CdrScenario {
         let cold_to_x: Vec<u32> = cold[half..].to_vec();
 
         let build_domain = |raw_dom: &crate::raw::RawDomain, hidden_users: &[u32]| -> Result<DomainData> {
-            let edges_all: Vec<(usize, usize)> = raw_dom
-                .edges
-                .iter()
-                .map(|&(u, i)| (u as usize, i as usize))
-                .collect();
+            let edges_all: Vec<(usize, usize)> = raw_dom.edges.iter().map(|&(u, i)| (u as usize, i as usize)).collect();
             let full = BipartiteGraph::new(raw_dom.n_users, raw_dom.n_items, &edges_all)?;
             let hidden: std::collections::HashSet<u32> = hidden_users.iter().copied().collect();
             let train = full.filter_users(|u| !hidden.contains(&(u as u32)));
@@ -224,30 +220,31 @@ impl CdrScenario {
         let x = build_domain(&raw.x, &cold_to_x)?;
         let y = build_domain(&raw.y, &cold_to_y)?;
 
-        let make_cold_set = |users: &[u32], direction: Direction, target: &DomainData, seed_label: &str| -> ColdStartSet {
-            let mut users: Vec<u32> = users.to_vec();
-            let mut rng = component_rng(split.seed, seed_label);
-            shuffle_in_place(&mut rng, &mut users);
-            let n_test = ((users.len() as f64) * split.test_fraction).round() as usize;
-            let test_users: Vec<u32> = users[..n_test].to_vec();
-            let validation_users: Vec<u32> = users[n_test..].to_vec();
-            let collect_cases = |us: &[u32]| -> Vec<EvalCase> {
-                let mut cases = Vec::new();
-                for &u in us {
-                    for &item in target.full.items_of(u as usize) {
-                        cases.push(EvalCase { user: u, item });
+        let make_cold_set =
+            |users: &[u32], direction: Direction, target: &DomainData, seed_label: &str| -> ColdStartSet {
+                let mut users: Vec<u32> = users.to_vec();
+                let mut rng = component_rng(split.seed, seed_label);
+                shuffle_in_place(&mut rng, &mut users);
+                let n_test = ((users.len() as f64) * split.test_fraction).round() as usize;
+                let test_users: Vec<u32> = users[..n_test].to_vec();
+                let validation_users: Vec<u32> = users[n_test..].to_vec();
+                let collect_cases = |us: &[u32]| -> Vec<EvalCase> {
+                    let mut cases = Vec::new();
+                    for &u in us {
+                        for &item in target.full.items_of(u as usize) {
+                            cases.push(EvalCase { user: u, item });
+                        }
                     }
+                    cases
+                };
+                ColdStartSet {
+                    direction,
+                    validation: collect_cases(&validation_users),
+                    test: collect_cases(&test_users),
+                    validation_users,
+                    test_users,
                 }
-                cases
             };
-            ColdStartSet {
-                direction,
-                validation: collect_cases(&validation_users),
-                test: collect_cases(&test_users),
-                validation_users,
-                test_users,
-            }
-        };
 
         let cold_x_to_y = make_cold_set(&cold_to_y, Direction::X_TO_Y, &y, "cold-split-x2y");
         let cold_y_to_x = make_cold_set(&cold_to_x, Direction::Y_TO_X, &x, "cold-split-y2x");
@@ -315,10 +312,7 @@ impl CdrScenario {
                 if target.train.user_degree(case.user as usize) != 0 {
                     return Err(DataError::InvalidConfig {
                         field: "cold_start",
-                        detail: format!(
-                            "user {} has training interactions in its target domain",
-                            case.user
-                        ),
+                        detail: format!("user {} has training interactions in its target domain", case.user),
                     });
                 }
             }
@@ -371,7 +365,11 @@ pub struct DomainStats {
 impl DomainStats {
     fn from_scenario(s: &CdrScenario, id: DomainId) -> DomainStats {
         let dom = s.domain(id);
-        let cold = if id == DomainId::Y { &s.cold_x_to_y } else { &s.cold_y_to_x };
+        let cold = if id == DomainId::Y {
+            &s.cold_x_to_y
+        } else {
+            &s.cold_y_to_x
+        };
         DomainStats {
             name: dom.name.clone(),
             n_users: dom.n_users,
@@ -406,7 +404,13 @@ mod tests {
     use rand::Rng;
 
     /// A small random raw dataset with a guaranteed healthy overlap prefix.
-    pub(crate) fn random_raw(seed: u64, n_overlap: usize, extra_x: usize, extra_y: usize, n_items: usize) -> RawCdrData {
+    pub(crate) fn random_raw(
+        seed: u64,
+        n_overlap: usize,
+        extra_x: usize,
+        extra_y: usize,
+        n_items: usize,
+    ) -> RawCdrData {
         let mut rng = component_rng(seed, "random-raw");
         let mut gen_domain = |name: &str, n_users: usize| {
             let mut edges = Vec::new();

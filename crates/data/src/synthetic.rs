@@ -215,63 +215,60 @@ pub fn generate_raw(cfg: &SyntheticConfig) -> Result<SyntheticOutput> {
         .chain(cfg.n_overlap + cfg.n_users_x_only..n_natural_users)
         .collect();
 
-    let make_domain = |rng: &mut StdRng,
-                           name: &str,
-                           natural_users: &[usize],
-                           n_items: usize|
-     -> (RawDomain, DomainLatents) {
-        let item_shared = normal_tensor(rng, n_items, cfg.dim_shared, 1.0);
-        let item_specific = normal_tensor(rng, n_items, cfg.dim_specific, 1.0);
-        let user_specific = normal_tensor(rng, natural_users.len(), cfg.dim_specific, 1.0);
-        // Heavy-tailed popularity: pop_v = skew * half-normal, so a few items
-        // are much more popular than the rest.
-        let popularity: Vec<f32> = (0..n_items)
-            .map(|_| cfg.popularity_skew * sample_standard_normal(rng).abs())
-            .collect();
-
-        let shared_norm = (cfg.dim_shared as f32).sqrt();
-        let specific_norm = (cfg.dim_specific as f32).sqrt();
-        let mut edges: Vec<(u32, u32)> = Vec::new();
-        let mut scores = vec![0.0f32; n_items];
-        for (local_u, &natural_u) in natural_users.iter().enumerate() {
-            let s_u = user_shared.row(natural_u);
-            let t_u = user_specific.row(local_u);
-            for v in 0..n_items {
-                let a_v = item_shared.row(v);
-                let b_v = item_specific.row(v);
-                let shared: f32 = s_u.iter().zip(a_v.iter()).map(|(a, b)| a * b).sum::<f32>() / shared_norm;
-                let specific: f32 = t_u.iter().zip(b_v.iter()).map(|(a, b)| a * b).sum::<f32>() / specific_norm;
-                scores[v] = (cfg.shared_weight * shared + (1.0 - cfg.shared_weight) * specific + popularity[v])
-                    / cfg.temperature;
-            }
-            let k = sample_interaction_count(rng, cfg, n_items);
-            // Gumbel-top-k = weighted sampling without replacement from the
-            // softmax over scores.
-            let mut keyed: Vec<(f32, u32)> = scores
-                .iter()
-                .enumerate()
-                .map(|(v, &s)| (s + gumbel(rng), v as u32))
+    let make_domain =
+        |rng: &mut StdRng, name: &str, natural_users: &[usize], n_items: usize| -> (RawDomain, DomainLatents) {
+            let item_shared = normal_tensor(rng, n_items, cfg.dim_shared, 1.0);
+            let item_specific = normal_tensor(rng, n_items, cfg.dim_specific, 1.0);
+            let user_specific = normal_tensor(rng, natural_users.len(), cfg.dim_specific, 1.0);
+            // Heavy-tailed popularity: pop_v = skew * half-normal, so a few items
+            // are much more popular than the rest.
+            let popularity: Vec<f32> = (0..n_items)
+                .map(|_| cfg.popularity_skew * sample_standard_normal(rng).abs())
                 .collect();
-            keyed.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-            for &(_, v) in keyed.iter().take(k) {
-                edges.push((local_u as u32, v));
+
+            let shared_norm = (cfg.dim_shared as f32).sqrt();
+            let specific_norm = (cfg.dim_specific as f32).sqrt();
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            let mut scores = vec![0.0f32; n_items];
+            for (local_u, &natural_u) in natural_users.iter().enumerate() {
+                let s_u = user_shared.row(natural_u);
+                let t_u = user_specific.row(local_u);
+                for v in 0..n_items {
+                    let a_v = item_shared.row(v);
+                    let b_v = item_specific.row(v);
+                    let shared: f32 = s_u.iter().zip(a_v.iter()).map(|(a, b)| a * b).sum::<f32>() / shared_norm;
+                    let specific: f32 = t_u.iter().zip(b_v.iter()).map(|(a, b)| a * b).sum::<f32>() / specific_norm;
+                    scores[v] = (cfg.shared_weight * shared + (1.0 - cfg.shared_weight) * specific + popularity[v])
+                        / cfg.temperature;
+                }
+                let k = sample_interaction_count(rng, cfg, n_items);
+                // Gumbel-top-k = weighted sampling without replacement from the
+                // softmax over scores.
+                let mut keyed: Vec<(f32, u32)> = scores
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &s)| (s + gumbel(rng), v as u32))
+                    .collect();
+                keyed.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                for &(_, v) in keyed.iter().take(k) {
+                    edges.push((local_u as u32, v));
+                }
             }
-        }
-        (
-            RawDomain {
-                name: name.into(),
-                n_users: natural_users.len(),
-                n_items,
-                edges,
-            },
-            DomainLatents {
-                item_shared,
-                item_specific,
-                user_specific,
-                popularity,
-            },
-        )
-    };
+            (
+                RawDomain {
+                    name: name.into(),
+                    n_users: natural_users.len(),
+                    n_items,
+                    edges,
+                },
+                DomainLatents {
+                    item_shared,
+                    item_specific,
+                    user_specific,
+                    popularity,
+                },
+            )
+        };
 
     let (raw_x, latents_x) = make_domain(&mut rng, &cfg.domain_x_name, &users_x, cfg.n_items_x);
     let (raw_y, latents_y) = make_domain(&mut rng, &cfg.domain_y_name, &users_y, cfg.n_items_y);
@@ -295,9 +292,7 @@ pub fn generate_raw(cfg: &SyntheticConfig) -> Result<SyntheticOutput> {
 /// Generates, preprocesses and splits a full scenario in one call.
 pub fn generate_scenario(cfg: &SyntheticConfig, split: SplitConfig) -> Result<CdrScenario> {
     let out = generate_raw(cfg)?;
-    let filtered = out
-        .raw
-        .filtered(cfg.min_user_interactions, cfg.min_item_interactions)?;
+    let filtered = out.raw.filtered(cfg.min_user_interactions, cfg.min_item_interactions)?;
     CdrScenario::from_raw(cfg.name.clone(), &filtered, split)
 }
 
@@ -405,23 +400,35 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let mut c = SyntheticConfig::default();
-        c.n_overlap = 2;
+        let c = SyntheticConfig {
+            n_overlap: 2,
+            ..SyntheticConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SyntheticConfig::default();
-        c.shared_weight = 2.0;
+        let c = SyntheticConfig {
+            shared_weight: 2.0,
+            ..SyntheticConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SyntheticConfig::default();
-        c.temperature = 0.0;
+        let c = SyntheticConfig {
+            temperature: 0.0,
+            ..SyntheticConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SyntheticConfig::default();
-        c.n_items_x = 5;
+        let c = SyntheticConfig {
+            n_items_x: 5,
+            ..SyntheticConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SyntheticConfig::default();
-        c.mean_interactions = 0.1;
+        let c = SyntheticConfig {
+            mean_interactions: 0.1,
+            ..SyntheticConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SyntheticConfig::default();
-        c.dim_shared = 0;
+        let c = SyntheticConfig {
+            dim_shared: 0,
+            ..SyntheticConfig::default()
+        };
         assert!(c.validate().is_err());
         assert!(SyntheticConfig::default().validate().is_ok());
         assert_eq!(SyntheticConfig::default().n_users_x(), 800);

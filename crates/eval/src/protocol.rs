@@ -91,7 +91,7 @@ impl EvalOutcome {
     }
 }
 
-fn cases_of<'a>(scenario: &'a CdrScenario, direction: Direction, split: EvalSplit) -> &'a [EvalCase] {
+fn cases_of(scenario: &CdrScenario, direction: Direction, split: EvalSplit) -> &[EvalCase] {
     let set = scenario.cold_start(direction);
     match split {
         EvalSplit::Validation => &set.validation,
@@ -228,7 +228,11 @@ mod tests {
         let full_y = scenario.y.full.clone();
         let full_x = scenario.x.full.clone();
         let scorer = move |d: Direction, u: u32, items: &[u32]| -> Vec<f32> {
-            let g = if d.target == cdrib_data::DomainId::Y { &full_y } else { &full_x };
+            let g = if d.target == cdrib_data::DomainId::Y {
+                &full_y
+            } else {
+                &full_x
+            };
             items
                 .iter()
                 .map(|&i| if g.has_edge(u as usize, i as usize) { 1.0 } else { 0.0 })

@@ -39,7 +39,10 @@ impl TextTable {
 
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
-        let n_cols = self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let n_cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; n_cols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

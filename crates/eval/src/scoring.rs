@@ -81,16 +81,14 @@ impl EmbeddingScorer {
     fn pair_score(&self, user: &[f32], item: &[f32]) -> f32 {
         match self.kind {
             ScoreKind::Dot => user.iter().zip(item.iter()).map(|(a, b)| a * b).sum(),
-            ScoreKind::NegativeDistance => {
-                -user
-                    .iter()
-                    .zip(item.iter())
-                    .map(|(a, b)| {
-                        let d = a - b;
-                        d * d
-                    })
-                    .sum::<f32>()
-            }
+            ScoreKind::NegativeDistance => -user
+                .iter()
+                .zip(item.iter())
+                .map(|(a, b)| {
+                    let d = a - b;
+                    d * d
+                })
+                .sum::<f32>(),
         }
     }
 
@@ -100,7 +98,10 @@ impl EmbeddingScorer {
         let users = self.user_table(user_domain);
         let table = self.item_table(item_domain);
         let u = users.row(user as usize);
-        items.iter().map(|&i| self.pair_score(u, table.row(i as usize))).collect()
+        items
+            .iter()
+            .map(|&i| self.pair_score(u, table.row(i as usize)))
+            .collect()
     }
 }
 
@@ -121,9 +122,9 @@ mod tests {
     #[test]
     fn dot_scorer_uses_source_users_and_target_items() {
         let scorer = EmbeddingScorer::dot(
-            t(2, 2, &[1.0, 0.0, 0.0, 1.0]), // X users
-            t(2, 2, &[9.0, 9.0, 9.0, 9.0]), // X items (should not be used for X->Y)
-            t(2, 2, &[5.0, 5.0, 5.0, 5.0]), // Y users (should not be used for X->Y)
+            t(2, 2, &[1.0, 0.0, 0.0, 1.0]),            // X users
+            t(2, 2, &[9.0, 9.0, 9.0, 9.0]),            // X items (should not be used for X->Y)
+            t(2, 2, &[5.0, 5.0, 5.0, 5.0]),            // Y users (should not be used for X->Y)
             t(3, 2, &[1.0, 2.0, 3.0, 4.0, 0.5, 0.25]), // Y items
         );
         let s = scorer.score_items(Direction::X_TO_Y, 0, &[0, 1, 2]);
@@ -151,13 +152,11 @@ mod tests {
 
     #[test]
     fn score_cross_supports_in_domain_scoring() {
-        let scorer = EmbeddingScorer::dot(
-            t(1, 1, &[2.0]),
-            t(2, 1, &[3.0, -1.0]),
-            t(1, 1, &[4.0]),
-            t(1, 1, &[1.0]),
+        let scorer = EmbeddingScorer::dot(t(1, 1, &[2.0]), t(2, 1, &[3.0, -1.0]), t(1, 1, &[4.0]), t(1, 1, &[1.0]));
+        assert_eq!(
+            scorer.score_cross(DomainId::X, 0, DomainId::X, &[0, 1]),
+            vec![6.0, -2.0]
         );
-        assert_eq!(scorer.score_cross(DomainId::X, 0, DomainId::X, &[0, 1]), vec![6.0, -2.0]);
         assert_eq!(scorer.score_cross(DomainId::Y, 0, DomainId::Y, &[0]), vec![4.0]);
     }
 }

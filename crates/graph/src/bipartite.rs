@@ -115,8 +115,7 @@ impl BipartiteGraph {
     /// The binary adjacency matrix `A` (`n_users x n_items`).
     pub fn adjacency(&self) -> CsrMatrix {
         let edges: Vec<(usize, usize)> = self.edges.iter().map(|&(u, i)| (u as usize, i as usize)).collect();
-        CsrMatrix::from_edges(self.n_users, self.n_items, &edges)
-            .expect("edges validated at construction")
+        CsrMatrix::from_edges(self.n_users, self.n_items, &edges).expect("edges validated at construction")
     }
 
     /// Row-normalised adjacency `Norm(A)` used to aggregate item information
@@ -186,8 +185,7 @@ impl BipartiteGraph {
             .filter(|&&(u, _)| keep(u as usize))
             .map(|&(u, i)| (u as usize, i as usize))
             .collect();
-        BipartiteGraph::new(self.n_users, self.n_items, &edges)
-            .expect("filtered edges remain in range")
+        BipartiteGraph::new(self.n_users, self.n_items, &edges).expect("filtered edges remain in range")
     }
 }
 

@@ -37,6 +37,7 @@
 
 pub mod error;
 pub mod init;
+pub mod kernels;
 pub mod nn;
 pub mod optim;
 pub mod params;

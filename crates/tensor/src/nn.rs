@@ -7,7 +7,7 @@
 //! forward pass.
 
 use crate::error::Result;
-use crate::init::{xavier_uniform, xavier_normal};
+use crate::init::{xavier_normal, xavier_uniform};
 use crate::params::{ParamId, ParamSet};
 use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;

@@ -4,6 +4,7 @@
 //! is provided for the matrix-factorisation baselines and tests.
 
 use crate::error::{Result, TensorError};
+use crate::kernels;
 use crate::params::ParamSet;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -162,27 +163,31 @@ impl Optimizer for Adam {
         let ids: Vec<_> = params.iter_ids().map(|(id, _)| id).collect();
         for id in ids {
             let k = id.index();
-            let grad = params.grad(id).clone();
-            {
-                let m = &mut self.first_moment[k];
-                m.scale_in_place(self.beta1);
-                m.axpy(1.0 - self.beta1, &grad)?;
+            if params.grad(id).shape() != params.value(id).shape() {
+                return Err(TensorError::ShapeMismatch {
+                    op: "Adam::step",
+                    lhs: params.value(id).shape(),
+                    rhs: params.grad(id).shape(),
+                });
             }
-            {
-                let v = &mut self.second_moment[k];
-                v.scale_in_place(self.beta2);
-                let grad_sq = grad.mul(&grad)?;
-                v.axpy(1.0 - self.beta2, &grad_sq)?;
-            }
-            let m_hat = self.first_moment[k].scale(1.0 / bias1);
-            let v_hat = self.second_moment[k].scale(1.0 / bias2);
-            let denom = v_hat.map(|x| x.sqrt() + self.eps);
-            let update = m_hat.div(&denom)?;
             if self.weight_decay > 0.0 {
+                // Decoupled (AdamW-style) decay, applied before the update.
                 let decay = params.value(id).scale(self.weight_decay);
                 params.value_mut(id).axpy(-self.lr, &decay)?;
             }
-            params.value_mut(id).axpy(-self.lr, &update)?;
+            let grad = params.grad(id).clone();
+            kernels::adam_update(
+                params.value_mut(id).as_mut_slice(),
+                grad.as_slice(),
+                self.first_moment[k].as_mut_slice(),
+                self.second_moment[k].as_mut_slice(),
+                self.beta1,
+                self.beta2,
+                self.eps,
+                self.lr,
+                bias1,
+                bias2,
+            );
         }
         Ok(())
     }
@@ -204,7 +209,9 @@ mod tests {
     /// Minimises f(w) = sum((w - target)^2) and returns the final values.
     fn optimize<O: Optimizer>(mut opt: O, steps: usize) -> (f32, f32) {
         let mut params = ParamSet::new();
-        let w = params.add("w", Tensor::from_vec(1, 2, vec![5.0, -5.0]).unwrap()).unwrap();
+        let w = params
+            .add("w", Tensor::from_vec(1, 2, vec![5.0, -5.0]).unwrap())
+            .unwrap();
         let target = Tensor::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
         let mut last_loss = f32::INFINITY;
         for _ in 0..steps {

@@ -85,7 +85,10 @@ impl ParamSet {
 
     /// Iterator over `(id, name)` pairs.
     pub fn iter_ids(&self) -> impl Iterator<Item = (ParamId, &str)> {
-        self.entries.iter().enumerate().map(|(i, e)| (ParamId(i), e.name.as_str()))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ParamId(i), e.name.as_str()))
     }
 
     /// Immutable access to a parameter value.
@@ -122,11 +125,7 @@ impl ParamSet {
 
     /// Global L2 norm of all gradients (used for clipping / diagnostics).
     pub fn grad_norm(&self) -> f32 {
-        self.entries
-            .iter()
-            .map(|e| e.grad.sum_squares())
-            .sum::<f32>()
-            .sqrt()
+        self.entries.iter().map(|e| e.grad.sum_squares()).sum::<f32>().sqrt()
     }
 
     /// Scales every gradient so the global norm does not exceed `max_norm`.

@@ -7,6 +7,7 @@
 //! only needs `S * X` (forward) and `S^T * G` (backward).
 
 use crate::error::{Result, TensorError};
+use crate::kernels::{self, CsrView};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -176,17 +177,17 @@ impl CsrMatrix {
     pub fn sym_normalized(&self) -> CsrMatrix {
         let mut row_deg = vec![0.0f32; self.rows];
         let mut col_deg = vec![0.0f32; self.cols];
-        for r in 0..self.rows {
+        for (r, deg) in row_deg.iter_mut().enumerate() {
             for (c, v) in self.row_iter(r) {
-                row_deg[r] += v;
+                *deg += v;
                 col_deg[c] += v;
             }
         }
         let mut out = self.clone();
-        for r in 0..self.rows {
+        for (r, &deg) in row_deg.iter().enumerate() {
             let start = self.indptr[r];
             let end = self.indptr[r + 1];
-            let dr = if row_deg[r] > 0.0 { row_deg[r].sqrt() } else { 1.0 };
+            let dr = if deg > 0.0 { deg.sqrt() } else { 1.0 };
             for k in start..end {
                 let c = self.indices[k] as usize;
                 let dc = if col_deg[c] > 0.0 { col_deg[c].sqrt() } else { 1.0 };
@@ -237,6 +238,17 @@ impl CsrMatrix {
         t
     }
 
+    /// Borrowed raw-parts view for the [`kernels`] spmm entry points.
+    pub fn view(&self) -> CsrView<'_> {
+        CsrView {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: &self.indptr,
+            indices: &self.indices,
+            values: &self.values,
+        }
+    }
+
     /// Sparse-dense product `self (r x c) * dense (c x n) -> (r x n)`.
     pub fn spmm(&self, dense: &Tensor) -> Result<Tensor> {
         if self.cols != dense.rows() {
@@ -248,15 +260,23 @@ impl CsrMatrix {
         }
         let n = dense.cols();
         let mut out = Tensor::zeros(self.rows, n);
-        for r in 0..self.rows {
-            let out_row = out.row_mut(r);
-            for (c, v) in self.row_iter(r) {
-                let d_row = dense.row(c);
-                for (o, &d) in out_row.iter_mut().zip(d_row.iter()) {
-                    *o += v * d;
-                }
-            }
+        kernels::spmm(self.view(), n, dense.as_slice(), out.as_mut_slice());
+        Ok(out)
+    }
+
+    /// [`CsrMatrix::spmm`] through the single-threaded reference kernel, for
+    /// parity tests and benchmarks.
+    pub fn spmm_serial(&self, dense: &Tensor) -> Result<Tensor> {
+        if self.cols != dense.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "spmm_serial",
+                lhs: (self.rows, self.cols),
+                rhs: dense.shape(),
+            });
         }
+        let n = dense.cols();
+        let mut out = Tensor::zeros(self.rows, n);
+        kernels::spmm_serial(self.view(), n, dense.as_slice(), out.as_mut_slice());
         Ok(out)
     }
 
@@ -273,15 +293,7 @@ impl CsrMatrix {
         }
         let n = dense.cols();
         let mut out = Tensor::zeros(self.cols, n);
-        for r in 0..self.rows {
-            let d_row = dense.row(r);
-            for (c, v) in self.row_iter(r) {
-                let out_row = out.row_mut(c);
-                for (o, &d) in out_row.iter_mut().zip(d_row.iter()) {
-                    *o += v * d;
-                }
-            }
-        }
+        kernels::spmm_transpose(self.view(), n, dense.as_slice(), out.as_mut_slice());
         Ok(out)
     }
 
@@ -301,12 +313,7 @@ mod tests {
         //  [0, 0, 0],
         //  [3, 4, 0],
         //  [0, 5, 0]]
-        CsrMatrix::from_triplets(
-            4,
-            3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0), (3, 1, 5.0)],
-        )
-        .unwrap()
+        CsrMatrix::from_triplets(4, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0), (3, 1, 5.0)]).unwrap()
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! and contrastive terms.
 
 use crate::error::{Result, TensorError};
+use crate::kernels;
 use crate::params::{ParamId, ParamSet};
 use crate::sparse::CsrMatrix;
 use crate::tensor::Tensor;
@@ -595,24 +596,15 @@ impl Tape {
                 // y_r = <a_r, b_r>; dA_r = g_r * b_r; dB_r = g_r * a_r
                 let av = self.val(*a);
                 let bv = self.val(*b);
+                let (rows, cols) = av.shape();
                 if self.rg(*a) {
-                    let mut ga = Tensor::zeros(av.rows(), av.cols());
-                    for r in 0..av.rows() {
-                        let g = grad.get(r, 0);
-                        for (o, &b) in ga.row_mut(r).iter_mut().zip(bv.row(r).iter()) {
-                            *o = g * b;
-                        }
-                    }
+                    let mut ga = Tensor::zeros(rows, cols);
+                    kernels::scale_rows(rows, cols, bv.as_slice(), grad.as_slice(), 1.0, ga.as_mut_slice());
                     self.accum(grads, *a, ga);
                 }
                 if self.rg(*b) {
-                    let mut gb = Tensor::zeros(bv.rows(), bv.cols());
-                    for r in 0..bv.rows() {
-                        let g = grad.get(r, 0);
-                        for (o, &a) in gb.row_mut(r).iter_mut().zip(av.row(r).iter()) {
-                            *o = g * a;
-                        }
-                    }
+                    let mut gb = Tensor::zeros(rows, cols);
+                    kernels::scale_rows(rows, cols, av.as_slice(), grad.as_slice(), 1.0, gb.as_mut_slice());
                     self.accum(grads, *b, gb);
                 }
             }
@@ -621,24 +613,15 @@ impl Tape {
                 let av = self.val(*a);
                 let bv = self.val(*b);
                 let diff = av.sub(bv)?;
+                let (rows, cols) = av.shape();
                 if self.rg(*a) {
-                    let mut ga = Tensor::zeros(av.rows(), av.cols());
-                    for r in 0..av.rows() {
-                        let g = 2.0 * grad.get(r, 0);
-                        for (o, &d) in ga.row_mut(r).iter_mut().zip(diff.row(r).iter()) {
-                            *o = g * d;
-                        }
-                    }
+                    let mut ga = Tensor::zeros(rows, cols);
+                    kernels::scale_rows(rows, cols, diff.as_slice(), grad.as_slice(), 2.0, ga.as_mut_slice());
                     self.accum(grads, *a, ga);
                 }
                 if self.rg(*b) {
-                    let mut gb = Tensor::zeros(bv.rows(), bv.cols());
-                    for r in 0..bv.rows() {
-                        let g = -2.0 * grad.get(r, 0);
-                        for (o, &d) in gb.row_mut(r).iter_mut().zip(diff.row(r).iter()) {
-                            *o = g * d;
-                        }
-                    }
+                    let mut gb = Tensor::zeros(rows, cols);
+                    kernels::scale_rows(rows, cols, diff.as_slice(), grad.as_slice(), -2.0, gb.as_mut_slice());
                     self.accum(grads, *b, gb);
                 }
             }
@@ -753,9 +736,7 @@ mod tests {
         let w2 = params
             .add("w2", crate::rng::normal_tensor(&mut rng, 4, 2, 0.5))
             .unwrap();
-        let b = params
-            .add("b", crate::rng::normal_tensor(&mut rng, 1, 2, 0.5))
-            .unwrap();
+        let b = params.add("b", crate::rng::normal_tensor(&mut rng, 1, 2, 0.5)).unwrap();
         let x = crate::rng::normal_tensor(&mut rng, 5, 3, 1.0);
         let targets = Tensor::from_vec(5, 1, vec![1.0, 0.0, 1.0, 0.0, 1.0]).unwrap();
 
@@ -890,12 +871,8 @@ mod tests {
     fn gradcheck_concat_rows() {
         let mut rng = component_rng(5, "gradcheck-cr");
         let mut params = ParamSet::new();
-        let a = params
-            .add("a", crate::rng::normal_tensor(&mut rng, 2, 2, 0.5))
-            .unwrap();
-        let b = params
-            .add("b", crate::rng::normal_tensor(&mut rng, 3, 2, 0.5))
-            .unwrap();
+        let a = params.add("a", crate::rng::normal_tensor(&mut rng, 2, 2, 0.5)).unwrap();
+        let b = params.add("b", crate::rng::normal_tensor(&mut rng, 3, 2, 0.5)).unwrap();
         finite_diff_check(
             &mut params,
             &[a, b],
@@ -915,10 +892,7 @@ mod tests {
         let mut tape = Tape::new();
         let v = tape.constant(Tensor::scalar(1.0));
         tape.reset();
-        assert!(matches!(
-            tape.sum(v),
-            Err(TensorError::StaleVariable { .. })
-        ));
+        assert!(matches!(tape.sum(v), Err(TensorError::StaleVariable { .. })));
     }
 
     #[test]
@@ -960,7 +934,9 @@ mod tests {
         // loss = sum(w * w) should give grad 2w even though w is used twice.
         let mut tape = Tape::new();
         let mut params = ParamSet::new();
-        let w = params.add("w", Tensor::from_vec(1, 2, vec![2.0, -3.0]).unwrap()).unwrap();
+        let w = params
+            .add("w", Tensor::from_vec(1, 2, vec![2.0, -3.0]).unwrap())
+            .unwrap();
         let wv = tape.param(&params, w);
         let prod = tape.mul(wv, wv).unwrap();
         let loss = tape.sum(prod).unwrap();

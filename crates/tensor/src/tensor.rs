@@ -6,6 +6,7 @@
 //! small and the hot loops cache-friendly.
 
 use crate::error::{Result, TensorError};
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 
 /// A dense row-major matrix of `f32` values.
@@ -235,18 +236,14 @@ impl Tensor {
     /// In-place elementwise addition.
     pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
         self.check_same_shape(other, "add_assign")?;
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += *b;
-        }
+        kernels::add_assign(&mut self.data, &other.data);
         Ok(())
     }
 
     /// In-place scaled addition: `self += alpha * other`.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
         self.check_same_shape(other, "axpy")?;
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * *b;
-        }
+        kernels::axpy(alpha, &mut self.data, &other.data);
         Ok(())
     }
 
@@ -307,26 +304,30 @@ impl Tensor {
                 rhs: other.shape(),
             });
         }
-        let m = self.rows;
-        let k = self.cols;
-        let n = other.cols;
+        let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order: the inner loop streams over contiguous rows of
-        // `other` and `out`, which is the cache-friendly order for row-major
-        // storage.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        kernels::matmul(m, k, n, &self.data, &other.data, &mut out);
+        Ok(Tensor {
+            rows: m,
+            cols: n,
+            data: out,
+        })
+    }
+
+    /// Matrix multiplication through the single-threaded reference kernel
+    /// ([`kernels::matmul_serial`]). Exists so parity tests and benchmarks can
+    /// compare the dispatched path against the reference loop.
+    pub fn matmul_serial(&self, other: &Tensor) -> Result<Tensor> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_serial",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        kernels::matmul_serial(m, k, n, &self.data, &other.data, &mut out);
         Ok(Tensor {
             rows: m,
             cols: n,
@@ -344,21 +345,9 @@ impl Tensor {
                 rhs: other.shape(),
             });
         }
-        let m = self.rows;
-        let k = self.cols;
-        let n = other.rows;
+        let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        kernels::matmul_transpose_b(m, k, n, &self.data, &other.data, &mut out);
         Ok(Tensor {
             rows: m,
             cols: n,
@@ -376,23 +365,9 @@ impl Tensor {
                 rhs: other.shape(),
             });
         }
-        let m = self.rows;
-        let k = self.cols;
-        let n = other.cols;
+        let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; k * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let b_row = &other.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::transpose_matmul(m, k, n, &self.data, &other.data, &mut out);
         Ok(Tensor {
             rows: k,
             cols: n,
@@ -536,15 +511,7 @@ impl Tensor {
     pub fn rowwise_dot(&self, other: &Tensor) -> Result<Tensor> {
         self.check_same_shape(other, "rowwise_dot")?;
         let mut out = Tensor::zeros(self.rows, 1);
-        for r in 0..self.rows {
-            let a = self.row(r);
-            let b = other.row(r);
-            let mut acc = 0.0f32;
-            for (&x, &y) in a.iter().zip(b.iter()) {
-                acc += x * y;
-            }
-            out.data[r] = acc;
-        }
+        kernels::rowwise_dot(self.rows, self.cols, &self.data, &other.data, &mut out.data);
         Ok(out)
     }
 
@@ -595,16 +562,7 @@ impl Tensor {
     pub fn rowwise_sq_dist(&self, other: &Tensor) -> Result<Tensor> {
         self.check_same_shape(other, "rowwise_sq_dist")?;
         let mut out = Tensor::zeros(self.rows, 1);
-        for r in 0..self.rows {
-            let a = self.row(r);
-            let b = other.row(r);
-            let mut acc = 0.0f32;
-            for (&x, &y) in a.iter().zip(b.iter()) {
-                let d = x - y;
-                acc += d * d;
-            }
-            out.data[r] = acc;
-        }
+        kernels::rowwise_sq_dist(self.rows, self.cols, &self.data, &other.data, &mut out.data);
         Ok(out)
     }
 

@@ -15,11 +15,19 @@ fn main() {
     println!("Scenario {}:", stats.name);
     println!(
         "  {}: {} users, {} items, {} training interactions ({:.2}% dense)",
-        stats.domain_x.name, stats.domain_x.n_users, stats.domain_x.n_items, stats.domain_x.n_train, stats.domain_x.density_percent
+        stats.domain_x.name,
+        stats.domain_x.n_users,
+        stats.domain_x.n_items,
+        stats.domain_x.n_train,
+        stats.domain_x.density_percent
     );
     println!(
         "  {}: {} users, {} items, {} training interactions ({:.2}% dense)",
-        stats.domain_y.name, stats.domain_y.n_users, stats.domain_y.n_items, stats.domain_y.n_train, stats.domain_y.density_percent
+        stats.domain_y.name,
+        stats.domain_y.n_users,
+        stats.domain_y.n_items,
+        stats.domain_y.n_train,
+        stats.domain_y.density_percent
     );
     println!("  overlapping training users: {}\n", stats.n_train_overlap);
 
@@ -31,7 +39,10 @@ fn main() {
         eval_every: 15,
         ..CdribConfig::default()
     };
-    println!("Training CDRIB ({} epochs, dim {}, {} layers)...", config.epochs, config.dim, config.layers);
+    println!(
+        "Training CDRIB ({} epochs, dim {}, {} layers)...",
+        config.epochs, config.dim, config.layers
+    );
     let start = std::time::Instant::now();
     let trained = train(&config, &scenario).expect("training");
     println!(
@@ -75,7 +86,13 @@ fn main() {
         println!("\nTop-5 Video recommendations for cold-start user {user} (only observed in Game):");
         for (rank, (item, score)) in ranked.iter().take(5).enumerate() {
             let held_out = scenario.y.full.has_edge(user as usize, *item as usize);
-            println!("  {}. item {:4}  score {:.3}{}", rank + 1, item, score, if held_out { "   <- held-out ground truth" } else { "" });
+            println!(
+                "  {}. item {:4}  score {:.3}{}",
+                rank + 1,
+                item,
+                score,
+                if held_out { "   <- held-out ground truth" } else { "" }
+            );
         }
     }
 }

@@ -1,0 +1,35 @@
+//! End-to-end determinism: with a fixed seed, an experiment is a pure
+//! function of its configuration — two training runs produce identical
+//! per-epoch losses and identical embeddings, with the parallel kernel
+//! subsystem enabled or not.
+
+use cdrib::prelude::*;
+
+fn run_once(seed: u64) -> (Vec<f32>, f32) {
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, seed).unwrap();
+    let mut config = CdribConfig::fast_test();
+    config.epochs = 4;
+    config.seed = seed;
+    let trained = train(&config, &scenario).unwrap();
+    let losses: Vec<f32> = trained.report.epochs.iter().map(|e| e.loss).collect();
+    let fingerprint = trained.embeddings.x_users.sum() + trained.embeddings.y_users.sum();
+    (losses, fingerprint)
+}
+
+#[test]
+fn same_seed_produces_identical_losses() {
+    let (losses_a, fp_a) = run_once(11);
+    let (losses_b, fp_b) = run_once(11);
+    assert!(!losses_a.is_empty());
+    // Bitwise equality, not tolerance: the kernels guarantee a fixed
+    // accumulation order per element on a given machine.
+    assert_eq!(losses_a, losses_b, "per-epoch losses must match bit-for-bit");
+    assert_eq!(fp_a.to_bits(), fp_b.to_bits(), "embedding fingerprints must match");
+}
+
+#[test]
+fn different_seeds_produce_different_trajectories() {
+    let (losses_a, _) = run_once(11);
+    let (losses_c, _) = run_once(12);
+    assert_ne!(losses_a, losses_c, "distinct seeds should not collide");
+}

@@ -1,0 +1,162 @@
+//! Parity suite for the kernel subsystem: the dispatched (SIMD + optionally
+//! threaded) kernels in `cdrib_tensor::kernels` must agree with the
+//! single-threaded reference loops within 1e-5 across random shapes,
+//! including empty, `1 x N` and `N x 1` edge cases.
+//!
+//! The same tests pass with `--no-default-features` (serial dispatch), so the
+//! suite pins both feature configurations to the same numerics.
+
+use cdrib::tensor::{CsrMatrix, Tensor};
+use proptest::prelude::*;
+
+/// Relative-ish tolerance: the fused-multiply-add kernels round differently
+/// from the reference loop, but never by more than a few ulps per
+/// accumulation step.
+fn assert_close(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (&x, &y)) in a.as_slice().iter().zip(b.as_slice().iter()).enumerate() {
+        let scale = 1.0f32.max(x.abs()).max(y.abs());
+        assert!(
+            (x - y).abs() <= 1e-5 * scale,
+            "{what}: element {i} diverged: dispatched {x} vs reference {y}"
+        );
+    }
+}
+
+/// A random `rows x cols` tensor with entries in `[-1, 1]`; dimensions may
+/// be zero.
+fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-1.0f32..1.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data).unwrap())
+}
+
+/// Dimension strategy biased to cover 0, 1 and "large enough to cross the
+/// register-tile remainder paths" (MR = 4, NR = 16).
+fn dim() -> impl Strategy<Value = usize> {
+    (0usize..40).prop_map(|d| match d {
+        0..=2 => d,            // empty / 1xN / Nx1 territory
+        3..=20 => d,           // remainder tiles
+        _ => (d - 20) * 3 + 1, // 1..58, crossing full 4x16 tiles
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matmul_matches_serial_reference((m, k, n) in (dim(), dim(), dim())) {
+        let strategy = (tensor(m, k), tensor(k, n));
+        let mut rng = TestRng::for_case("matmul_parity_inner", (m * 1009 + k * 31 + n) as u64);
+        let (a, b) = strategy.generate(&mut rng);
+        assert_close(&a.matmul(&b).unwrap(), &a.matmul_serial(&b).unwrap(), "matmul");
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_reference((m, k, n) in (dim(), dim(), dim())) {
+        let strategy = (tensor(m, k), tensor(n, k));
+        let mut rng = TestRng::for_case("mtb_parity_inner", (m * 1013 + k * 37 + n) as u64);
+        let (a, b) = strategy.generate(&mut rng);
+        // Reference: materialise B^T and run the serial matmul.
+        assert_close(
+            &a.matmul_transpose_b(&b).unwrap(),
+            &a.matmul_serial(&b.transpose()).unwrap(),
+            "matmul_transpose_b",
+        );
+    }
+
+    #[test]
+    fn transpose_matmul_matches_reference((m, k, n) in (dim(), dim(), dim())) {
+        let strategy = (tensor(m, k), tensor(m, n));
+        let mut rng = TestRng::for_case("tm_parity_inner", (m * 1019 + k * 41 + n) as u64);
+        let (a, b) = strategy.generate(&mut rng);
+        assert_close(
+            &a.transpose_matmul(&b).unwrap(),
+            &a.transpose().matmul_serial(&b).unwrap(),
+            "transpose_matmul",
+        );
+    }
+
+    #[test]
+    fn spmm_matches_serial_reference(
+        (rows, cols, n) in (1usize..40, 1usize..40, 1usize..24),
+        edge_seed in 0u64..10_000,
+        density_pct in 0usize..60,
+    ) {
+        let mut rng = TestRng::for_case("spmm_parity_edges", edge_seed);
+        let nnz = rows * cols * density_pct / 100;
+        let triplets: Vec<(usize, usize, f32)> = (0..nnz)
+            .map(|_| {
+                let r = rng.below(rows as u64) as usize;
+                let c = rng.below(cols as u64) as usize;
+                let v = (rng.unit_f64() * 2.0 - 1.0) as f32;
+                (r, c, v)
+            })
+            .collect();
+        let csr = CsrMatrix::from_triplets(rows, cols, &triplets).unwrap();
+        let dense = (tensor(cols, n)).generate(&mut rng);
+        assert_close(&csr.spmm(&dense).unwrap(), &csr.spmm_serial(&dense).unwrap(), "spmm");
+
+        // spmm_transpose against the dense reference product.
+        let dense_t = (tensor(rows, n)).generate(&mut rng);
+        assert_close(
+            &csr.spmm_transpose(&dense_t).unwrap(),
+            &csr.to_dense().transpose().matmul_serial(&dense_t).unwrap(),
+            "spmm_transpose",
+        );
+    }
+
+    #[test]
+    fn rowwise_reductions_match_manual_loops((rows, cols) in (dim(), dim())) {
+        let strategy = (tensor(rows, cols), tensor(rows, cols));
+        let mut rng = TestRng::for_case("rowwise_parity_inner", (rows * 1021 + cols) as u64);
+        let (a, b) = strategy.generate(&mut rng);
+        let dots = a.rowwise_dot(&b).unwrap();
+        let dists = a.rowwise_sq_dist(&b).unwrap();
+        assert_eq!(dots.shape(), (rows, 1));
+        for r in 0..rows {
+            let expect_dot: f32 = a.row(r).iter().zip(b.row(r)).map(|(x, y)| x * y).sum();
+            let expect_dist: f32 = a.row(r).iter().zip(b.row(r)).map(|(x, y)| (x - y) * (x - y)).sum();
+            let scale = 1.0f32.max(expect_dot.abs());
+            assert!((dots.get(r, 0) - expect_dot).abs() <= 1e-5 * scale);
+            assert!((dists.get(r, 0) - expect_dist).abs() <= 1e-5 * 1.0f32.max(expect_dist));
+        }
+    }
+}
+
+#[test]
+fn explicit_edge_shapes() {
+    // Empty operands, single-row and single-column shapes — the cases the
+    // tiled remainder paths must not get wrong.
+    for (m, k, n) in [
+        (0usize, 0usize, 0usize),
+        (0, 5, 3),
+        (5, 0, 3),
+        (5, 3, 0),
+        (1, 1, 1),
+        (1, 64, 1),
+        (64, 1, 64),
+        (1, 7, 33),
+        (33, 7, 1),
+        (4, 16, 16),
+        (5, 17, 19),
+    ] {
+        let a = Tensor::full(m, k, 0.25);
+        let b = Tensor::full(k, n, -0.5);
+        let fast = a.matmul(&b).unwrap();
+        let reference = a.matmul_serial(&b).unwrap();
+        assert_close(&fast, &reference, &format!("matmul {m}x{k}x{n}"));
+        assert_eq!(fast.shape(), (m, n));
+    }
+}
+
+#[test]
+fn dispatched_kernels_are_run_to_run_deterministic() {
+    // Two invocations of the same dispatched kernel must agree bit-for-bit:
+    // the ISA choice is fixed per process and row/band chunking preserves
+    // per-element accumulation order.
+    let mut rng = TestRng::for_case("kernel_determinism", 0);
+    let a = tensor(37, 29).generate(&mut rng);
+    let b = tensor(29, 23).generate(&mut rng);
+    assert_eq!(a.matmul(&b).unwrap(), a.matmul(&b).unwrap());
+    assert_eq!(a.transpose_matmul(&a).unwrap(), a.transpose_matmul(&a).unwrap());
+}

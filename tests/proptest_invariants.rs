@@ -10,9 +10,8 @@ use cdrib::tensor::CsrMatrix;
 use proptest::prelude::*;
 
 fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
-    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |v| (r, c, v))
-    })
+    (1usize..6, 1usize..6)
+        .prop_flat_map(|(r, c)| proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |v| (r, c, v)))
 }
 
 proptest! {
