@@ -176,11 +176,12 @@ fn train_mapping(
 
     let episode = cfg.episode_size.unwrap_or(overlap_idx.len()).max(2);
     let mut order: Vec<usize> = (0..overlap_idx.len()).collect();
+    let mut tape = Tape::new();
     for _epoch in 0..cfg.mapping_epochs {
         shuffle_in_place(&mut rng, &mut order);
         for chunk in order.chunks(episode) {
             params.zero_grad();
-            let mut tape = Tape::new();
+            tape.reset();
             let mut inputs = source_users.gather_rows(chunk).map_err(to_data_err)?;
             if cfg.variational_mapping {
                 let noise = normal_tensor(&mut rng, inputs.rows(), inputs.cols(), 0.05);
@@ -206,7 +207,7 @@ fn train_mapping(
     }
 
     // Map every source user into the target space.
-    let mut tape = Tape::new();
+    tape.reset();
     let all = tape.constant(source.users.clone());
     let mapped = mlp.forward(&mut tape, &params, all).map_err(to_data_err)?;
     Ok(tape.value(mapped).map_err(to_data_err)?.clone())

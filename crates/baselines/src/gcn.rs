@@ -94,10 +94,11 @@ pub fn train_gcn(graph: &BipartiteGraph, opts: &BaselineOpts, layers: usize) -> 
     let mut rng_train = component_rng(opts.seed, "gcn-train");
     let batch_size = graph.n_edges().div_ceil(2).max(1);
     let batcher = EdgeBatcher::new(batch_size, opts.neg_ratio)?;
+    let mut tape = Tape::new();
     for _epoch in 0..opts.epochs {
         for batch in batcher.epoch(graph, &mut rng_train)? {
             params.zero_grad();
-            let mut tape = Tape::new();
+            tape.reset();
             let (u_cat, i_cat) = propagate(&mut tape, &params)?;
             let mut users: Vec<usize> = batch.users.iter().map(|&u| u as usize).collect();
             users.extend(batch.neg_users.iter().map(|&u| u as usize));
@@ -115,7 +116,7 @@ pub fn train_gcn(graph: &BipartiteGraph, opts: &BaselineOpts, layers: usize) -> 
     }
 
     // Export the final concatenated embeddings.
-    let mut tape = Tape::new();
+    tape.reset();
     let (u_cat, i_cat) = propagate(&mut tape, &params)?;
     Ok(MfModel {
         users: tape.value(u_cat)?.clone(),

@@ -87,13 +87,14 @@ pub fn train_conet(scenario: &CdrScenario, opts: &BaselineOpts) -> Result<Embedd
     let mut opt = Adam::new(opts.learning_rate.min(0.02), 0.9, 0.999, 1e-8, opts.l2);
     let mut rng_train = component_rng(opts.seed, "conet-train");
 
+    let mut tape = Tape::new();
     for _epoch in 0..opts.epochs {
         for (domain, items_id, w_id) in [(DomainId::X, x_items, w_x), (DomainId::Y, y_items, w_y)] {
             let graph = &scenario.domain(domain).train;
             let batcher = EdgeBatcher::new(graph.n_edges().max(1), opts.neg_ratio)?;
             for batch in batcher.epoch(graph, &mut rng_train)? {
                 params.zero_grad();
-                let mut tape = Tape::new();
+                tape.reset();
                 let u_table = tape.param(&params, shared_users);
                 let i_table = tape.param(&params, items_id);
                 let ws = tape.param(&params, w_shared);
@@ -181,13 +182,14 @@ pub fn train_star(scenario: &CdrScenario, opts: &BaselineOpts) -> Result<Embeddi
     let mut opt = Adam::new(opts.learning_rate.min(0.02), 0.9, 0.999, 1e-8, opts.l2);
     let mut rng_train = component_rng(opts.seed, "star-train");
 
+    let mut tape = Tape::new();
     for _epoch in 0..opts.epochs {
         for (domain, users_id, items_id) in [(DomainId::X, x_users, x_items), (DomainId::Y, y_users, y_items)] {
             let graph = &scenario.domain(domain).train;
             let batcher = EdgeBatcher::new(graph.n_edges().max(1), opts.neg_ratio)?;
             for batch in batcher.epoch(graph, &mut rng_train)? {
                 params.zero_grad();
-                let mut tape = Tape::new();
+                tape.reset();
                 let su = tape.param(&params, shared_users);
                 let du = tape.param(&params, users_id);
                 let iv = tape.param(&params, items_id);

@@ -71,10 +71,11 @@ pub fn train_vgae(graph: &BipartiteGraph, opts: &BaselineOpts, layers: usize) ->
     let mut rng_train = component_rng(opts.seed, "vgae-train");
     let batch_size = graph.n_edges().div_ceil(2).max(1);
     let batcher = EdgeBatcher::new(batch_size, opts.neg_ratio)?;
+    let mut tape = Tape::new();
     for _epoch in 0..opts.epochs {
         for batch in batcher.epoch(graph, &mut rng_train)? {
             params.zero_grad();
-            let mut tape = Tape::new();
+            tape.reset();
             let ue = tape.param(&params, user_emb);
             let ie = tape.param(&params, item_emb);
             let uo = user_enc

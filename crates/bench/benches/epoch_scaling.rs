@@ -41,10 +41,11 @@ fn bench_training_step(c: &mut Criterion) {
         let mut rng = component_rng(1, "bench-step");
         let batches = model.make_batches(&scenario, &mut rng).unwrap();
         let (xb, yb) = batches[0].clone();
+        let mut tape = Tape::new();
         group.bench_with_input(BenchmarkId::new("edges", edges), &edges, |b, _| {
             b.iter(|| {
                 model.params_mut().zero_grad();
-                let mut tape = Tape::new();
+                tape.reset();
                 let (loss, _) = model.loss(&mut tape, &xb, &yb, &mut rng).unwrap();
                 black_box(tape.backward(loss, model.params_mut()).unwrap())
             })

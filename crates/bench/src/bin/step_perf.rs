@@ -1,0 +1,235 @@
+//! Training-step performance and allocation benchmark.
+//!
+//! Measures epoch wall time of the CDRIB training step on a synthetic preset
+//! scenario in two modes over otherwise identical work:
+//!
+//! * **fresh** — a new [`Tape`] per step (the pre-pooling behaviour: every
+//!   node value and gradient buffer is a heap allocation);
+//! * **pooled** — one persistent tape per run with [`Tape::reset`] between
+//!   steps (the production path in `cdrib-core`): warm steps draw all tensor
+//!   storage from the tape's [`BufferPool`](cdrib_tensor::BufferPool).
+//!
+//! The binary installs the counting global allocator from
+//! `cdrib_tensor::alloc_track`, so it also reports allocator requests per
+//! epoch for both modes, plus the steady-state allocation count of a small
+//! toy training loop whose entire step (forward, backward, Adam) runs on the
+//! pooled stack — that count must be zero, and the `alloc_regression`
+//! integration test enforces it.
+//!
+//! Results are written to `BENCH_step.json` (override with `--out`). Usage:
+//!
+//! ```text
+//! step_perf [--scale tiny|small] [--epochs N] [--warmup N] [--quick] [--out PATH]
+//! ```
+
+use cdrib_bench::Args;
+use cdrib_core::{CdribConfig, CdribModel};
+use cdrib_data::{build_preset, Scale, ScenarioKind};
+use cdrib_tensor::alloc_track::{allocation_count, CountingAlloc};
+use cdrib_tensor::rng::component_rng;
+use cdrib_tensor::{kernels, Adam, Optimizer, ParamSet, Tape, Tensor};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Wall time and allocator traffic of one measured mode.
+struct ModeResult {
+    epoch_ms_median: f64,
+    allocs_per_epoch: u64,
+}
+
+fn run_mode(
+    pooled: bool,
+    scenario: &cdrib_data::CdrScenario,
+    config: &CdribConfig,
+    epochs: usize,
+    warmup: usize,
+) -> ModeResult {
+    let mut model = CdribModel::new(config, scenario).expect("model construction");
+    let mut opt = Adam::new(config.learning_rate, 0.9, 0.999, 1e-8, config.l2_weight);
+    let mut rng = component_rng(config.seed, "step-perf");
+    let mut tape = Tape::new();
+
+    let mut run_epoch = |tape: &mut Tape, model: &mut CdribModel| {
+        let batches = model.make_batches(scenario, &mut rng).expect("batches");
+        for (xb, yb) in &batches {
+            model.params_mut().zero_grad();
+            if pooled {
+                tape.reset();
+            } else {
+                *tape = Tape::new();
+            }
+            let (loss, _) = model.loss(tape, xb, yb, &mut rng).expect("loss");
+            let value = tape.backward(loss, model.params_mut()).expect("backward");
+            assert!(value.is_finite(), "loss diverged during the benchmark");
+            model.params_mut().clip_grad_norm(20.0);
+            opt.step(model.params_mut()).expect("optimizer step");
+        }
+    };
+
+    for _ in 0..warmup {
+        run_epoch(&mut tape, &mut model);
+    }
+    let allocs_before = allocation_count();
+    let mut times = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let started = Instant::now();
+        run_epoch(&mut tape, &mut model);
+        times.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let allocs = allocation_count() - allocs_before;
+    // Median per-epoch time: robust against the frequency spikes of shared
+    // CI boxes, and the same statistic for both modes.
+    times.sort_by(f64::total_cmp);
+    ModeResult {
+        epoch_ms_median: times[times.len() / 2],
+        allocs_per_epoch: allocs / epochs as u64,
+    }
+}
+
+/// A dense toy training loop whose steady state must be allocation-free:
+/// constants, matmul, LeakyReLU, row-wise dot, BCE, L2 — backward — Adam.
+/// Returns allocator requests per epoch after a 2-epoch warm-up.
+fn toy_steady_state_allocs(epochs: usize) -> u64 {
+    let mut rng = component_rng(11, "toy-alloc");
+    let x = cdrib_tensor::rng::normal_tensor(&mut rng, 32, 16, 1.0);
+    let targets = {
+        let mut t = Tensor::zeros(32, 1);
+        for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+            *v = (i % 2) as f32;
+        }
+        t
+    };
+    let mut params = ParamSet::new();
+    let w1 = params
+        .add("w1", cdrib_tensor::rng::normal_tensor(&mut rng, 16, 8, 0.3))
+        .expect("fresh set");
+    let b = params
+        .add("b", cdrib_tensor::rng::normal_tensor(&mut rng, 1, 8, 0.3))
+        .expect("fresh set");
+    let mut opt = Adam::new(0.01, 0.9, 0.999, 1e-8, 0.001);
+    let mut tape = Tape::new();
+    let steps_per_epoch = 4;
+
+    let mut run_epoch = |tape: &mut Tape, params: &mut ParamSet| {
+        for _ in 0..steps_per_epoch {
+            params.zero_grad();
+            tape.reset();
+            let xv = tape.constant_copy(&x);
+            let w1v = tape.param(params, w1);
+            let bv = tape.param(params, b);
+            let h = tape.matmul(xv, w1v).expect("matmul");
+            let h = tape.add_row_broadcast(h, bv).expect("bias");
+            let h = tape.leaky_relu(h, 0.1).expect("leaky");
+            let dots = tape.rowwise_dot(h, h).expect("dots");
+            let rec = tape.bce_with_logits_copy(dots, &targets).expect("bce");
+            let reg = tape.sum_squares(w1v).expect("reg");
+            let reg = tape.scale(reg, 0.01).expect("scale");
+            let loss = tape.add(rec, reg).expect("add");
+            tape.backward(loss, params).expect("backward");
+            params.clip_grad_norm(20.0);
+            opt.step(params).expect("adam");
+        }
+    };
+
+    for _ in 0..2 {
+        run_epoch(&mut tape, &mut params);
+    }
+    let before = allocation_count();
+    for _ in 0..epochs {
+        run_epoch(&mut tape, &mut params);
+    }
+    (allocation_count() - before) / epochs as u64
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.get("quick").is_some();
+    let scale_name = args.get("scale").unwrap_or("tiny").to_string();
+    let scale = match scale_name.as_str() {
+        "small" => Scale::Small,
+        "full" => Scale::Full,
+        _ => Scale::Tiny,
+    };
+    let epochs: usize = args.get_or("epochs", if quick { 6 } else { 20 });
+    let warmup: usize = args.get_or("warmup", 2);
+    let out_path = args.get("out").unwrap_or("BENCH_step.json").to_string();
+    let seed: u64 = args.get_or("seed", 42);
+
+    let scenario = build_preset(ScenarioKind::GameVideo, scale, seed).expect("preset scenario");
+    let config = CdribConfig {
+        dim: 32,
+        layers: 2,
+        batches_per_epoch: 2,
+        eval_every: 0,
+        patience: 0,
+        seed,
+        ..CdribConfig::default()
+    };
+
+    eprintln!(
+        "step_perf: scenario game_video/{scale_name}, {} + {} edges, dim {}, {} epochs (+{} warm-up), isa {}, {} thread(s)",
+        scenario.x.train.n_edges(),
+        scenario.y.train.n_edges(),
+        config.dim,
+        epochs,
+        warmup,
+        kernels::active_isa(),
+        kernels::parallelism(),
+    );
+
+    let fresh = run_mode(false, &scenario, &config, epochs, warmup);
+    let pooled = run_mode(true, &scenario, &config, epochs, warmup);
+    let speedup = fresh.epoch_ms_median / pooled.epoch_ms_median;
+    let toy_allocs = toy_steady_state_allocs(3);
+
+    eprintln!(
+        "fresh tape : {:8.2} ms/epoch, {:6} allocs/epoch",
+        fresh.epoch_ms_median, fresh.allocs_per_epoch
+    );
+    eprintln!(
+        "pooled tape: {:8.2} ms/epoch, {:6} allocs/epoch  ({speedup:.2}x)",
+        pooled.epoch_ms_median, pooled.allocs_per_epoch
+    );
+    eprintln!("toy loop   : {toy_allocs} steady-state allocs/epoch");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"step_perf\",\n",
+            "  \"scenario\": \"game_video\",\n",
+            "  \"scale\": \"{scale}\",\n",
+            "  \"dim\": {dim},\n",
+            "  \"layers\": {layers},\n",
+            "  \"batches_per_epoch\": {bpe},\n",
+            "  \"edges\": {edges},\n",
+            "  \"warmup_epochs\": {warmup},\n",
+            "  \"measured_epochs\": {epochs},\n",
+            "  \"isa\": \"{isa}\",\n",
+            "  \"threads\": {threads},\n",
+            "  \"fresh_tape\": {{ \"epoch_ms_median\": {fresh_ms:.3}, \"allocs_per_epoch\": {fresh_allocs} }},\n",
+            "  \"pooled_tape\": {{ \"epoch_ms_median\": {pooled_ms:.3}, \"allocs_per_epoch\": {pooled_allocs} }},\n",
+            "  \"speedup_pooled_vs_fresh\": {speedup:.3},\n",
+            "  \"toy_loop_steady_state_allocs_per_epoch\": {toy_allocs}\n",
+            "}}\n"
+        ),
+        scale = scale_name,
+        dim = config.dim,
+        layers = config.layers,
+        bpe = config.batches_per_epoch,
+        edges = scenario.x.train.n_edges() + scenario.y.train.n_edges(),
+        warmup = warmup,
+        epochs = epochs,
+        isa = kernels::active_isa(),
+        threads = kernels::parallelism(),
+        fresh_ms = fresh.epoch_ms_median,
+        fresh_allocs = fresh.allocs_per_epoch,
+        pooled_ms = pooled.epoch_ms_median,
+        pooled_allocs = pooled.allocs_per_epoch,
+        speedup = speedup,
+        toy_allocs = toy_allocs,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_step.json");
+    eprintln!("wrote {out_path}");
+}

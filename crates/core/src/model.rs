@@ -82,6 +82,47 @@ pub struct CdribModel {
     /// Overlapping users available as cross-domain bridges during training.
     train_overlap: Vec<u32>,
     train_overlap_set: HashSet<u32>,
+    /// Reusable per-step index/label buffers (see [`StepScratch`]).
+    scratch: StepScratch,
+}
+
+/// Reusable buffers of the per-step loss construction.
+///
+/// A training step partitions every edge batch into index and label lists
+/// and hands gather indices to the tape. Rebuilding those `Vec`s each step
+/// is not just allocator traffic: the freed blocks sit at the top of the
+/// heap, glibc trims them back to the kernel, and the next step pays the
+/// page faults again — measurably slower than the compute it supports. The
+/// scratch keeps one copy of every list alive for the lifetime of the model;
+/// gather indices are `Arc`s so the tape shares them by refcount
+/// ([`Tape::gather_rows_shared`]) and hands back exclusive access after each
+/// [`Tape::reset`].
+#[derive(Default)]
+struct StepScratch {
+    // One reconstruction slot per target domain: both run within one step,
+    // so the tape still holds the X-slot Arcs when the Y call builds its
+    // lists — separate slots keep every buffer exclusively recoverable.
+    cross_users: [Arc<Vec<usize>>; 2],
+    cross_items: [Arc<Vec<usize>>; 2],
+    cross_labels: Vec<f32>,
+    in_users: [Arc<Vec<usize>>; 2],
+    in_items: [Arc<Vec<usize>>; 2],
+    in_labels: Vec<f32>,
+    overlap_idx: Arc<Vec<usize>>,
+    contrastive_users: Vec<u32>,
+    contrastive_idx: Arc<Vec<usize>>,
+    contrastive_partner: Arc<Vec<usize>>,
+    losses: Vec<Var>,
+}
+
+/// Exclusive access to a shared index buffer, recovering it when the tape
+/// released its clone (after `reset`) and falling back to a fresh buffer
+/// when something still holds one (e.g. an error path skipped the reset).
+fn shared_mut(indices: &mut Arc<Vec<usize>>) -> &mut Vec<usize> {
+    if Arc::get_mut(indices).is_none() {
+        *indices = Arc::new(Vec::new());
+    }
+    Arc::get_mut(indices).expect("the Arc was just made unique")
 }
 
 /// Internal rescaling of the KL minimality terms.
@@ -187,6 +228,7 @@ impl CdribModel {
             discriminator,
             train_overlap: scenario.train_overlap_users.clone(),
             train_overlap_set: scenario.train_overlap_users.iter().copied().collect(),
+            scratch: StepScratch::default(),
         })
     }
 
@@ -271,68 +313,70 @@ impl CdribModel {
         target_users: &DomainEncoding,
         source_users: &DomainEncoding,
         target_items: &DomainEncoding,
-        losses: &mut Vec<Var>,
+        scratch: &mut StepScratch,
+        slot: usize,
     ) -> Result<(f32, f32)> {
         // Partition positives and negatives by whether the user is a training
-        // overlap user.
-        let mut cross_users: Vec<usize> = Vec::new();
-        let mut cross_items: Vec<usize> = Vec::new();
-        let mut cross_labels: Vec<f32> = Vec::new();
-        let mut in_users: Vec<usize> = Vec::new();
-        let mut in_items: Vec<usize> = Vec::new();
-        let mut in_labels: Vec<f32> = Vec::new();
-        let mut push = |user: u32, item: u32, label: f32, this: &mut CrossOrIn| match this {
-            CrossOrIn::Cross => {
-                cross_users.push(user as usize);
-                cross_items.push(item as usize);
-                cross_labels.push(label);
-            }
-            CrossOrIn::In => {
-                in_users.push(user as usize);
-                in_items.push(item as usize);
-                in_labels.push(label);
-            }
-        };
-        enum CrossOrIn {
-            Cross,
-            In,
-        }
-        for (k, &u) in batch.users.iter().enumerate() {
-            let mut side = if self.train_overlap_set.contains(&u) {
-                CrossOrIn::Cross
-            } else {
-                CrossOrIn::In
+        // overlap user, into the reusable scratch lists.
+        {
+            let cross_users = shared_mut(&mut scratch.cross_users[slot]);
+            let cross_items = shared_mut(&mut scratch.cross_items[slot]);
+            let in_users = shared_mut(&mut scratch.in_users[slot]);
+            let in_items = shared_mut(&mut scratch.in_items[slot]);
+            let cross_labels = &mut scratch.cross_labels;
+            let in_labels = &mut scratch.in_labels;
+            cross_users.clear();
+            cross_items.clear();
+            cross_labels.clear();
+            in_users.clear();
+            in_items.clear();
+            in_labels.clear();
+            let mut push = |user: u32, item: u32, label: f32| {
+                if self.train_overlap_set.contains(&user) {
+                    cross_users.push(user as usize);
+                    cross_items.push(item as usize);
+                    cross_labels.push(label);
+                } else {
+                    in_users.push(user as usize);
+                    in_items.push(item as usize);
+                    in_labels.push(label);
+                }
             };
-            push(u, batch.pos_items[k], 1.0, &mut side);
-        }
-        for (k, &u) in batch.neg_users.iter().enumerate() {
-            let mut side = if self.train_overlap_set.contains(&u) {
-                CrossOrIn::Cross
-            } else {
-                CrossOrIn::In
-            };
-            push(u, batch.neg_items[k], 0.0, &mut side);
+            for (k, &u) in batch.users.iter().enumerate() {
+                push(u, batch.pos_items[k], 1.0);
+            }
+            for (k, &u) in batch.neg_users.iter().enumerate() {
+                push(u, batch.neg_items[k], 0.0);
+            }
         }
 
         let mut cross_value = 0.0f32;
         let mut in_value = 0.0f32;
-        if !cross_users.is_empty() {
-            let zu = tape.gather_rows(source_users.users.z, &cross_users)?;
-            let zi = tape.gather_rows(target_items.items.z, &cross_items)?;
-            let logits = tape.rowwise_dot(zu, zi)?;
-            let labels = Tensor::from_vec(cross_labels.len(), 1, cross_labels)?;
+        if !scratch.cross_users[slot].is_empty() {
+            // Fused gather + row-wise dot: scores the sampled (user, item)
+            // pairs without materialising the gathered latent matrices.
+            let logits = tape.gather_rowwise_dot(
+                source_users.users.z,
+                target_items.items.z,
+                &scratch.cross_users[slot],
+                &scratch.cross_items[slot],
+            )?;
+            let labels = pooled_column(tape, &scratch.cross_labels);
             let bce = tape.bce_with_logits(logits, labels)?;
             cross_value = tape.value(bce)?.scalar_value()?;
-            losses.push(bce);
+            scratch.losses.push(bce);
         }
-        if self.config.variant.use_in_domain_ib() && !in_users.is_empty() {
-            let zu = tape.gather_rows(target_users.users.z, &in_users)?;
-            let zi = tape.gather_rows(target_items.items.z, &in_items)?;
-            let logits = tape.rowwise_dot(zu, zi)?;
-            let labels = Tensor::from_vec(in_labels.len(), 1, in_labels)?;
+        if self.config.variant.use_in_domain_ib() && !scratch.in_users[slot].is_empty() {
+            let logits = tape.gather_rowwise_dot(
+                target_users.users.z,
+                target_items.items.z,
+                &scratch.in_users[slot],
+                &scratch.in_items[slot],
+            )?;
+            let labels = pooled_column(tape, &scratch.in_labels);
             let bce = tape.bce_with_logits(logits, labels)?;
             in_value = tape.value(bce)?.scalar_value()?;
-            losses.push(bce);
+            scratch.losses.push(bce);
         }
         Ok((cross_value, in_value))
     }
@@ -343,10 +387,10 @@ impl CdribModel {
         tape: &mut Tape,
         enc_x: &DomainEncoding,
         enc_y: &DomainEncoding,
-        losses: &mut Vec<Var>,
+        scratch: &mut StepScratch,
     ) -> Result<f32> {
-        let overlap_idx: Vec<usize> = self.train_overlap.iter().map(|&u| u as usize).collect();
         let mut value = 0.0f32;
+        let losses = &mut scratch.losses;
         let mut add_kl = |tape: &mut Tape, mu: Var, sigma: Var, weight: f32, value: &mut f32| -> Result<()> {
             let kl = tape.kl_std_normal(mu, sigma)?;
             let kl = tape.scale(kl, weight)?;
@@ -363,11 +407,16 @@ impl CdribModel {
             add_kl(tape, enc_x.users.mu, enc_x.users.sigma, w1, &mut value)?;
             add_kl(tape, enc_y.users.mu, enc_y.users.sigma, w2, &mut value)?;
         } else {
-            let mu_xo = tape.gather_rows(enc_x.users.mu, &overlap_idx)?;
-            let sig_xo = tape.gather_rows(enc_x.users.sigma, &overlap_idx)?;
+            {
+                let overlap_idx = shared_mut(&mut scratch.overlap_idx);
+                overlap_idx.clear();
+                overlap_idx.extend(self.train_overlap.iter().map(|&u| u as usize));
+            }
+            let mu_xo = tape.gather_rows_shared(enc_x.users.mu, &scratch.overlap_idx)?;
+            let sig_xo = tape.gather_rows_shared(enc_x.users.sigma, &scratch.overlap_idx)?;
             add_kl(tape, mu_xo, sig_xo, w1, &mut value)?;
-            let mu_yo = tape.gather_rows(enc_y.users.mu, &overlap_idx)?;
-            let sig_yo = tape.gather_rows(enc_y.users.sigma, &overlap_idx)?;
+            let mu_yo = tape.gather_rows_shared(enc_y.users.mu, &scratch.overlap_idx)?;
+            let sig_yo = tape.gather_rows_shared(enc_y.users.sigma, &scratch.overlap_idx)?;
             add_kl(tape, mu_yo, sig_yo, w2, &mut value)?;
         }
         // Item minimality always applies (items appear in both regularizers).
@@ -383,63 +432,91 @@ impl CdribModel {
         enc_x: &DomainEncoding,
         enc_y: &DomainEncoding,
         rng: &mut StdRng,
-        losses: &mut Vec<Var>,
+        scratch: &mut StepScratch,
     ) -> Result<f32> {
         if !self.config.variant.use_contrastive() || self.train_overlap.len() < 2 {
             return Ok(0.0);
         }
-        let mut users = self.train_overlap.clone();
-        shuffle_in_place(rng, &mut users);
-        users.truncate(self.config.contrastive_batch);
-        let idx: Vec<usize> = users.iter().map(|&u| u as usize).collect();
-        // Negative partners: a rotation of the batch guarantees a mismatch for
-        // every pair (the batch has at least 2 distinct users).
-        let mut partner = idx.clone();
-        partner.rotate_left(1);
+        let n_pairs;
+        {
+            let users = &mut scratch.contrastive_users;
+            users.clear();
+            users.extend_from_slice(&self.train_overlap);
+            shuffle_in_place(rng, users);
+            users.truncate(self.config.contrastive_batch);
+            n_pairs = users.len();
+            let idx = shared_mut(&mut scratch.contrastive_idx);
+            idx.clear();
+            idx.extend(users.iter().map(|&u| u as usize));
+            // Negative partners: a rotation of the batch guarantees a mismatch
+            // for every pair (the batch has at least 2 distinct users).
+            let partner = shared_mut(&mut scratch.contrastive_partner);
+            partner.clear();
+            partner.extend_from_slice(idx);
+            partner.rotate_left(1);
+        }
 
-        let zx = tape.gather_rows(enc_x.users.z, &idx)?;
-        let zy_pos = tape.gather_rows(enc_y.users.z, &idx)?;
-        let zy_neg = tape.gather_rows(enc_y.users.z, &partner)?;
+        let zx = tape.gather_rows_shared(enc_x.users.z, &scratch.contrastive_idx)?;
+        let zy_pos = tape.gather_rows_shared(enc_y.users.z, &scratch.contrastive_idx)?;
+        let zy_neg = tape.gather_rows_shared(enc_y.users.z, &scratch.contrastive_partner)?;
 
         let pos_in = tape.concat_cols(zx, zy_pos)?;
         let neg_in = tape.concat_cols(zx, zy_neg)?;
         let all_in = tape.concat_rows(pos_in, neg_in)?;
         let logits = self.discriminator.forward(tape, &self.params, all_in)?;
-        let mut labels = vec![1.0f32; idx.len()];
-        labels.extend(vec![0.0f32; idx.len()]);
-        let labels = Tensor::from_vec(labels.len(), 1, labels)?;
+        // Aligned pairs first, then the rotated (mismatched) pairs.
+        let mut labels = tape.scratch(2 * n_pairs, 1);
+        labels.as_mut_slice()[..n_pairs].fill(1.0);
+        labels.as_mut_slice()[n_pairs..].fill(0.0);
         let bce = tape.bce_with_logits(logits, labels)?;
         let weighted = tape.scale(bce, self.config.contrastive_weight)?;
         let value = tape.value(weighted)?.scalar_value()?;
-        losses.push(weighted);
+        scratch.losses.push(weighted);
         Ok(value)
     }
 
     /// Builds the full training objective for one pair of edge batches and
     /// returns the loss variable together with its breakdown.
+    ///
+    /// Takes `&mut self` only for the reusable [`StepScratch`] buffers; the
+    /// parameters and graph state are not modified.
     pub fn loss(
+        &mut self,
+        tape: &mut Tape,
+        x_batch: &EdgeBatch,
+        y_batch: &EdgeBatch,
+        rng: &mut StdRng,
+    ) -> Result<(Var, LossBreakdown)> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.loss_with_scratch(tape, x_batch, y_batch, rng, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    fn loss_with_scratch(
         &self,
         tape: &mut Tape,
         x_batch: &EdgeBatch,
         y_batch: &EdgeBatch,
         rng: &mut StdRng,
+        scratch: &mut StepScratch,
     ) -> Result<(Var, LossBreakdown)> {
         let mut enc_rng_x = component_rng(rng.gen::<u64>(), "encode-x");
         let mut enc_rng_y = component_rng(rng.gen::<u64>(), "encode-y");
         let enc_x = self.encode_domain(tape, DomainId::X, Some(&mut enc_rng_x))?;
         let enc_y = self.encode_domain(tape, DomainId::Y, Some(&mut enc_rng_y))?;
 
-        let mut losses: Vec<Var> = Vec::new();
-        let minimality = self.minimality_terms(tape, &enc_x, &enc_y, &mut losses)?;
+        scratch.losses.clear();
+        let minimality = self.minimality_terms(tape, &enc_x, &enc_y, scratch)?;
         // Reconstruction of domain X interactions: overlap users are encoded
         // by domain Y (cross term of L_{o2X}), the rest by domain X itself.
-        let (cross_x, in_x) = self.reconstruction_terms(tape, x_batch, &enc_x, &enc_y, &enc_x, &mut losses)?;
+        let (cross_x, in_x) = self.reconstruction_terms(tape, x_batch, &enc_x, &enc_y, &enc_x, scratch, 0)?;
         // Reconstruction of domain Y interactions (L_{o2Y} and L_{y2Y}).
-        let (cross_y, in_y) = self.reconstruction_terms(tape, y_batch, &enc_y, &enc_x, &enc_y, &mut losses)?;
-        let contrastive = self.contrastive_term(tape, &enc_x, &enc_y, rng, &mut losses)?;
+        let (cross_y, in_y) = self.reconstruction_terms(tape, y_batch, &enc_y, &enc_x, &enc_y, scratch, 1)?;
+        let contrastive = self.contrastive_term(tape, &enc_x, &enc_y, rng, scratch)?;
 
-        let mut total = losses[0];
-        for &term in &losses[1..] {
+        let mut total = scratch.losses[0];
+        for &term in &scratch.losses[1..] {
             total = tape.add(total, term)?;
         }
         let breakdown = LossBreakdown {
@@ -472,6 +549,14 @@ impl CdribModel {
         let y_batches = make_domain_batches(&scenario.y.train, n_batches, self.config.neg_ratio, rng)?;
         Ok(x_batches.into_iter().zip(y_batches).collect())
     }
+}
+
+/// Copies a label slice into a pooled `n x 1` tape buffer so the label
+/// tensor's storage is recycled across steps.
+fn pooled_column(tape: &mut Tape, values: &[f32]) -> Tensor {
+    let mut col = tape.scratch(values.len(), 1);
+    col.as_mut_slice().copy_from_slice(values);
+    col
 }
 
 /// Splits a domain's training edges into `n_batches` shuffled batches with
@@ -575,13 +660,13 @@ mod tests {
         let scenario = tiny_scenario();
         let mut rng = component_rng(3, "ablation");
         let config = CdribConfig::fast_test();
-        let full = CdribModel::new(&config, &scenario).unwrap();
-        let wo_con = CdribModel::new(
+        let mut full = CdribModel::new(&config, &scenario).unwrap();
+        let mut wo_con = CdribModel::new(
             &config.with_variant(crate::config::CdribVariant::WithoutContrastive),
             &scenario,
         )
         .unwrap();
-        let wo_both = CdribModel::new(
+        let mut wo_both = CdribModel::new(
             &config.with_variant(crate::config::CdribVariant::WithoutInDomainAndContrastive),
             &scenario,
         )

@@ -79,6 +79,11 @@ pub fn train_model(model: &mut CdribModel, config: &CdribConfig, scenario: &CdrS
     let mut evals_without_improvement = 0usize;
     let mut epochs_run = 0usize;
 
+    // One tape for the whole run: `reset` recycles every buffer of the
+    // previous step through the tape's pool, so warm steps draw all tensor
+    // storage from recycled memory instead of the allocator.
+    let mut tape = Tape::new();
+
     for epoch in 0..config.epochs {
         epochs_run = epoch + 1;
         let batches = model.make_batches(scenario, &mut rng)?;
@@ -87,7 +92,7 @@ pub fn train_model(model: &mut CdribModel, config: &CdribConfig, scenario: &CdrS
         let n_steps = batches.len();
         for (xb, yb) in &batches {
             model.params_mut().zero_grad();
-            let mut tape = Tape::new();
+            tape.reset();
             let (loss, breakdown) = model.loss(&mut tape, xb, yb, &mut rng)?;
             let value = tape.backward(loss, model.params_mut())?;
             if !value.is_finite() {

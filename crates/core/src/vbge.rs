@@ -17,7 +17,7 @@
 //! stacked and their outputs are concatenated before the variational heads.
 
 use crate::error::Result;
-use cdrib_tensor::rng::dropout_mask;
+use cdrib_tensor::rng::{fill_dropout_mask, fill_normal};
 use cdrib_tensor::{Activation, CsrMatrix, Linear, ParamSet, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -196,7 +196,10 @@ impl VbgeEncoder {
             let mut back = tape.leaky_relu(pulled, self.leaky_slope)?;
             if let Some(fwd) = noise.as_mut() {
                 if fwd.dropout > 0.0 {
-                    let mask = dropout_mask(fwd.rng, n, self.dim, fwd.dropout);
+                    // The mask lives in a pooled scratch buffer, so the same
+                    // storage is reused every step once the tape is warm.
+                    let mut mask = tape.scratch(n, self.dim);
+                    fill_dropout_mask(fwd.rng, mask.as_mut_slice(), fwd.dropout);
                     back = tape.dropout(back, mask)?;
                 }
             }
@@ -221,7 +224,8 @@ impl VbgeEncoder {
         let sigma = tape.softplus(sigma_lin)?;
         let z = match noise.as_mut() {
             Some(fwd) => {
-                let eps = cdrib_tensor::rng::normal_tensor(fwd.rng, n, self.dim, 1.0);
+                let mut eps = tape.scratch(n, self.dim);
+                fill_normal(fwd.rng, eps.as_mut_slice(), 1.0);
                 let eps = tape.constant(eps);
                 let scaled = tape.mul(sigma, eps)?;
                 tape.add(mu, scaled)?
@@ -242,7 +246,7 @@ pub fn encode_mean(
     to_self: &Arc<CsrMatrix>,
 ) -> Result<Tensor> {
     let mut tape = Tape::new();
-    let emb = tape.constant(embeddings.clone());
+    let emb = tape.constant_copy(embeddings);
     let out = encoder.forward(&mut tape, params, emb, to_other, to_self, None)?;
     Ok(tape.value(out.mu)?.clone())
 }

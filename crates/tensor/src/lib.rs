@@ -35,12 +35,15 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-track")]
+pub mod alloc_track;
 pub mod error;
 pub mod init;
 pub mod kernels;
 pub mod nn;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod rng;
 pub mod sparse;
 pub mod tape;
@@ -50,6 +53,7 @@ pub use error::{Result, TensorError};
 pub use nn::{Activation, Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamSet};
+pub use pool::{BufferPool, PoolStats};
 pub use sparse::CsrMatrix;
 pub use tape::{sigmoid_scalar, softplus_scalar, Tape, Var};
 pub use tensor::Tensor;

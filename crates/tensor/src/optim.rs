@@ -5,7 +5,7 @@
 
 use crate::error::{Result, TensorError};
 use crate::kernels;
-use crate::params::ParamSet;
+use crate::params::{ParamId, ParamSet};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -45,11 +45,8 @@ impl Sgd {
     }
 
     fn ensure_state(&mut self, params: &ParamSet) {
-        while self.velocity.len() < params.len() {
-            let i = self.velocity.len();
-            let ids: Vec<_> = params.iter_ids().collect();
-            let (id, _) = ids[i];
-            let v = params.value(id);
+        for k in self.velocity.len()..params.len() {
+            let v = params.value(ParamId(k));
             self.velocity.push(Tensor::zeros(v.rows(), v.cols()));
         }
     }
@@ -64,20 +61,32 @@ impl Optimizer for Sgd {
             });
         }
         self.ensure_state(params);
-        let ids: Vec<_> = params.iter_ids().map(|(id, _)| id).collect();
-        for id in ids {
-            let grad = params.grad(id).clone();
-            let mut update = grad;
-            if self.weight_decay > 0.0 {
-                update.axpy(self.weight_decay, params.value(id))?;
+        for k in 0..params.len() {
+            let id = ParamId(k);
+            if params.grad(id).shape() != params.value(id).shape() {
+                return Err(TensorError::ShapeMismatch {
+                    op: "Sgd::step",
+                    lhs: params.value(id).shape(),
+                    rhs: params.grad(id).shape(),
+                });
             }
             if self.momentum > 0.0 {
-                let vel = &mut self.velocity[id.index()];
-                vel.scale_in_place(self.momentum);
-                vel.add_assign(&update)?;
-                update = vel.clone();
+                // vel = momentum * vel + grad (+ weight_decay * value), then
+                // value -= lr * vel — all in place, nothing cloned.
+                let vel = &mut self.velocity[k];
+                kernels::scale_add(self.momentum, vel.as_mut_slice(), params.grad(id).as_slice());
+                if self.weight_decay > 0.0 {
+                    vel.axpy(self.weight_decay, params.value(id))?;
+                }
+                params.value_mut(id).axpy(-self.lr, vel)?;
+            } else {
+                // value = (1 - lr * wd) * value - lr * grad
+                let (value, grad) = params.value_and_grad(id);
+                if self.weight_decay > 0.0 {
+                    value.scale_in_place(1.0 - self.lr * self.weight_decay);
+                }
+                kernels::axpy(-self.lr, value.as_mut_slice(), grad.as_slice());
             }
-            params.value_mut(id).axpy(-self.lr, &update)?;
         }
         Ok(())
     }
@@ -131,10 +140,8 @@ impl Adam {
     }
 
     fn ensure_state(&mut self, params: &ParamSet) {
-        let ids: Vec<_> = params.iter_ids().map(|(id, _)| id).collect();
-        while self.first_moment.len() < params.len() {
-            let id = ids[self.first_moment.len()];
-            let v = params.value(id);
+        for k in self.first_moment.len()..params.len() {
+            let v = params.value(ParamId(k));
             self.first_moment.push(Tensor::zeros(v.rows(), v.cols()));
             self.second_moment.push(Tensor::zeros(v.rows(), v.cols()));
         }
@@ -160,9 +167,8 @@ impl Optimizer for Adam {
         let t = self.step_count as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
-        let ids: Vec<_> = params.iter_ids().map(|(id, _)| id).collect();
-        for id in ids {
-            let k = id.index();
+        for k in 0..params.len() {
+            let id = ParamId(k);
             if params.grad(id).shape() != params.value(id).shape() {
                 return Err(TensorError::ShapeMismatch {
                     op: "Adam::step",
@@ -170,14 +176,14 @@ impl Optimizer for Adam {
                     rhs: params.grad(id).shape(),
                 });
             }
+            let (value, grad) = params.value_and_grad(id);
             if self.weight_decay > 0.0 {
-                // Decoupled (AdamW-style) decay, applied before the update.
-                let decay = params.value(id).scale(self.weight_decay);
-                params.value_mut(id).axpy(-self.lr, &decay)?;
+                // Decoupled (AdamW-style) decay, applied before the update:
+                // value -= lr * wd * value, folded into one in-place scaling.
+                value.scale_in_place(1.0 - self.lr * self.weight_decay);
             }
-            let grad = params.grad(id).clone();
             kernels::adam_update(
-                params.value_mut(id).as_mut_slice(),
+                value.as_mut_slice(),
                 grad.as_slice(),
                 self.first_moment[k].as_mut_slice(),
                 self.second_moment[k].as_mut_slice(),
@@ -249,6 +255,44 @@ mod tests {
         let (a, b) = optimize(Adam::with_defaults(0.2), 300);
         assert!((a - 1.0).abs() < 1e-2, "{a}");
         assert!((b - 2.0).abs() < 1e-2, "{b}");
+    }
+
+    #[test]
+    fn adam_step_matches_scalar_reference() {
+        // The production path (fused kernel + in-place decoupled decay,
+        // driven through ParamSet) against a plain scalar per-element Adam,
+        // over several steps with fresh gradients each step.
+        let (lr, beta1, beta2, eps, wd) = (0.05f32, 0.9f32, 0.999f32, 1e-8f32, 0.01f32);
+        let n = 11;
+        let init: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::from_vec(1, n, init.clone()).unwrap()).unwrap();
+        let mut opt = Adam::new(lr, beta1, beta2, eps, wd);
+
+        let mut ref_value = init;
+        let mut ref_m = vec![0.0f32; n];
+        let mut ref_v = vec![0.0f32; n];
+        for t in 1..=5u32 {
+            let grads: Vec<f32> = (0..n).map(|i| ((i as f32 + t as f32 * 1.3).cos()) * 0.5).collect();
+            *params.grad_mut(w) = Tensor::from_vec(1, n, grads.clone()).unwrap();
+            opt.step(&mut params).unwrap();
+
+            let bias1 = 1.0 - beta1.powi(t as i32);
+            let bias2 = 1.0 - beta2.powi(t as i32);
+            for i in 0..n {
+                ref_value[i] -= lr * wd * ref_value[i];
+                ref_m[i] = beta1 * ref_m[i] + (1.0 - beta1) * grads[i];
+                ref_v[i] = beta2 * ref_v[i] + (1.0 - beta2) * grads[i] * grads[i];
+                ref_value[i] -= lr * (ref_m[i] / bias1) / ((ref_v[i] / bias2).sqrt() + eps);
+            }
+        }
+        assert_eq!(opt.steps(), 5);
+        for (i, (&got, &want)) in params.value(w).as_slice().iter().zip(ref_value.iter()).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-6 + 1e-5 * want.abs(),
+                "element {i}: fused {got} vs scalar reference {want}"
+            );
+        }
     }
 
     #[test]

@@ -111,6 +111,14 @@ impl ParamSet {
         &mut self.entries[id.0].grad
     }
 
+    /// Simultaneous mutable access to a parameter's value and shared access
+    /// to its gradient — the split borrow optimizers need to apply an update
+    /// without cloning the gradient first.
+    pub fn value_and_grad(&mut self, id: ParamId) -> (&mut Tensor, &Tensor) {
+        let entry = &mut self.entries[id.0];
+        (&mut entry.value, &entry.grad)
+    }
+
     /// Zeroes every gradient accumulator.
     pub fn zero_grad(&mut self) {
         for e in &mut self.entries {

@@ -53,12 +53,47 @@ pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
     }
 }
 
+/// Samples a *pair* of independent standard-normal values from one
+/// Box-Muller transform (using both the cosine and the sine branch), halving
+/// the uniform draws and transcendentals per sample relative to
+/// [`sample_standard_normal`].
+pub fn sample_standard_normal_pair<R: Rng + ?Sized>(rng: &mut R) -> (f32, f32) {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        let u2: f32 = rng.gen::<f32>();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        let (sin, cos) = theta.sin_cos();
+        let (z0, z1) = (r * cos, r * sin);
+        if z0.is_finite() && z1.is_finite() {
+            return (z0, z1);
+        }
+    }
+}
+
+/// Overwrites a buffer with i.i.d. `N(0, std^2)` samples (the
+/// allocation-free counterpart of [`normal_tensor`], for pooled buffers).
+/// Draws paired Box-Muller samples, so filling `n` elements costs `n`
+/// uniforms instead of `2n`.
+pub fn fill_normal<R: Rng + ?Sized>(rng: &mut R, buf: &mut [f32], std: f32) {
+    let (pairs, rest) = buf.split_at_mut(buf.len() / 2 * 2);
+    for pair in pairs.chunks_exact_mut(2) {
+        let (z0, z1) = sample_standard_normal_pair(rng);
+        pair[0] = z0 * std;
+        pair[1] = z1 * std;
+    }
+    if let [last] = rest {
+        *last = sample_standard_normal(rng) * std;
+    }
+}
+
 /// Fills a tensor with i.i.d. `N(0, std^2)` samples.
 pub fn normal_tensor<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std: f32) -> Tensor {
     let mut t = Tensor::zeros(rows, cols);
-    for v in t.as_mut_slice() {
-        *v = sample_standard_normal(rng) * std;
-    }
+    fill_normal(rng, t.as_mut_slice(), std);
     t
 }
 
@@ -77,17 +112,24 @@ pub fn uniform_tensor<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, lo
 /// multiplied elementwise with activations during training so that the
 /// expected value matches evaluation-time behaviour.
 pub fn dropout_mask<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, rate: f32) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    fill_dropout_mask(rng, t.as_mut_slice(), rate);
+    t
+}
+
+/// Overwrites a buffer with an inverted-dropout keep-mask (the
+/// allocation-free counterpart of [`dropout_mask`], for pooled buffers).
+pub fn fill_dropout_mask<R: Rng + ?Sized>(rng: &mut R, buf: &mut [f32], rate: f32) {
     debug_assert!((0.0..1.0).contains(&rate));
     if rate <= 0.0 {
-        return Tensor::ones(rows, cols);
+        buf.fill(1.0);
+        return;
     }
     let keep = 1.0 - rate;
     let scale = 1.0 / keep;
-    let mut t = Tensor::zeros(rows, cols);
-    for v in t.as_mut_slice() {
+    for v in buf {
         *v = if rng.gen::<f32>() < keep { scale } else { 0.0 };
     }
-    t
 }
 
 /// Samples `k` distinct indices from `0..n` (k <= n) without replacement

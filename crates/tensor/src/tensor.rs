@@ -61,6 +61,13 @@ impl Tensor {
         Ok(Tensor { rows, cols, data })
     }
 
+    /// Crate-internal constructor from storage whose length is already known
+    /// to match (used by the [`BufferPool`](crate::pool::BufferPool)).
+    pub(crate) fn from_raw(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        debug_assert_eq!(data.len(), rows * cols);
+        Tensor { rows, cols, data }
+    }
+
     /// Creates a tensor from a slice of rows. All rows must have equal length.
     pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self> {
         if rows.is_empty() {
@@ -278,6 +285,31 @@ impl Tensor {
         for v in &mut self.data {
             *v = f(*v);
         }
+    }
+
+    /// Applies `f` to every element, writing into `out` (shapes already
+    /// checked by the caller; `out` is fully overwritten).
+    pub fn map_into<F: Fn(f32) -> f32>(&self, out: &mut Tensor, f: F) {
+        debug_assert_eq!(self.len(), out.len());
+        for (o, &v) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(v);
+        }
+    }
+
+    /// Applies `f` to element pairs of `self` and `other`, writing into `out`
+    /// (shapes already checked by the caller; `out` is fully overwritten).
+    pub fn zip_map_into<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, out: &mut Tensor, f: F) {
+        debug_assert_eq!(self.shape(), other.shape());
+        debug_assert_eq!(self.len(), out.len());
+        for ((o, &a), &b) in out.data.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = f(a, b);
+        }
+    }
+
+    /// Overwrites `self` with the contents of an equally sized tensor.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        debug_assert_eq!(self.len(), src.len());
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Applies `f` to element pairs (shapes already checked by the caller).

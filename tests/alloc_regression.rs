@@ -1,0 +1,84 @@
+//! Allocation-regression test: a warm training step must be allocation-free.
+//!
+//! Installs the counting global allocator from `cdrib_tensor::alloc_track`
+//! and drives a small but representative training loop — pooled constants,
+//! matmul, bias broadcast, LeakyReLU, row-wise dot, BCE-with-logits, an L2
+//! term, the in-place backward pass, gradient clipping and a fused Adam
+//! step — for three epochs after a two-epoch warm-up. Every tensor buffer is
+//! recycled through the persistent tape's pool and the optimizer state is
+//! allocated during warm-up, so the steady state must perform **zero**
+//! allocator requests. Any regression (a stray `clone`, a `Vec` rebuilt per
+//! step, a kernel that materialises a temporary) trips this test.
+//!
+//! This file holds exactly one test so no concurrent test thread can
+//! allocate while the steady-state window is being measured.
+
+use cdrib_tensor::alloc_track::{allocation_count, CountingAlloc};
+use cdrib_tensor::rng::{component_rng, normal_tensor};
+use cdrib_tensor::{Adam, Optimizer, ParamSet, Tape, Tensor};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[test]
+fn warm_training_steps_are_allocation_free() {
+    let mut rng = component_rng(3, "alloc-regression");
+    // Small shapes keep every kernel below the threading threshold, so the
+    // whole step runs inline on this thread (thread spawns allocate).
+    let x = normal_tensor(&mut rng, 32, 16, 1.0);
+    let mut targets = Tensor::zeros(32, 1);
+    for (i, v) in targets.as_mut_slice().iter_mut().enumerate() {
+        *v = (i % 2) as f32;
+    }
+    let mut params = ParamSet::new();
+    let w = params.add("w", normal_tensor(&mut rng, 16, 8, 0.3)).unwrap();
+    let b = params.add("b", normal_tensor(&mut rng, 1, 8, 0.3)).unwrap();
+    let mut opt = Adam::new(0.01, 0.9, 0.999, 1e-8, 0.001);
+    let mut tape = Tape::new();
+
+    let mut losses = [0.0f32; 5];
+    let mut run_epoch = |tape: &mut Tape, params: &mut ParamSet, epoch: usize| {
+        for _ in 0..4 {
+            params.zero_grad();
+            tape.reset();
+            let xv = tape.constant_copy(&x);
+            let wv = tape.param(params, w);
+            let bv = tape.param(params, b);
+            let h = tape.matmul(xv, wv).unwrap();
+            let h = tape.add_row_broadcast(h, bv).unwrap();
+            let h = tape.leaky_relu(h, 0.1).unwrap();
+            let dots = tape.rowwise_dot(h, h).unwrap();
+            let rec = tape.bce_with_logits_copy(dots, &targets).unwrap();
+            let reg = tape.sum_squares(wv).unwrap();
+            let reg = tape.scale(reg, 0.01).unwrap();
+            let loss = tape.add(rec, reg).unwrap();
+            losses[epoch] = tape.backward(loss, params).unwrap();
+            params.clip_grad_norm(20.0);
+            opt.step(params).unwrap();
+        }
+    };
+
+    // Warm-up: pool fills, optimizer state and scratch tables allocate.
+    for epoch in 0..2 {
+        run_epoch(&mut tape, &mut params, epoch);
+    }
+    let misses_after_warmup = tape.pool_stats().misses;
+    let allocs_before = allocation_count();
+    for epoch in 2..5 {
+        run_epoch(&mut tape, &mut params, epoch);
+    }
+    let steady_state_allocs = allocation_count() - allocs_before;
+
+    assert_eq!(
+        steady_state_allocs, 0,
+        "warm training steps must not touch the allocator (got {steady_state_allocs} requests over 3 epochs)"
+    );
+    assert_eq!(
+        tape.pool_stats().misses,
+        misses_after_warmup,
+        "every warm buffer request must be served from the pool"
+    );
+    // The loop is actually training, not a no-op.
+    assert!(losses[4] < losses[0], "loss should decrease: {losses:?}");
+    assert!(params.all_finite());
+}
