@@ -13,7 +13,7 @@
 
 use crate::common::BaselineOpts;
 use crate::mf::MfModel;
-use cdrib_data::{DataError, EdgeBatcher, Result};
+use cdrib_data::{DataError, EdgeBatcher, EpochBatches, Result};
 use cdrib_graph::BipartiteGraph;
 use cdrib_tensor::rng::component_rng;
 use cdrib_tensor::{Activation, Adam, Linear, Optimizer, ParamSet, Tape, Tensor, Var};
@@ -95,8 +95,10 @@ pub fn train_gcn(graph: &BipartiteGraph, opts: &BaselineOpts, layers: usize) -> 
     let batch_size = graph.n_edges().div_ceil(2).max(1);
     let batcher = EdgeBatcher::new(batch_size, opts.neg_ratio)?;
     let mut tape = Tape::new();
+    let mut epoch_batches = EpochBatches::new();
     for _epoch in 0..opts.epochs {
-        for batch in batcher.epoch(graph, &mut rng_train)? {
+        batcher.epoch_into(graph, &mut rng_train, &mut epoch_batches)?;
+        for batch in &epoch_batches {
             params.zero_grad();
             tape.reset();
             let (u_cat, i_cat) = propagate(&mut tape, &params)?;

@@ -17,7 +17,7 @@
 //!   multi-domain baselines.
 
 use crate::common::{BaselineOpts, MergedGraph};
-use cdrib_data::{CdrScenario, DataError, DomainId, EdgeBatcher, Result};
+use cdrib_data::{CdrScenario, DataError, DomainId, EdgeBatcher, EpochBatches, Result};
 use cdrib_eval::EmbeddingScorer;
 use cdrib_tensor::rng::component_rng;
 use cdrib_tensor::{init, Adam, Optimizer, ParamId, ParamSet, Tape, Tensor};
@@ -88,11 +88,16 @@ pub fn train_conet(scenario: &CdrScenario, opts: &BaselineOpts) -> Result<Embedd
     let mut rng_train = component_rng(opts.seed, "conet-train");
 
     let mut tape = Tape::new();
+    // One reusable epoch storage per domain so batch buffers are recycled
+    // across epochs instead of reallocated.
+    let mut epoch_batches = [EpochBatches::new(), EpochBatches::new()];
     for _epoch in 0..opts.epochs {
         for (domain, items_id, w_id) in [(DomainId::X, x_items, w_x), (DomainId::Y, y_items, w_y)] {
             let graph = &scenario.domain(domain).train;
             let batcher = EdgeBatcher::new(graph.n_edges().max(1), opts.neg_ratio)?;
-            for batch in batcher.epoch(graph, &mut rng_train)? {
+            let storage = &mut epoch_batches[(domain == DomainId::Y) as usize];
+            batcher.epoch_into(graph, &mut rng_train, storage)?;
+            for batch in storage.batches() {
                 params.zero_grad();
                 tape.reset();
                 let u_table = tape.param(&params, shared_users);
@@ -183,11 +188,14 @@ pub fn train_star(scenario: &CdrScenario, opts: &BaselineOpts) -> Result<Embeddi
     let mut rng_train = component_rng(opts.seed, "star-train");
 
     let mut tape = Tape::new();
+    let mut epoch_batches = [EpochBatches::new(), EpochBatches::new()];
     for _epoch in 0..opts.epochs {
         for (domain, users_id, items_id) in [(DomainId::X, x_users, x_items), (DomainId::Y, y_users, y_items)] {
             let graph = &scenario.domain(domain).train;
             let batcher = EdgeBatcher::new(graph.n_edges().max(1), opts.neg_ratio)?;
-            for batch in batcher.epoch(graph, &mut rng_train)? {
+            let storage = &mut epoch_batches[(domain == DomainId::Y) as usize];
+            batcher.epoch_into(graph, &mut rng_train, storage)?;
+            for batch in storage.batches() {
                 params.zero_grad();
                 tape.reset();
                 let su = tape.param(&params, shared_users);

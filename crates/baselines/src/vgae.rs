@@ -9,7 +9,7 @@
 use crate::common::BaselineOpts;
 use crate::mf::MfModel;
 use cdrib_core::{encode_mean, ForwardNoise, MeanActivation, VbgeEncoder};
-use cdrib_data::{DataError, EdgeBatcher, Result};
+use cdrib_data::{DataError, EdgeBatcher, EpochBatches, Result};
 use cdrib_graph::BipartiteGraph;
 use cdrib_tensor::rng::component_rng;
 use cdrib_tensor::{Adam, Optimizer, ParamSet, Tape, Tensor};
@@ -72,8 +72,10 @@ pub fn train_vgae(graph: &BipartiteGraph, opts: &BaselineOpts, layers: usize) ->
     let batch_size = graph.n_edges().div_ceil(2).max(1);
     let batcher = EdgeBatcher::new(batch_size, opts.neg_ratio)?;
     let mut tape = Tape::new();
+    let mut epoch_batches = EpochBatches::new();
     for _epoch in 0..opts.epochs {
-        for batch in batcher.epoch(graph, &mut rng_train)? {
+        batcher.epoch_into(graph, &mut rng_train, &mut epoch_batches)?;
+        for batch in &epoch_batches {
             params.zero_grad();
             tape.reset();
             let ue = tape.param(&params, user_emb);

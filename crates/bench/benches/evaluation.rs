@@ -34,6 +34,19 @@ fn bench_protocol(c: &mut Criterion) {
                 )
             })
         });
+        // The same protocol driven by an allocating scalar per-pair closure:
+        // the pre-batching scoring path, kept as the comparison baseline for
+        // the fused `score_candidates_*` kernels.
+        let scalar = |d: Direction, u: u32, items: &[u32]| -> Vec<f32> { scorer.score_items_scalar(d, u, items) };
+        group.bench_with_input(BenchmarkId::new("negatives_scalar", negatives), &negatives, |b, _| {
+            b.iter(|| {
+                black_box(
+                    evaluate_cold_start(&scalar, &scenario, Direction::X_TO_Y, EvalSplit::Test, &cfg)
+                        .unwrap()
+                        .metrics,
+                )
+            })
+        });
     }
     group.finish();
 }

@@ -24,7 +24,8 @@
 
 use cdrib_bench::Args;
 use cdrib_core::{CdribConfig, CdribModel};
-use cdrib_data::{build_preset, Scale, ScenarioKind};
+use cdrib_data::{build_preset, Direction, EpochBatches, Scale, ScenarioKind};
+use cdrib_eval::{evaluate_both_directions, EvalConfig, EvalSplit};
 use cdrib_tensor::alloc_track::{allocation_count, CountingAlloc};
 use cdrib_tensor::rng::component_rng;
 use cdrib_tensor::{kernels, Adam, Optimizer, ParamSet, Tape, Tensor};
@@ -50,10 +51,21 @@ fn run_mode(
     let mut opt = Adam::new(config.learning_rate, 0.9, 0.999, 1e-8, config.l2_weight);
     let mut rng = component_rng(config.seed, "step-perf");
     let mut tape = Tape::new();
+    let (mut x_epoch, mut y_epoch) = (EpochBatches::new(), EpochBatches::new());
 
     let mut run_epoch = |tape: &mut Tape, model: &mut CdribModel| {
-        let batches = model.make_batches(scenario, &mut rng).expect("batches");
-        for (xb, yb) in &batches {
+        // Pooled mode is the production path: batch storage is refilled in
+        // place. Fresh mode discards the storage first, so every batch Vec
+        // is reallocated — the pre-pooling behaviour, with identical
+        // sampling work either way.
+        if !pooled {
+            x_epoch = EpochBatches::new();
+            y_epoch = EpochBatches::new();
+        }
+        model
+            .make_batches_into(scenario, &mut rng, &mut x_epoch, &mut y_epoch)
+            .expect("batches");
+        for (xb, yb) in x_epoch.iter().zip(y_epoch.iter()) {
             model.params_mut().zero_grad();
             if pooled {
                 tape.reset();
@@ -143,14 +155,136 @@ fn toy_steady_state_allocs(epochs: usize) -> u64 {
     (allocation_count() - before) / epochs as u64
 }
 
+/// Throughput of the leave-one-out evaluation hot path.
+struct EvalPerf {
+    n_negatives: usize,
+    cases: usize,
+    cases_per_sec: f64,
+    scalar_cases_per_sec: f64,
+    speedup: f64,
+    scoring_speedup: f64,
+}
+
+/// The pre-PR evaluation loop, reproduced verbatim as the baseline: per-case
+/// rejection sampling with a fresh `HashSet` (which degenerates towards a
+/// coupon-collector loop whenever `n_negatives` approaches the number of
+/// non-interacted items), per-item `has_edge` binary searches in the
+/// exhaustive branch, and an allocating scalar per-pair scoring loop.
+fn legacy_eval(
+    scorer: &cdrib_eval::EmbeddingScorer,
+    scenario: &cdrib_data::CdrScenario,
+    direction: Direction,
+    config: &EvalConfig,
+) -> usize {
+    use cdrib_eval::rank_of_positive;
+    use rand::Rng;
+    let cases = &scenario.cold_start(direction).test;
+    let target = scenario.domain(direction.target);
+    let n_items = target.n_items;
+    let mut rng = cdrib_tensor::rng::component_rng(config.seed, "eval-negatives");
+    let mut n_cases = 0usize;
+    let mut candidates: Vec<u32> = Vec::with_capacity(config.n_negatives + 1);
+    let mut rank_sink = 0usize;
+    for case in cases.iter() {
+        candidates.clear();
+        candidates.push(case.item);
+        let available = n_items - target.full.user_degree(case.user as usize);
+        if available <= config.n_negatives {
+            for cand in 0..n_items as u32 {
+                if cand != case.item && !target.full.has_edge(case.user as usize, cand as usize) {
+                    candidates.push(cand);
+                }
+            }
+        } else {
+            let mut seen = std::collections::HashSet::with_capacity(config.n_negatives + 1);
+            seen.insert(case.item);
+            while candidates.len() < config.n_negatives + 1 {
+                let cand = rng.gen_range(0..n_items) as u32;
+                if seen.contains(&cand) || target.full.has_edge(case.user as usize, cand as usize) {
+                    continue;
+                }
+                seen.insert(cand);
+                candidates.push(cand);
+            }
+        }
+        let scores = scorer.score_items_scalar(direction, case.user, &candidates);
+        rank_sink += rank_of_positive(scores[0], &scores[1..]);
+        n_cases += 1;
+    }
+    std::hint::black_box(rank_sink);
+    n_cases
+}
+
+/// Times the full two-direction cold-start evaluation three ways: the
+/// batched kernel-backed pipeline, the faithful pre-PR loop ([`legacy_eval`];
+/// this is the "scalar path" baseline), and the new pipeline driven by an
+/// allocating scalar closure scorer (isolating the scoring speedup from the
+/// sampling fixes). Reports cases/s and ratios; `repeats` medians out CI-box
+/// noise.
+fn run_eval_perf(scenario: &cdrib_data::CdrScenario, config: &CdribConfig, repeats: usize) -> EvalPerf {
+    let model = CdribModel::new(config, scenario).expect("model construction");
+    let scorer = model.infer_embeddings().expect("embeddings").into_scorer();
+    // The paper's 999 negatives when the catalogue allows it, capped so both
+    // directions stay valid on the preset scales.
+    let min_items = scenario.x.n_items.min(scenario.y.n_items);
+    let eval_cfg = EvalConfig {
+        n_negatives: 999.min(min_items - 1),
+        seed: 17,
+        max_cases: None,
+    };
+
+    // Scalar closure scorer over the same tables (the pre-batching scoring
+    // loop), run through the new sampling pipeline.
+    let scalar_scorer = |d: Direction, u: u32, items: &[u32]| -> Vec<f32> { scorer.score_items_scalar(d, u, items) };
+
+    let mut cases = 0usize;
+    let (mut batched_times, mut legacy_times, mut scalar_times) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..repeats.max(1) {
+        let started = Instant::now();
+        let (x2y, y2x) = evaluate_both_directions(&scorer, scenario, EvalSplit::Test, &eval_cfg).expect("batched eval");
+        batched_times.push(started.elapsed().as_secs_f64());
+        cases = x2y.n_cases() + y2x.n_cases();
+
+        let started = Instant::now();
+        let n = legacy_eval(&scorer, scenario, Direction::X_TO_Y, &eval_cfg)
+            + legacy_eval(&scorer, scenario, Direction::Y_TO_X, &eval_cfg);
+        legacy_times.push(started.elapsed().as_secs_f64());
+        assert_eq!(n, cases, "legacy path must evaluate the same cases");
+
+        let started = Instant::now();
+        let _ = evaluate_both_directions(&scalar_scorer, scenario, EvalSplit::Test, &eval_cfg).expect("scalar eval");
+        scalar_times.push(started.elapsed().as_secs_f64());
+    }
+    batched_times.sort_by(f64::total_cmp);
+    legacy_times.sort_by(f64::total_cmp);
+    scalar_times.sort_by(f64::total_cmp);
+    let batched = batched_times[batched_times.len() / 2];
+    let legacy = legacy_times[legacy_times.len() / 2];
+    let scalar = scalar_times[scalar_times.len() / 2];
+    EvalPerf {
+        n_negatives: eval_cfg.n_negatives,
+        cases,
+        cases_per_sec: cases as f64 / batched,
+        scalar_cases_per_sec: cases as f64 / legacy,
+        speedup: legacy / batched,
+        scoring_speedup: scalar / batched,
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     let quick = args.get("quick").is_some();
-    let scale_name = args.get("scale").unwrap_or("tiny").to_string();
-    let scale = match scale_name.as_str() {
+    let scale = match args.get("scale").unwrap_or("tiny") {
         "small" => Scale::Small,
         "full" => Scale::Full,
         _ => Scale::Tiny,
+    };
+    // Echo the *normalized* scale so BENCH_step.json can never claim a
+    // scale that was not actually run (an unknown value falls back to tiny).
+    let scale_name = match scale {
+        Scale::Small => "small",
+        Scale::Full => "full",
+        _ => "tiny",
     };
     let epochs: usize = args.get_or("epochs", if quick { 6 } else { 20 });
     let warmup: usize = args.get_or("warmup", 2);
@@ -183,6 +317,7 @@ fn main() {
     let pooled = run_mode(true, &scenario, &config, epochs, warmup);
     let speedup = fresh.epoch_ms_median / pooled.epoch_ms_median;
     let toy_allocs = toy_steady_state_allocs(3);
+    let eval = run_eval_perf(&scenario, &config, if quick { 2 } else { 5 });
 
     eprintln!(
         "fresh tape : {:8.2} ms/epoch, {:6} allocs/epoch",
@@ -193,6 +328,10 @@ fn main() {
         pooled.epoch_ms_median, pooled.allocs_per_epoch
     );
     eprintln!("toy loop   : {toy_allocs} steady-state allocs/epoch");
+    eprintln!(
+        "evaluation : {:8.0} cases/s batched vs {:.0} cases/s pre-PR scalar path ({:.2}x; scoring alone {:.2}x; {} cases x {} negatives)",
+        eval.cases_per_sec, eval.scalar_cases_per_sec, eval.speedup, eval.scoring_speedup, eval.cases, eval.n_negatives
+    );
 
     let json = format!(
         concat!(
@@ -211,7 +350,13 @@ fn main() {
             "  \"fresh_tape\": {{ \"epoch_ms_median\": {fresh_ms:.3}, \"allocs_per_epoch\": {fresh_allocs} }},\n",
             "  \"pooled_tape\": {{ \"epoch_ms_median\": {pooled_ms:.3}, \"allocs_per_epoch\": {pooled_allocs} }},\n",
             "  \"speedup_pooled_vs_fresh\": {speedup:.3},\n",
-            "  \"toy_loop_steady_state_allocs_per_epoch\": {toy_allocs}\n",
+            "  \"toy_loop_steady_state_allocs_per_epoch\": {toy_allocs},\n",
+            "  \"eval_cases\": {eval_cases},\n",
+            "  \"eval_negatives\": {eval_negatives},\n",
+            "  \"eval_cases_per_sec\": {eval_cps:.1},\n",
+            "  \"eval_scalar_cases_per_sec\": {eval_scalar_cps:.1},\n",
+            "  \"eval_speedup_batched_vs_scalar\": {eval_speedup:.3},\n",
+            "  \"eval_scoring_speedup\": {eval_scoring_speedup:.3}\n",
             "}}\n"
         ),
         scale = scale_name,
@@ -229,6 +374,12 @@ fn main() {
         pooled_allocs = pooled.allocs_per_epoch,
         speedup = speedup,
         toy_allocs = toy_allocs,
+        eval_cases = eval.cases,
+        eval_negatives = eval.n_negatives,
+        eval_cps = eval.cases_per_sec,
+        eval_scalar_cps = eval.scalar_cases_per_sec,
+        eval_speedup = eval.speedup,
+        eval_scoring_speedup = eval.scoring_speedup,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_step.json");
     eprintln!("wrote {out_path}");

@@ -18,7 +18,7 @@
 use crate::config::CdribConfig;
 use crate::error::{CoreError, Result};
 use crate::vbge::{ForwardNoise, MeanActivation, VbgeEncoder, VbgeOutput};
-use cdrib_data::{CdrScenario, DomainId, EdgeBatch};
+use cdrib_data::{CdrScenario, DomainId, EdgeBatch, EpochBatches};
 use cdrib_graph::BipartiteGraph;
 use cdrib_tensor::rng::{component_rng, shuffle_in_place};
 use cdrib_tensor::{Activation, CsrMatrix, Mlp, ParamId, ParamSet, Tape, Tensor, Var};
@@ -82,8 +82,12 @@ pub struct CdribModel {
     /// Overlapping users available as cross-domain bridges during training.
     train_overlap: Vec<u32>,
     train_overlap_set: HashSet<u32>,
-    /// Reusable per-step index/label buffers (see [`StepScratch`]).
-    scratch: StepScratch,
+    /// Reusable per-step index/label buffers (see [`StepScratch`]), parked
+    /// in an `Option` so each step can move it out and back with
+    /// `Option::take` — a plain pointer move. (`std::mem::take` of the
+    /// struct itself would build a `StepScratch::default()` per step, which
+    /// allocates one `Arc` per index buffer.)
+    scratch: Option<StepScratch>,
 }
 
 /// Reusable buffers of the per-step loss construction.
@@ -228,7 +232,7 @@ impl CdribModel {
             discriminator,
             train_overlap: scenario.train_overlap_users.clone(),
             train_overlap_set: scenario.train_overlap_users.iter().copied().collect(),
-            scratch: StepScratch::default(),
+            scratch: Some(StepScratch::default()),
         })
     }
 
@@ -487,9 +491,9 @@ impl CdribModel {
         y_batch: &EdgeBatch,
         rng: &mut StdRng,
     ) -> Result<(Var, LossBreakdown)> {
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut scratch = self.scratch.take().unwrap_or_default();
         let result = self.loss_with_scratch(tape, x_batch, y_batch, rng, &mut scratch);
-        self.scratch = scratch;
+        self.scratch = Some(scratch);
         result
     }
 
@@ -543,11 +547,34 @@ impl CdribModel {
 
     /// Samples one epoch of edge batches for both domains. The two domains
     /// have different interaction counts, so the shorter one is cycled.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`CdribModel::make_batches_into`]; steady-state training loops (the
+    /// trainer, `step_perf`) hold two [`EpochBatches`] and refill them
+    /// instead.
     pub fn make_batches(&self, scenario: &CdrScenario, rng: &mut StdRng) -> Result<Vec<(EdgeBatch, EdgeBatch)>> {
+        let (mut x, mut y) = (EpochBatches::new(), EpochBatches::new());
+        self.make_batches_into(scenario, rng, &mut x, &mut y)?;
+        Ok(x.batches().iter().cloned().zip(y.batches().iter().cloned()).collect())
+    }
+
+    /// Refills `x`/`y` with one epoch of edge batches per domain, reusing
+    /// all per-batch storage of previous epochs (zero allocator requests in
+    /// steady state; enforced by `tests/alloc_regression.rs`). Each storage
+    /// ends up with `batches_per_epoch` batches, or fewer when a degenerate
+    /// domain has fewer training edges than that — step loops must iterate
+    /// the zip of the two storages, not assume the configured count.
+    pub fn make_batches_into(
+        &self,
+        scenario: &CdrScenario,
+        rng: &mut StdRng,
+        x: &mut EpochBatches,
+        y: &mut EpochBatches,
+    ) -> Result<()> {
         let n_batches = self.config.batches_per_epoch;
-        let x_batches = make_domain_batches(&scenario.x.train, n_batches, self.config.neg_ratio, rng)?;
-        let y_batches = make_domain_batches(&scenario.y.train, n_batches, self.config.neg_ratio, rng)?;
-        Ok(x_batches.into_iter().zip(y_batches).collect())
+        make_domain_batches_into(&scenario.x.train, n_batches, self.config.neg_ratio, rng, x)?;
+        make_domain_batches_into(&scenario.y.train, n_batches, self.config.neg_ratio, rng, y)?;
+        Ok(())
     }
 }
 
@@ -560,27 +587,23 @@ fn pooled_column(tape: &mut Tape, values: &[f32]) -> Tensor {
 }
 
 /// Splits a domain's training edges into `n_batches` shuffled batches with
-/// negatives.
-fn make_domain_batches(
+/// negatives, refilling `storage` in place.
+fn make_domain_batches_into(
     graph: &BipartiteGraph,
     n_batches: usize,
     neg_ratio: usize,
     rng: &mut StdRng,
-) -> Result<Vec<EdgeBatch>> {
+    storage: &mut EpochBatches,
+) -> Result<()> {
     let batch_size = graph.n_edges().div_ceil(n_batches).max(1);
     let batcher = cdrib_data::EdgeBatcher::new(batch_size, neg_ratio)?;
-    let mut batches = batcher.epoch(graph, rng)?;
+    batcher.epoch_into(graph, rng, storage)?;
     // The division can produce one extra small batch; merge it into the last
     // full batch so every epoch has exactly `n_batches` steps.
-    while batches.len() > n_batches {
-        let extra = batches.pop().expect("len > n_batches >= 1");
-        let last = batches.last_mut().expect("at least one batch");
-        last.users.extend(extra.users);
-        last.pos_items.extend(extra.pos_items);
-        last.neg_users.extend(extra.neg_users);
-        last.neg_items.extend(extra.neg_items);
+    while storage.len() > n_batches {
+        storage.merge_tail();
     }
-    Ok(batches)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 use crate::config::CdribConfig;
 use crate::error::{CoreError, Result};
 use crate::model::{CdribEmbeddings, CdribModel, LossBreakdown};
-use cdrib_data::CdrScenario;
+use cdrib_data::{CdrScenario, EpochBatches};
 use cdrib_eval::{evaluate_both_directions, EvalConfig, EvalSplit};
 use cdrib_tensor::rng::component_rng;
 use cdrib_tensor::{Adam, Optimizer, Tape};
@@ -81,16 +81,22 @@ pub fn train_model(model: &mut CdribModel, config: &CdribConfig, scenario: &CdrS
 
     // One tape for the whole run: `reset` recycles every buffer of the
     // previous step through the tape's pool, so warm steps draw all tensor
-    // storage from recycled memory instead of the allocator.
+    // storage from recycled memory instead of the allocator. The two epoch
+    // storages likewise recycle every batch buffer, so a warm epoch touches
+    // the allocator zero times end to end.
     let mut tape = Tape::new();
+    let (mut x_epoch, mut y_epoch) = (EpochBatches::new(), EpochBatches::new());
 
     for epoch in 0..config.epochs {
         epochs_run = epoch + 1;
-        let batches = model.make_batches(scenario, &mut rng)?;
+        model.make_batches_into(scenario, &mut rng, &mut x_epoch, &mut y_epoch)?;
         let mut epoch_loss = 0.0f32;
         let mut epoch_breakdown = LossBreakdown::default();
-        let n_steps = batches.len();
-        for (xb, yb) in &batches {
+        // The step loop zips the two epochs, so the true step count is the
+        // shorter one (a degenerate domain can yield fewer batches than
+        // `batches_per_epoch`).
+        let n_steps = x_epoch.len().min(y_epoch.len());
+        for (xb, yb) in x_epoch.iter().zip(y_epoch.iter()) {
             model.params_mut().zero_grad();
             tape.reset();
             let (loss, breakdown) = model.loss(&mut tape, xb, yb, &mut rng)?;

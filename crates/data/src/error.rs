@@ -26,6 +26,15 @@ pub enum DataError {
         /// The exclusive bound.
         bound: usize,
     },
+    /// A model produced a non-finite (NaN or infinite) score for a
+    /// ground-truth item during evaluation; the resulting ranks would be
+    /// meaningless.
+    NonFiniteScore {
+        /// The evaluated cold-start user.
+        user: u32,
+        /// The ground-truth item whose score was non-finite.
+        item: u32,
+    },
     /// Underlying graph error.
     Graph(cdrib_graph::GraphError),
     /// Underlying tensor error.
@@ -43,6 +52,13 @@ impl fmt::Display for DataError {
             }
             DataError::IndexOutOfRange { entity, index, bound } => {
                 write!(f, "{entity} index {index} out of range (< {bound})")
+            }
+            DataError::NonFiniteScore { user, item } => {
+                write!(
+                    f,
+                    "the model produced a non-finite score for ground-truth item {item} \
+                     of user {user}; ranking metrics are undefined for non-finite scores"
+                )
             }
             DataError::Graph(e) => write!(f, "graph error: {e}"),
             DataError::Tensor(e) => write!(f, "tensor error: {e}"),

@@ -21,7 +21,7 @@ pub mod raw;
 pub mod scenario;
 pub mod synthetic;
 
-pub use batch::{EdgeBatch, EdgeBatcher, NegativeSampler};
+pub use batch::{EdgeBatch, EdgeBatcher, EpochBatches, NegativeSampler};
 pub use error::{DataError, Result};
 pub use overlap::{with_overlap_ratio, TABLE8_RATIOS};
 pub use presets::{build_preset, preset_config, Scale, ScenarioKind};

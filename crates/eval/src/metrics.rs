@@ -42,11 +42,22 @@ pub fn hit_rate_at_k(rank: usize, k: usize) -> f64 {
 /// score always rank above the positive, and half of the equal-scoring items
 /// (excluding the positive itself) are counted above it, matching the
 /// expected rank under random tie-breaking.
+///
+/// NaN scores are treated pessimistically so a diverging model can never
+/// report perfect metrics: every NaN negative counts as ranking *above* the
+/// positive (a plain `>` comparison would silently drop them), and a NaN
+/// positive lands at the worst possible rank. Infinite scores order
+/// normally under `>`. The evaluation protocol additionally refuses to
+/// produce metrics at all when the positive's own score is non-finite
+/// (`DataError::NonFiniteScore`).
 pub fn rank_of_positive(positive_score: f32, negative_scores: &[f32]) -> usize {
+    if positive_score.is_nan() {
+        return negative_scores.len() + 1;
+    }
     let mut higher = 0usize;
     let mut equal = 0usize;
     for &s in negative_scores {
-        if s > positive_score {
+        if s > positive_score || s.is_nan() {
             higher += 1;
         } else if s == positive_score {
             equal += 1;
@@ -207,6 +218,21 @@ mod tests {
         assert_eq!(rank_of_positive(0.0, &[]), 1);
         // all negatives higher -> last place
         assert_eq!(rank_of_positive(-1.0, &[0.0; 999]), 1000);
+    }
+
+    #[test]
+    fn rank_of_positive_is_nan_safe() {
+        // NaN negatives rank above the positive instead of vanishing.
+        assert_eq!(rank_of_positive(0.5, &[f32::NAN, f32::NAN, 0.1]), 3);
+        assert_eq!(rank_of_positive(0.5, &[f32::NAN; 999]), 1000);
+        // A NaN positive lands at the worst rank, never at #1.
+        assert_eq!(rank_of_positive(f32::NAN, &[0.1, 0.2, 0.3]), 4);
+        assert_eq!(rank_of_positive(f32::NAN, &[f32::NAN; 9]), 10);
+        assert_eq!(rank_of_positive(f32::NAN, &[]), 1);
+        // The regression this guards: an all-NaN score vector used to
+        // report rank 1 (MRR = 1) because every `NaN > NaN` compare is false.
+        let mrr = reciprocal_rank(rank_of_positive(f32::NAN, &[f32::NAN; 999]));
+        assert!(mrr < 0.01, "diverged scores must not look perfect: {mrr}");
     }
 
     #[test]

@@ -6,9 +6,8 @@
 //! positive. MRR / NDCG / HR are averaged over all cases.
 
 use crate::metrics::{rank_of_positive, MetricsAccumulator, RankingMetrics};
-use cdrib_data::{CdrScenario, DataError, Direction, EvalCase, Result};
+use cdrib_data::{CdrScenario, DataError, Direction, EvalCase, NegativeSampler, Result};
 use cdrib_tensor::rng::component_rng;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Which held-out split to evaluate.
@@ -47,16 +46,35 @@ impl Default for EvalConfig {
 ///
 /// `user` is an index in the shared overlap prefix (the user exists in both
 /// domains); `items` are item indices of the *target* domain of `direction`.
-/// Implementations return one score per item, higher = more relevant.
-pub trait ColdStartScorer {
-    /// Scores the given candidate items for the cold-start user.
-    fn score_items(&self, direction: Direction, user: u32, items: &[u32]) -> Vec<f32>;
+/// Implementations produce one score per item, higher = more relevant.
+///
+/// The required method is the bulk [`ColdStartScorer::score_into`], which
+/// writes into caller-provided storage so the protocol can score whole
+/// candidate blocks through pooled buffers (and, behind the `parallel`
+/// feature, across threads — hence the `Sync` bound).
+pub trait ColdStartScorer: Sync {
+    /// Scores the candidate items for the cold-start user into `out`
+    /// (`out.len() == items.len()`).
+    fn score_into(&self, direction: Direction, user: u32, items: &[u32], out: &mut [f32]);
+
+    /// Allocating convenience wrapper around [`ColdStartScorer::score_into`].
+    fn score_items(&self, direction: Direction, user: u32, items: &[u32]) -> Vec<f32> {
+        let mut out = vec![0.0; items.len()];
+        self.score_into(direction, user, items, &mut out);
+        out
+    }
 }
 
 impl<F> ColdStartScorer for F
 where
-    F: Fn(Direction, u32, &[u32]) -> Vec<f32>,
+    F: Fn(Direction, u32, &[u32]) -> Vec<f32> + Sync,
 {
+    fn score_into(&self, direction: Direction, user: u32, items: &[u32], out: &mut [f32]) {
+        let scores = self(direction, user, items);
+        debug_assert_eq!(scores.len(), out.len());
+        out.copy_from_slice(&scores);
+    }
+
     fn score_items(&self, direction: Direction, user: u32, items: &[u32]) -> Vec<f32> {
         self(direction, user, items)
     }
@@ -99,7 +117,81 @@ fn cases_of(scenario: &CdrScenario, direction: Direction, split: EvalSplit) -> &
     }
 }
 
+/// Number of evaluation cases whose candidate lists are sampled into the
+/// pooled block buffers before one bulk scoring pass. At the paper's 999
+/// negatives a block holds ~128k candidate ids / scores (~1 MB), enough to
+/// keep every scoring thread busy while staying cache-friendly.
+const BLOCK_CASES: usize = 128;
+
+/// Minimum number of scores in a block before the threaded driver engages;
+/// below this the thread-spawn overhead dominates the scoring work.
+#[cfg(feature = "parallel")]
+const PAR_MIN_SCORES: usize = 1 << 13;
+
+/// Scores one block of cases. Candidate lists live back-to-back in
+/// `candidates` with case `ci` spanning `offsets[ci]..offsets[ci + 1]`;
+/// scores land at the same positions in `scores`. Behind the `parallel`
+/// feature the cases are chunked over `std::thread::scope` threads (score
+/// ranges are disjoint, so no synchronisation is needed); results are
+/// identical to the serial path because per-case scoring is independent.
+fn score_block<S: ColdStartScorer + ?Sized>(
+    scorer: &S,
+    direction: Direction,
+    cases: &[EvalCase],
+    offsets: &[usize],
+    candidates: &[u32],
+    scores: &mut [f32],
+) {
+    debug_assert_eq!(offsets.len(), cases.len() + 1);
+    debug_assert_eq!(scores.len(), candidates.len());
+    #[cfg(feature = "parallel")]
+    {
+        let threads = cdrib_tensor::kernels::parallelism().min(cases.len());
+        if threads > 1 && scores.len() >= PAR_MIN_SCORES {
+            let per_thread = cases.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut rest = scores;
+                let mut c0 = 0usize;
+                while c0 < cases.len() {
+                    let c1 = (c0 + per_thread).min(cases.len());
+                    let (chunk, tail) = rest.split_at_mut(offsets[c1] - offsets[c0]);
+                    rest = tail;
+                    scope.spawn(move || {
+                        let base = offsets[c0];
+                        for ci in c0..c1 {
+                            scorer.score_into(
+                                direction,
+                                cases[ci].user,
+                                &candidates[offsets[ci]..offsets[ci + 1]],
+                                &mut chunk[offsets[ci] - base..offsets[ci + 1] - base],
+                            );
+                        }
+                    });
+                    c0 = c1;
+                }
+            });
+            return;
+        }
+    }
+    for (ci, case) in cases.iter().enumerate() {
+        scorer.score_into(
+            direction,
+            case.user,
+            &candidates[offsets[ci]..offsets[ci + 1]],
+            &mut scores[offsets[ci]..offsets[ci + 1]],
+        );
+    }
+}
+
 /// Runs the ranking protocol for one direction and split.
+///
+/// Candidate lists are pre-sampled per block into pooled buffers (negative
+/// sampling stays sequential in case order, so candidate lists are
+/// reproducible regardless of thread count), each block is scored in one
+/// bulk [`ColdStartScorer::score_into`] pass, and ranks are reduced from the
+/// block's score buffer. A non-finite score for a ground-truth item aborts
+/// the run with [`DataError::NonFiniteScore`]; NaN negatives are counted
+/// above the positive by [`rank_of_positive`].
 pub fn evaluate_cold_start<S: ColdStartScorer + ?Sized>(
     scorer: &S,
     scenario: &CdrScenario,
@@ -124,49 +216,60 @@ pub fn evaluate_cold_start<S: ColdStartScorer + ?Sized>(
             ),
         });
     }
+    // Negatives are sampled against the *full* graph so other held-out
+    // positives are never used as negatives; dense users fall back to
+    // exhaustive enumeration inside the shared sampler.
+    let sampler = NegativeSampler::with_items(n_items);
     let mut rng = component_rng(config.seed, "eval-negatives");
-    let limit = config.max_cases.unwrap_or(usize::MAX);
+    let n_eval = cases.len().min(config.max_cases.unwrap_or(usize::MAX));
     let mut acc = MetricsAccumulator::new();
-    let mut results = Vec::with_capacity(cases.len().min(limit));
-    let mut candidates: Vec<u32> = Vec::with_capacity(config.n_negatives + 1);
+    let mut results = Vec::with_capacity(n_eval);
+    // Pooled block buffers, reused across blocks.
+    let mut candidates: Vec<u32> = Vec::new();
+    let mut offsets: Vec<usize> = Vec::new();
+    let mut scores: Vec<f32> = Vec::new();
 
-    for case in cases.iter().take(limit) {
-        // Sample negatives the user has never interacted with in the target
-        // domain (checked against the *full* graph so other held-out
-        // positives are never used as negatives).
+    for chunk in cases[..n_eval].chunks(BLOCK_CASES) {
         candidates.clear();
-        candidates.push(case.item);
-        let available = n_items - target.full.user_degree(case.user as usize);
-        if available <= config.n_negatives {
-            // The user interacted with so much of the catalogue that fewer
-            // than `n_negatives` candidates exist: use every non-interacted
-            // item instead of rejection sampling (which would never finish).
-            for cand in 0..n_items as u32 {
-                if cand != case.item && !target.full.has_edge(case.user as usize, cand as usize) {
-                    candidates.push(cand);
-                }
-            }
-        } else {
-            let mut seen = std::collections::HashSet::with_capacity(config.n_negatives + 1);
-            seen.insert(case.item);
-            while candidates.len() < config.n_negatives + 1 {
-                let cand = rng.gen_range(0..n_items) as u32;
-                if seen.contains(&cand) || target.full.has_edge(case.user as usize, cand as usize) {
-                    continue;
-                }
-                seen.insert(cand);
-                candidates.push(cand);
-            }
+        offsets.clear();
+        offsets.push(0);
+        for case in chunk {
+            candidates.push(case.item);
+            sampler.sample_up_to(
+                &target.full,
+                case.user as usize,
+                config.n_negatives,
+                Some(case.item),
+                &mut rng,
+                &mut candidates,
+            );
+            offsets.push(candidates.len());
         }
-        let scores = scorer.score_items(direction, case.user, &candidates);
-        debug_assert_eq!(scores.len(), candidates.len());
-        let rank = rank_of_positive(scores[0], &scores[1..]);
-        acc.push_rank(rank);
-        results.push(CaseResult {
-            user: case.user,
-            item: case.item,
-            rank,
-        });
+        if scores.len() < candidates.len() {
+            scores.resize(candidates.len(), 0.0);
+        }
+        let block_scores = &mut scores[..candidates.len()];
+        score_block(scorer, direction, chunk, &offsets, &candidates, block_scores);
+        for (ci, case) in chunk.iter().enumerate() {
+            let case_scores = &block_scores[offsets[ci]..offsets[ci + 1]];
+            // Any non-finite ground-truth score is a divergence signal: an
+            // overflowing model typically hits +inf before NaN, and an
+            // infinite positive would otherwise rank #1 and report perfect
+            // metrics.
+            if !case_scores[0].is_finite() {
+                return Err(DataError::NonFiniteScore {
+                    user: case.user,
+                    item: case.item,
+                });
+            }
+            let rank = rank_of_positive(case_scores[0], &case_scores[1..]);
+            acc.push_rank(rank);
+            results.push(CaseResult {
+                user: case.user,
+                item: case.item,
+                rank,
+            });
+        }
     }
 
     Ok(EvalOutcome {
@@ -280,6 +383,105 @@ mod tests {
         for case in &out.cases {
             assert!(case.rank <= n_items);
         }
+    }
+
+    #[test]
+    fn nan_positive_scores_are_a_protocol_error() {
+        // Regression: a diverging model whose scores go NaN used to rank its
+        // positive at #1 (every `NaN > NaN` compare is false) and report
+        // MRR = 1. The protocol must refuse to produce metrics instead.
+        let scenario = tiny_scenario();
+        let cfg = EvalConfig {
+            n_negatives: 30,
+            seed: 4,
+            max_cases: Some(20),
+        };
+        let nan_scorer = |_d: Direction, _u: u32, items: &[u32]| vec![f32::NAN; items.len()];
+        let err = evaluate_cold_start(&nan_scorer, &scenario, Direction::X_TO_Y, EvalSplit::Test, &cfg);
+        assert!(
+            matches!(err, Err(cdrib_data::DataError::NonFiniteScore { .. })),
+            "{err:?}"
+        );
+        // Overflow usually hits +inf before NaN; an infinite positive would
+        // rank #1 with finite negatives, so it must error just the same.
+        let inf_scorer = |_d: Direction, _u: u32, items: &[u32]| -> Vec<f32> {
+            let mut s = vec![0.0; items.len()];
+            s[0] = f32::INFINITY;
+            s
+        };
+        let err = evaluate_cold_start(&inf_scorer, &scenario, Direction::X_TO_Y, EvalSplit::Test, &cfg);
+        assert!(
+            matches!(err, Err(cdrib_data::DataError::NonFiniteScore { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn nan_negatives_rank_above_the_positive() {
+        // A scorer with a finite positive but NaN negatives must report
+        // worst-case metrics, never MRR ~ 1. The positive is always
+        // candidate 0 of each case's list.
+        let scenario = tiny_scenario();
+        let cfg = EvalConfig {
+            n_negatives: 30,
+            seed: 4,
+            max_cases: Some(20),
+        };
+        let scorer = |_d: Direction, _u: u32, items: &[u32]| -> Vec<f32> {
+            let mut s = vec![f32::NAN; items.len()];
+            s[0] = 1.0;
+            s
+        };
+        let out = evaluate_cold_start(&scorer, &scenario, Direction::X_TO_Y, EvalSplit::Test, &cfg).unwrap();
+        assert!(
+            out.metrics.mrr < 0.1,
+            "NaN negatives must push the positive to the bottom: MRR {}",
+            out.metrics.mrr
+        );
+        assert_eq!(out.metrics.hr10, 0.0);
+        for case in &out.cases {
+            assert_eq!(case.rank, 31, "all 30 NaN negatives must rank above");
+        }
+    }
+
+    #[test]
+    fn batched_blocks_match_per_case_scoring() {
+        // The block pipeline (pooled buffers + bulk score_into, possibly
+        // threaded) must produce exactly the metrics of naive per-case
+        // scoring. The closure scorer exercises the default score_into
+        // adapter; more cases than BLOCK_CASES forces multiple blocks.
+        let scenario = tiny_scenario();
+        let cfg = EvalConfig {
+            n_negatives: 40,
+            seed: 11,
+            max_cases: None,
+        };
+        let scorer = |_d: Direction, u: u32, items: &[u32]| -> Vec<f32> {
+            items
+                .iter()
+                .map(|&i| ((i as f32 * 12.9898 + u as f32 * 78.233).sin() * 43758.547).fract())
+                .collect()
+        };
+        let out = evaluate_cold_start(&scorer, &scenario, Direction::X_TO_Y, EvalSplit::Test, &cfg).unwrap();
+        // Reference: same candidates (same seed), one case at a time.
+        let mut acc = MetricsAccumulator::new();
+        let sampler = NegativeSampler::with_items(scenario.y.n_items);
+        let mut rng = component_rng(cfg.seed, "eval-negatives");
+        for case in &scenario.cold_x_to_y.test {
+            let mut candidates = vec![case.item];
+            sampler.sample_up_to(
+                &scenario.y.full,
+                case.user as usize,
+                cfg.n_negatives,
+                Some(case.item),
+                &mut rng,
+                &mut candidates,
+            );
+            let scores = scorer(Direction::X_TO_Y, case.user, &candidates);
+            acc.push_rank(rank_of_positive(scores[0], &scores[1..]));
+        }
+        let reference = acc.mean().unwrap();
+        assert_eq!(out.metrics, reference);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::protocol::ColdStartScorer;
 use cdrib_data::{Direction, DomainId};
-use cdrib_tensor::Tensor;
+use cdrib_tensor::{kernels, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// How a user vector and an item vector are combined into a score.
@@ -77,8 +77,12 @@ impl EmbeddingScorer {
         }
     }
 
-    /// Scores a single `(user_vector, item_vector)` pair.
-    fn pair_score(&self, user: &[f32], item: &[f32]) -> f32 {
+    /// Scores a single `(user_vector, item_vector)` pair with a plain scalar
+    /// loop. This is the reference implementation the batched
+    /// [`EmbeddingScorer::score_cross_into`] path is parity-tested against
+    /// (`tests/score_parity.rs`); production scoring goes through the SIMD
+    /// kernels instead.
+    pub fn pair_score(&self, user: &[f32], item: &[f32]) -> f32 {
         match self.kind {
             ScoreKind::Dot => user.iter().zip(item.iter()).map(|(a, b)| a * b).sum(),
             ScoreKind::NegativeDistance => -user
@@ -95,19 +99,52 @@ impl EmbeddingScorer {
     /// Scores `items` of `item_domain` for the user row taken from
     /// `user_domain`. Exposed for baselines that need in-domain scoring too.
     pub fn score_cross(&self, user_domain: DomainId, user: u32, item_domain: DomainId, items: &[u32]) -> Vec<f32> {
-        let users = self.user_table(user_domain);
-        let table = self.item_table(item_domain);
+        let mut out = vec![0.0; items.len()];
+        self.score_cross_into(user_domain, user, item_domain, items, &mut out);
+        out
+    }
+
+    /// Scalar reference scoring of a full candidate list for a transfer
+    /// direction: the pre-batching path (per-pair [`EmbeddingScorer::pair_score`]
+    /// loop into a fresh `Vec`), kept as the single definition of the
+    /// baseline that benches and parity suites compare the kernel-backed
+    /// [`ColdStartScorer::score_into`] route against.
+    pub fn score_items_scalar(&self, direction: Direction, user: u32, items: &[u32]) -> Vec<f32> {
+        let users = self.user_table(direction.source);
+        let table = self.item_table(direction.target);
         let u = users.row(user as usize);
         items
             .iter()
             .map(|&i| self.pair_score(u, table.row(i as usize)))
             .collect()
     }
+
+    /// Bulk variant of [`EmbeddingScorer::score_cross`]: scores every
+    /// candidate in one fused SIMD kernel pass (`score_candidates_dot` /
+    /// `score_candidates_neg_sq_dist`) without allocating.
+    pub fn score_cross_into(
+        &self,
+        user_domain: DomainId,
+        user: u32,
+        item_domain: DomainId,
+        items: &[u32],
+        out: &mut [f32],
+    ) {
+        let users = self.user_table(user_domain);
+        let table = self.item_table(item_domain);
+        let u = users.row(user as usize);
+        match self.kind {
+            ScoreKind::Dot => kernels::score_candidates_dot(table.cols(), u, table.as_slice(), items, out),
+            ScoreKind::NegativeDistance => {
+                kernels::score_candidates_neg_sq_dist(table.cols(), u, table.as_slice(), items, out)
+            }
+        }
+    }
 }
 
 impl ColdStartScorer for EmbeddingScorer {
-    fn score_items(&self, direction: Direction, user: u32, items: &[u32]) -> Vec<f32> {
-        self.score_cross(direction.source, user, direction.target, items)
+    fn score_into(&self, direction: Direction, user: u32, items: &[u32], out: &mut [f32]) {
+        self.score_cross_into(direction.source, user, direction.target, items, out)
     }
 }
 

@@ -11,12 +11,13 @@
 //! `4 x 6` buffer can serve a later `6 x 4` request because tensors are
 //! dense row-major and the storage carries no shape of its own, and a
 //! 20 000-row batch buffer can serve next epoch's 20 113-row batch because
-//! classes above [`EXACT_CLASS_MAX`] elements are rounded up in 12.5% steps
-//! (the buffer is handed out truncated to the requested length). Without the
-//! rounding, batch-length jitter would defeat the pool exactly where buffers
-//! are largest: every epoch would allocate fresh multi-megabyte blocks that
-//! glibc serves straight from `mmap`, so every step would pay the page
-//! faults the pool exists to avoid.
+//! every class is rounded up in 12.5% steps (the buffer is handed out
+//! truncated to the requested length). Without the rounding, batch-length
+//! jitter would defeat the pool twice over: the multi-megabyte epoch buffers
+//! would be allocated fresh from `mmap` every epoch (paying page faults far
+//! costlier than the compute they feed), and the mid-sized per-step buffers
+//! whose lengths depend on batch *composition* — how many overlap users a
+//! shuffled batch happens to contain — would miss on every step.
 
 use crate::tensor::Tensor;
 use std::collections::HashMap;
@@ -27,25 +28,25 @@ use std::collections::HashMap;
 /// callers that keep returning without ever taking.
 const MAX_PER_CLASS: usize = 256;
 
-/// Largest element count served by exact-size classes; larger requests are
-/// rounded up so slightly different lengths share storage.
-const EXACT_CLASS_MAX: usize = 4096;
+/// Smallest rounding step of [`size_class`]; keeps the class count bounded
+/// for tiny buffers where proportional steps would degenerate to 1.
+const MIN_CLASS_STEP: usize = 8;
 
 /// The size class (storage capacity in elements) serving requests of `len`
-/// elements: exact below [`EXACT_CLASS_MAX`], rounded up to the next 1/8th
-/// of the largest power of two at or below `len` (at most 12.5% slack).
+/// elements: rounded up to the next 1/8th of the largest power of two at or
+/// below `len` (at most 12.5% slack, [`MIN_CLASS_STEP`] elements minimum),
+/// so slightly different lengths share storage.
 fn size_class(len: usize) -> usize {
-    if len <= EXACT_CLASS_MAX {
+    if len == 0 {
+        return 0;
+    }
+    let pow2_at_or_below = if len.is_power_of_two() {
         len
     } else {
-        let pow2_at_or_below = if len.is_power_of_two() {
-            len
-        } else {
-            len.next_power_of_two() / 2
-        };
-        let step = pow2_at_or_below / 8;
-        len.div_ceil(step) * step
-    }
+        len.next_power_of_two() / 2
+    };
+    let step = (pow2_at_or_below / 8).max(MIN_CLASS_STEP);
+    len.div_ceil(step) * step
 }
 
 /// Hit/miss counters of a [`BufferPool`] (diagnostics and tests).
@@ -100,23 +101,26 @@ impl BufferPool {
     }
 
     /// Returns a tensor's storage to the pool for reuse. Storage whose
-    /// capacity cannot hold its size class (a caller-built tensor with an
-    /// exact-length allocation) is dropped rather than parked, so the pool
-    /// only ever hands out buffers it sized itself.
+    /// capacity falls short of its size class (a caller-built tensor with an
+    /// exact-length allocation) is grown once on the way in, so the pool
+    /// only ever hands out buffers of full class capacity; buffers that
+    /// cycled through the pool before re-park without touching the
+    /// allocator.
     pub fn put(&mut self, tensor: Tensor) {
         let mut data = tensor.into_vec();
         if data.is_empty() {
             return;
         }
         let class = size_class(data.len());
-        if data.capacity() < class {
+        let bucket = self.buckets.entry(class).or_default();
+        if bucket.len() >= MAX_PER_CLASS {
             return;
         }
-        data.resize(class, 0.0);
-        let bucket = self.buckets.entry(class).or_default();
-        if bucket.len() < MAX_PER_CLASS {
-            bucket.push(data);
+        if data.capacity() < class {
+            data.reserve_exact(class - data.len());
         }
+        data.resize(class, 0.0);
+        bucket.push(data);
     }
 
     /// Current counters.
@@ -161,7 +165,9 @@ mod tests {
     #[test]
     fn size_classes_bound_slack_at_one_eighth() {
         for len in [
-            4097usize,
+            100usize,
+            4096,
+            4097,
             5000,
             8192,
             8193,
@@ -173,16 +179,18 @@ mod tests {
             let class = size_class(len);
             assert!(class >= len, "class {class} must cover len {len}");
             assert!(
-                class - len <= len / 8,
+                class - len <= (len / 8).max(MIN_CLASS_STEP),
                 "len {len}: class {class} wastes {} (> 12.5%)",
                 class - len
             );
         }
-        // Small requests are exact.
-        assert_eq!(size_class(100), 100);
+        assert_eq!(size_class(0), 0);
         assert_eq!(size_class(4096), 4096);
-        // Nearby large lengths share a class (the batch-jitter property).
+        // Nearby lengths share a class (the batch-jitter property) at every
+        // scale: multi-megabyte epoch buffers and mid-sized per-step buffers
+        // whose lengths depend on batch composition.
         assert_eq!(size_class(650_000), size_class(650_900));
+        assert_eq!(size_class(38_400), size_class(38_900));
     }
 
     #[test]
