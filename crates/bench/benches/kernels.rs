@@ -132,10 +132,38 @@ fn bench_ranking(c: &mut Criterion) {
     });
 }
 
+/// Scalar-libm vs vectorised Box-Muller noise fill at a reparameterisation
+/// buffer shape (a tiny-preset `n_users x dim` noise tensor). The uniform
+/// draws are identical either way; the pair isolates the `ln`/`sin_cos`
+/// transform that the branchless polynomial kernels vectorise.
+fn bench_fill_normal_pair(c: &mut Criterion) {
+    use cdrib_tensor::rng::{fill_normal, fill_normal_scalar};
+    let mut group = c.benchmark_group("fill_normal_scalar_vs_vectorised");
+    for len in [4096usize, 65_536] {
+        let mut buf = vec![0.0f32; len];
+        group.bench_with_input(BenchmarkId::new("scalar", len), &len, |b, _| {
+            let mut rng = component_rng(5, "bench-fill-normal");
+            b.iter(|| {
+                fill_normal_scalar(&mut rng, black_box(&mut buf), 1.0);
+                black_box(buf[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vectorised", len), &len, |b, _| {
+            let mut rng = component_rng(5, "bench-fill-normal");
+            b.iter(|| {
+                fill_normal(&mut rng, black_box(&mut buf), 1.0);
+                black_box(buf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_sparse_dense, bench_dense_matmul, bench_matmul_serial_vs_parallel,
-        bench_spmm_serial_vs_parallel, bench_vbge_forward, bench_negative_sampling, bench_ranking
+        bench_spmm_serial_vs_parallel, bench_vbge_forward, bench_negative_sampling, bench_ranking,
+        bench_fill_normal_pair
 }
 criterion_main!(kernels);

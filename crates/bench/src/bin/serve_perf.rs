@@ -1,0 +1,274 @@
+//! Serving-path performance benchmark: the full train → freeze → load →
+//! recommend pipeline.
+//!
+//! Trains CDRIB briefly on a synthetic preset, freezes it into a versioned
+//! model artifact, reloads the artifact the way a serving process would
+//! (`Recommender::from_artifact_file`), verifies the frozen forward matches
+//! the tape forward bit for bit and that bounded-heap top-K selection equals
+//! full-sort selection, then measures:
+//!
+//! * single-request latency (p50 / p99) over cold-start users of both
+//!   transfer directions;
+//! * batched throughput in requests/s and raw candidate scores/s (each
+//!   request scores the full opposite-domain catalogue);
+//! * steady-state allocator requests per warm request (must be zero; the
+//!   `alloc_regression` integration test enforces the same property).
+//!
+//! Results are written to `BENCH_serve.json` (override with `--out`). Usage:
+//!
+//! ```text
+//! serve_perf [--scale tiny|small] [--epochs N] [--requests N] [--k K] [--quick] [--out PATH]
+//! ```
+
+use cdrib_bench::Args;
+use cdrib_core::{CdribConfig, CdribModel, InferenceModel};
+use cdrib_data::{build_preset, Direction, EpochBatches, Scale, ScenarioKind};
+use cdrib_serve::{Recommendation, Recommender, Request};
+use cdrib_tensor::alloc_track::{allocation_count, CountingAlloc};
+use cdrib_tensor::rng::component_rng;
+use cdrib_tensor::{kernels, Adam, Optimizer, Tape};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Trains a model for `epochs` (no in-loop validation; the artifact is the
+/// deliverable, not the metric).
+fn train_briefly(scenario: &cdrib_data::CdrScenario, config: &CdribConfig, epochs: usize) -> CdribModel {
+    let mut model = CdribModel::new(config, scenario).expect("model construction");
+    let mut opt = Adam::new(config.learning_rate, 0.9, 0.999, 1e-8, config.l2_weight);
+    let mut rng = component_rng(config.seed, "serve-perf-train");
+    let mut tape = Tape::new();
+    let (mut x_epoch, mut y_epoch) = (EpochBatches::new(), EpochBatches::new());
+    for _ in 0..epochs {
+        model
+            .make_batches_into(scenario, &mut rng, &mut x_epoch, &mut y_epoch)
+            .expect("batches");
+        for (xb, yb) in x_epoch.iter().zip(y_epoch.iter()) {
+            model.params_mut().zero_grad();
+            tape.reset();
+            let (loss, _) = model.loss(&mut tape, xb, yb, &mut rng).expect("loss");
+            let value = tape.backward(loss, model.params_mut()).expect("backward");
+            assert!(value.is_finite(), "training diverged during the benchmark");
+            model.params_mut().clip_grad_norm(20.0);
+            opt.step(model.params_mut()).expect("optimizer step");
+        }
+    }
+    model
+}
+
+/// The serving request mix: cold-start test users of both directions, each
+/// asking for the same K — the workload the paper's protocol implies.
+fn request_mix(scenario: &cdrib_data::CdrScenario, k: usize) -> Vec<Request> {
+    let mut requests = Vec::new();
+    for &user in &scenario.cold_x_to_y.test_users {
+        requests.push(Request {
+            direction: Direction::X_TO_Y,
+            user,
+            k,
+        });
+    }
+    for &user in &scenario.cold_y_to_x.test_users {
+        requests.push(Request {
+            direction: Direction::Y_TO_X,
+            user,
+            k,
+        });
+    }
+    assert!(!requests.is_empty(), "preset scenarios always hold cold-start users");
+    requests
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.get("quick").is_some();
+    let scale = match args.get("scale").unwrap_or("tiny") {
+        "small" => Scale::Small,
+        "full" => Scale::Full,
+        _ => Scale::Tiny,
+    };
+    let scale_name = match scale {
+        Scale::Small => "small",
+        Scale::Full => "full",
+        _ => "tiny",
+    };
+    let train_epochs: usize = args.get_or("epochs", if quick { 8 } else { 40 });
+    let k: usize = args.get_or("k", 10);
+    let out_path = args.get("out").unwrap_or("BENCH_serve.json").to_string();
+    let seed: u64 = args.get_or("seed", 42);
+
+    let scenario = build_preset(ScenarioKind::GameVideo, scale, seed).expect("preset scenario");
+    let config = CdribConfig {
+        dim: 32,
+        layers: 2,
+        batches_per_epoch: 2,
+        eval_every: 0,
+        patience: 0,
+        seed,
+        ..CdribConfig::default()
+    };
+    eprintln!(
+        "serve_perf: scenario game_video/{scale_name}, catalogues {} + {} items, dim {}, {} train epochs, isa {}, {} thread(s)",
+        scenario.x.n_items,
+        scenario.y.n_items,
+        config.dim,
+        train_epochs,
+        kernels::active_isa(),
+        kernels::parallelism(),
+    );
+
+    // --- Train, freeze, reload: the full artifact hand-off. -----------------
+    let model = train_briefly(&scenario, &config, train_epochs);
+    let artifact_path = std::env::temp_dir().join(format!("cdrib_serve_perf_{seed}.cdrb"));
+    model
+        .save_file(&scenario, &artifact_path)
+        .expect("write model artifact");
+    let artifact_bytes = std::fs::metadata(&artifact_path).expect("artifact metadata").len();
+
+    // The serving process's view: artifact file -> frozen model -> engine.
+    let (mut inference, loaded_scenario) =
+        InferenceModel::from_artifact_file(&artifact_path).expect("load model artifact");
+    // Frozen forward must equal the tape forward bit for bit.
+    let tape_embeddings = model.infer_embeddings().expect("tape embeddings");
+    let frozen_embeddings = inference.embeddings().expect("frozen embeddings");
+    assert_eq!(
+        tape_embeddings.x_users, frozen_embeddings.x_users,
+        "frozen forward diverged from the tape forward"
+    );
+    assert_eq!(tape_embeddings.y_items, frozen_embeddings.y_items);
+    let mut recommender = Recommender::from_inference(&mut inference, &loaded_scenario).expect("recommender");
+    std::fs::remove_file(&artifact_path).ok();
+
+    let requests = request_mix(&loaded_scenario, k);
+    // Candidates scored per request = the target-domain catalogue size.
+    let candidates_per_request: u64 = requests
+        .iter()
+        .map(|r| recommender.catalogue_size(r.direction.target) as u64)
+        .sum::<u64>()
+        / requests.len() as u64;
+
+    // --- Correctness gates before any timing. -------------------------------
+    let mut out: Vec<Recommendation> = Vec::new();
+    for request in requests.iter().take(32) {
+        recommender.recommend(request, &mut out).expect("recommend");
+        let reference = recommender.recommend_full_sort(request).expect("full sort");
+        assert_eq!(out, reference, "bounded-heap top-K diverged from full sort");
+        assert!(out.len() <= request.k);
+    }
+    eprintln!(
+        "parity     : heap top-K identical to full-sort top-K on {} requests",
+        32.min(requests.len())
+    );
+
+    // --- Warm-up, then steady-state allocation audit. -----------------------
+    for request in &requests {
+        recommender.recommend(request, &mut out).expect("warm-up");
+    }
+    let allocs_before = allocation_count();
+    let audit_rounds = 50usize;
+    for request in requests.iter().cycle().take(audit_rounds) {
+        recommender.recommend(request, &mut out).expect("audited request");
+    }
+    let allocs_per_request = (allocation_count() - allocs_before) as f64 / audit_rounds as f64;
+
+    // --- Single-request latency. -------------------------------------------
+    let latency_rounds = if quick { 4usize } else { 20 };
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(latency_rounds * requests.len());
+    for _ in 0..latency_rounds {
+        for request in &requests {
+            let started = Instant::now();
+            recommender.recommend(request, &mut out).expect("latency request");
+            latencies_us.push(started.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    latencies_us.sort_by(f64::total_cmp);
+    let p50 = percentile(&latencies_us, 0.50);
+    let p99 = percentile(&latencies_us, 0.99);
+
+    // --- Batched throughput. ------------------------------------------------
+    let mut responses: Vec<Vec<Recommendation>> = Vec::new();
+    recommender
+        .recommend_batch(&requests, &mut responses)
+        .expect("batch warm-up");
+    let batch_rounds = if quick { 6usize } else { 30 };
+    let started = Instant::now();
+    for _ in 0..batch_rounds {
+        recommender
+            .recommend_batch(&requests, &mut responses)
+            .expect("batch round");
+    }
+    let batch_secs = started.elapsed().as_secs_f64();
+    let total_requests = (batch_rounds * requests.len()) as f64;
+    let recs_per_sec = total_requests / batch_secs;
+    let scores_per_sec = total_requests * candidates_per_request as f64 / batch_secs;
+
+    eprintln!(
+        "latency    : p50 {p50:.1} us, p99 {p99:.1} us over {} single requests ({candidates_per_request} candidates each, k={k})",
+        latencies_us.len()
+    );
+    eprintln!(
+        "throughput : {recs_per_sec:.0} recommendations/s, {:.2}M candidate scores/s ({} requests/batch, {} threads)",
+        scores_per_sec / 1e6,
+        requests.len(),
+        kernels::parallelism()
+    );
+    eprintln!("allocations: {allocs_per_request:.2} steady-state allocs/request (must be 0)");
+    assert_eq!(
+        allocs_per_request, 0.0,
+        "warm serving requests must not touch the allocator"
+    );
+    assert!(
+        scores_per_sec >= 1e6,
+        "serving must sustain at least 1M candidate scores/s, got {scores_per_sec:.0}"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve_perf\",\n",
+            "  \"scenario\": \"game_video\",\n",
+            "  \"scale\": \"{scale}\",\n",
+            "  \"dim\": {dim},\n",
+            "  \"train_epochs\": {train_epochs},\n",
+            "  \"artifact_bytes\": {artifact_bytes},\n",
+            "  \"catalogue_items_x\": {items_x},\n",
+            "  \"catalogue_items_y\": {items_y},\n",
+            "  \"k\": {k},\n",
+            "  \"isa\": \"{isa}\",\n",
+            "  \"threads\": {threads},\n",
+            "  \"requests_per_batch\": {batch_requests},\n",
+            "  \"candidates_per_request\": {candidates},\n",
+            "  \"latency_us_p50\": {p50:.2},\n",
+            "  \"latency_us_p99\": {p99:.2},\n",
+            "  \"recommendations_per_sec\": {rps:.1},\n",
+            "  \"candidate_scores_per_sec\": {sps:.0},\n",
+            "  \"steady_state_allocs_per_request\": {allocs:.2},\n",
+            "  \"heap_matches_full_sort\": true,\n",
+            "  \"frozen_matches_tape_forward\": true\n",
+            "}}\n"
+        ),
+        scale = scale_name,
+        dim = config.dim,
+        train_epochs = train_epochs,
+        artifact_bytes = artifact_bytes,
+        items_x = loaded_scenario.x.n_items,
+        items_y = loaded_scenario.y.n_items,
+        k = k,
+        isa = kernels::active_isa(),
+        threads = kernels::parallelism(),
+        batch_requests = requests.len(),
+        candidates = candidates_per_request,
+        p50 = p50,
+        p99 = p99,
+        rps = recs_per_sec,
+        sps = scores_per_sec,
+        allocs = allocs_per_request,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {out_path}");
+}

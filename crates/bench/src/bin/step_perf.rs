@@ -184,6 +184,7 @@ fn legacy_eval(
     let mut rng = cdrib_tensor::rng::component_rng(config.seed, "eval-negatives");
     let mut n_cases = 0usize;
     let mut candidates: Vec<u32> = Vec::with_capacity(config.n_negatives + 1);
+    let mut scores: Vec<f32> = Vec::new();
     let mut rank_sink = 0usize;
     for case in cases.iter() {
         candidates.clear();
@@ -207,8 +208,9 @@ fn legacy_eval(
                 candidates.push(cand);
             }
         }
-        let scores = scorer.score_items_scalar(direction, case.user, &candidates);
-        rank_sink += rank_of_positive(scores[0], &scores[1..]);
+        scores.resize(candidates.len(), 0.0);
+        scorer.score_items_scalar_into(direction, case.user, &candidates, &mut scores[..candidates.len()]);
+        rank_sink += rank_of_positive(scores[0], &scores[1..candidates.len()]);
         n_cases += 1;
     }
     std::hint::black_box(rank_sink);

@@ -1,57 +1,292 @@
 //! Derive macros for the in-tree `serde` stand-in.
 //!
 //! The workspace builds offline, so the real `serde_derive` (and its `syn` /
-//! `quote` dependency tree) is unavailable. The stand-in traits carry no
-//! methods, which means the derives only need to find the name of the item
-//! they are attached to and emit empty trait impls — no full Rust parser
-//! required.
+//! `quote` dependency tree) is unavailable. The stand-in's traits encode a
+//! compact binary format (see the `serde` stand-in's docs), and these derives
+//! generate the field-wise impls for it with a small hand-rolled parser over
+//! the raw token stream — no full Rust parser required.
 //!
-//! Supported input shape: non-generic `struct` / `enum` items, optionally
-//! preceded by attributes, doc comments and a visibility modifier. That is
-//! every `#[derive(Serialize, Deserialize)]` site in this workspace; a
-//! generic item produces a compile error pointing here.
+//! Supported input shapes, which cover every annotation site in this
+//! workspace:
+//!
+//! * non-generic `struct` items with named fields, tuple fields or no body;
+//! * non-generic `enum` items with unit and tuple variants.
+//!
+//! Generic items and struct-bodied enum variants produce a compile-time
+//! panic pointing here. Fields are encoded in declaration order; enum
+//! variants are tagged with their `u32` declaration index, so reordering
+//! variants is a wire-format break (artifacts carry an explicit version in
+//! their envelope to catch exactly that).
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Extracts the identifier following the `struct` / `enum` keyword.
-fn item_name(input: &TokenStream) -> String {
+/// The shape of the item a derive is attached to.
+enum Item {
+    /// `struct Name { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(A, B);`
+    TupleStruct { name: String, arity: usize },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { V0, V1(A), ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(n)` for tuple variants of arity `n`.
+    arity: Option<usize>,
+}
+
+/// Splits a token sequence on commas that sit outside any `<...>` nesting
+/// (groups are single tokens, so parentheses/brackets/braces never leak
+/// their commas here). Empty chunks (e.g. from a trailing comma) are
+/// dropped.
+fn split_top_level_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Strips leading `#[...]` attributes (including doc comments) and a `pub` /
+/// `pub(...)` visibility modifier from a token chunk.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut rest = tokens;
+    loop {
+        match rest {
+            [TokenTree::Punct(p), TokenTree::Group(g), tail @ ..]
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                rest = tail;
+            }
+            [TokenTree::Ident(id), TokenTree::Group(g), tail @ ..]
+                if id.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                rest = tail;
+            }
+            [TokenTree::Ident(id), tail @ ..] if id.to_string() == "pub" => {
+                rest = tail;
+            }
+            _ => return rest,
+        }
+    }
+}
+
+/// Field names of a `{ ... }` struct body, in declaration order.
+fn named_fields(body: &proc_macro::Group) -> Vec<String> {
+    split_top_level_commas(body.stream().into_iter().collect())
+        .into_iter()
+        .map(|chunk| {
+            let chunk = skip_attrs_and_vis(&chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(name)) => name.to_string(),
+                other => panic!("expected a field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Number of fields of a `( ... )` tuple body.
+fn tuple_arity(body: &proc_macro::Group) -> usize {
+    split_top_level_commas(body.stream().into_iter().collect()).len()
+}
+
+/// Variants of an `enum` body, in declaration order.
+fn enum_variants(name: &str, body: &proc_macro::Group) -> Vec<Variant> {
+    split_top_level_commas(body.stream().into_iter().collect())
+        .into_iter()
+        .map(|chunk| {
+            let chunk = skip_attrs_and_vis(&chunk);
+            let variant_name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected a variant name in enum `{name}`, found {other:?}"),
+            };
+            let arity = match chunk.get(1) {
+                None => None,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Some(tuple_arity(g)),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => panic!(
+                    "the in-tree serde_derive stand-in does not support struct-bodied \
+                     enum variants (`{name}::{variant_name}`)"
+                ),
+                Some(other) => panic!("unexpected token after variant `{name}::{variant_name}`: {other:?}"),
+            };
+            Variant {
+                name: variant_name,
+                arity,
+            }
+        })
+        .collect()
+}
+
+/// Parses the derive input into one of the supported item shapes.
+fn parse_item(input: &TokenStream) -> Item {
     let mut tokens = input.clone().into_iter();
     while let Some(tt) = tokens.next() {
         if let TokenTree::Ident(ident) = &tt {
             let kw = ident.to_string();
-            if kw == "struct" || kw == "enum" {
-                match tokens.next() {
-                    Some(TokenTree::Ident(name)) => {
-                        if let Some(TokenTree::Punct(p)) = tokens.next() {
-                            if p.as_char() == '<' {
-                                panic!(
-                                    "the in-tree serde_derive stand-in does not support \
-                                     generic items (deriving on `{name}`)"
-                                );
-                            }
-                        }
-                        return name.to_string();
-                    }
-                    other => panic!("expected an identifier after `{kw}`, found {other:?}"),
+            if kw != "struct" && kw != "enum" {
+                continue;
+            }
+            let name = match tokens.next() {
+                Some(TokenTree::Ident(name)) => name.to_string(),
+                other => panic!("expected an identifier after `{kw}`, found {other:?}"),
+            };
+            let body = tokens.next();
+            if let Some(TokenTree::Punct(p)) = &body {
+                if p.as_char() == '<' {
+                    panic!(
+                        "the in-tree serde_derive stand-in does not support \
+                         generic items (deriving on `{name}`)"
+                    );
                 }
             }
+            if kw == "enum" {
+                match body {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Item::Enum {
+                            variants: enum_variants(&name, &g),
+                            name,
+                        };
+                    }
+                    other => panic!("expected an enum body for `{name}`, found {other:?}"),
+                }
+            }
+            return match body {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                    fields: named_fields(&g),
+                    name,
+                },
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::TupleStruct {
+                    arity: tuple_arity(&g),
+                    name,
+                },
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+                None => Item::UnitStruct { name },
+                other => panic!("expected a struct body for `{name}`, found {other:?}"),
+            };
         }
     }
     panic!("serde derive applied to an item that is neither a struct nor an enum");
 }
 
-/// Derives the no-op [`serde::Serialize`] marker impl.
+/// Derives [`serde::Serialize`] for the binary stand-in format.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let name = item_name(&input);
-    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+    let item = parse_item(&input);
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::new();
+            for f in fields {
+                body.push_str(&format!("::serde::Serialize::serialize(&self.{f}, _out);"));
+            }
+            (name, body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut body = String::new();
+            for i in 0..*arity {
+                body.push_str(&format!("::serde::Serialize::serialize(&self.{i}, _out);"));
+            }
+            (name, body)
+        }
+        Item::UnitStruct { name } => (name, String::new()),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match v.arity {
+                    None => arms.push_str(&format!(
+                        "{name}::{vn} => {{ ::serde::write_variant_tag(_out, {tag}u32); }}"
+                    )),
+                    Some(arity) => {
+                        let binders: Vec<String> = (0..arity).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vn}({}) => {{ ::serde::write_variant_tag(_out, {tag}u32);",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!("::serde::Serialize::serialize({b}, _out);"));
+                        }
+                        arm.push('}');
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn serialize(&self, _out: &mut ::std::vec::Vec<u8>) {{ {body} }}\
+         }}"
+    )
+    .parse()
+    .unwrap()
 }
 
-/// Derives the no-op [`serde::Deserialize`] marker impl.
+/// Derives [`serde::Deserialize`] for the binary stand-in format.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = item_name(&input);
-    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
-        .parse()
-        .unwrap()
+    let item = parse_item(&input);
+    const DE: &str = "::serde::Deserialize::deserialize(_input)?";
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields.iter().map(|f| format!("{f}: {DE}")).collect();
+            (
+                name,
+                format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", ")),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits = vec![DE.to_string(); *arity];
+            (name, format!("::std::result::Result::Ok({name}({}))", inits.join(", ")))
+        }
+        Item::UnitStruct { name } => (name, format!("::std::result::Result::Ok({name})")),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match v.arity {
+                    None => arms.push_str(&format!("{tag}u32 => ::std::result::Result::Ok({name}::{vn}),")),
+                    Some(arity) => {
+                        let inits = vec![DE.to_string(); arity];
+                        arms.push_str(&format!(
+                            "{tag}u32 => ::std::result::Result::Ok({name}::{vn}({})),",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            arms.push_str(&format!(
+                "__tag => ::std::result::Result::Err(::serde::Error::invalid_variant(\"{name}\", __tag)),"
+            ));
+            (name, format!("match ::serde::read_variant_tag(_input)? {{ {arms} }}"))
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\
+             fn deserialize(_input: &mut &'de [u8]) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+         }}"
+    )
+    .parse()
+    .unwrap()
 }

@@ -1,0 +1,210 @@
+//! Frozen CDRIB model artifacts.
+//!
+//! A trained model's future is a serving process that may start long after
+//! the trainer exited, so everything the serve side needs travels in one
+//! self-contained file behind the versioned envelope of
+//! [`cdrib_tensor::artifact`]:
+//!
+//! * the [`CdribConfig`] — enough to rebuild the exact encoder topology
+//!   (parameter registration is deterministic given the config);
+//! * the full [`ParamSet`] — the trained weights;
+//! * the [`CdrScenario`] — the id mappings (overlap prefix, per-domain
+//!   user/item counts) plus the interaction graphs serving needs for
+//!   seen-item filtering and the adjacency views the VBGE forward consumes.
+//!
+//! Loading reconstructs a [`CdribModel`] via the ordinary constructor and
+//! then swaps in the stored parameters, verifying that every parameter name
+//! and shape matches what the config-derived topology registered — a
+//! mismatch is a typed [`ArtifactError::Mismatch`], never a silent misload.
+
+use crate::config::CdribConfig;
+use crate::model::CdribModel;
+use cdrib_data::CdrScenario;
+use cdrib_tensor::artifact as envelope;
+use cdrib_tensor::{ArtifactError, ParamSet};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Artifact kind tag of a frozen CDRIB model.
+pub const MODEL_KIND: &str = "cdrib.model";
+/// Payload format version; bump on any layout change of [`ModelPayload`] or
+/// the types it embeds.
+pub const MODEL_VERSION: u32 = 1;
+
+/// The serialized payload of a model artifact.
+#[derive(Serialize, Deserialize)]
+struct ModelPayload {
+    config: CdribConfig,
+    params: ParamSet,
+    scenario: CdrScenario,
+}
+
+/// Encodes a model + scenario into artifact bytes.
+pub fn save_model_bytes(model: &CdribModel, scenario: &CdrScenario) -> Vec<u8> {
+    let payload = ModelPayload {
+        config: model.config().clone(),
+        params: model.params().clone(),
+        scenario: scenario.clone(),
+    };
+    envelope::encode(MODEL_KIND, MODEL_VERSION, &serde::to_bytes(&payload))
+}
+
+/// Decodes artifact bytes back into a model and its scenario.
+pub fn load_model_bytes(bytes: &[u8]) -> Result<(CdribModel, CdrScenario), ArtifactError> {
+    let payload = envelope::decode(bytes, MODEL_KIND, MODEL_VERSION)?;
+    let ModelPayload {
+        config,
+        params,
+        scenario,
+    } = serde::from_bytes(payload)?;
+    scenario.validate().map_err(|e| ArtifactError::Mismatch {
+        detail: format!("stored scenario failed validation: {e}"),
+    })?;
+    let mut model = CdribModel::new(&config, &scenario).map_err(|e| ArtifactError::Mismatch {
+        detail: format!("stored config cannot rebuild the model: {e}"),
+    })?;
+    // The constructor registered the config-derived parameter topology;
+    // the stored set must match it name-for-name and shape-for-shape.
+    if model.params().len() != params.len() {
+        return Err(ArtifactError::Mismatch {
+            detail: format!(
+                "stored parameter count {} != topology's {}",
+                params.len(),
+                model.params().len()
+            ),
+        });
+    }
+    for (id, name) in model.params().iter_ids() {
+        let stored = params.id_of(name).ok_or_else(|| ArtifactError::Mismatch {
+            detail: format!("stored parameters lack `{name}`"),
+        })?;
+        let expected = model.params().value(id).shape();
+        let got = params.value(stored).shape();
+        if expected != got {
+            return Err(ArtifactError::Mismatch {
+                detail: format!("parameter `{name}` has shape {got:?}, topology expects {expected:?}"),
+            });
+        }
+    }
+    *model.params_mut() = params;
+    Ok((model, scenario))
+}
+
+/// Writes a model artifact to a file.
+pub fn save_model_file(
+    model: &CdribModel,
+    scenario: &CdrScenario,
+    path: impl AsRef<Path>,
+) -> Result<(), ArtifactError> {
+    Ok(std::fs::write(path, save_model_bytes(model, scenario))?)
+}
+
+/// Reads a model artifact from a file.
+pub fn load_model_file(path: impl AsRef<Path>) -> Result<(CdribModel, CdrScenario), ArtifactError> {
+    load_model_bytes(&std::fs::read(path)?)
+}
+
+impl CdribModel {
+    /// Freezes this model (and the scenario it was built on) into
+    /// self-contained artifact bytes.
+    pub fn save_bytes(&self, scenario: &CdrScenario) -> Vec<u8> {
+        save_model_bytes(self, scenario)
+    }
+
+    /// Reconstructs a model and its scenario from artifact bytes.
+    pub fn load_bytes(bytes: &[u8]) -> Result<(CdribModel, CdrScenario), ArtifactError> {
+        load_model_bytes(bytes)
+    }
+
+    /// Writes this model's artifact to a file.
+    pub fn save_file(&self, scenario: &CdrScenario, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        save_model_file(self, scenario, path)
+    }
+
+    /// Reads a model artifact from a file.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<(CdribModel, CdrScenario), ArtifactError> {
+        load_model_file(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrib_data::{build_preset, Scale, ScenarioKind};
+
+    fn tiny() -> (CdribModel, CdrScenario) {
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 5).unwrap();
+        let config = CdribConfig::fast_test();
+        (CdribModel::new(&config, &scenario).unwrap(), scenario)
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_embeddings() {
+        let (model, scenario) = tiny();
+        let bytes = model.save_bytes(&scenario);
+        let (loaded, loaded_scenario) = CdribModel::load_bytes(&bytes).unwrap();
+        assert_eq!(loaded_scenario.name, scenario.name);
+        assert_eq!(loaded.num_parameters(), model.num_parameters());
+        // The frozen forward must reproduce the original embeddings exactly.
+        let a = model.infer_embeddings().unwrap();
+        let b = loaded.infer_embeddings().unwrap();
+        assert_eq!(a.x_users, b.x_users);
+        assert_eq!(a.y_items, b.y_items);
+    }
+
+    #[test]
+    fn version_and_kind_mismatches_are_typed() {
+        let (model, scenario) = tiny();
+        let payload = {
+            // Re-wrap the valid payload under a future version.
+            let bytes = model.save_bytes(&scenario);
+            envelope::decode(&bytes, MODEL_KIND, MODEL_VERSION).unwrap().to_vec()
+        };
+        let future = envelope::encode(MODEL_KIND, MODEL_VERSION + 1, &payload);
+        assert!(matches!(
+            CdribModel::load_bytes(&future),
+            Err(ArtifactError::UnsupportedVersion { found, .. }) if found == MODEL_VERSION + 1
+        ));
+        let wrong_kind = envelope::encode("cdrib.baseline", MODEL_VERSION, &payload);
+        assert!(matches!(
+            CdribModel::load_bytes(&wrong_kind),
+            Err(ArtifactError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payloads_are_rejected() {
+        let (model, scenario) = tiny();
+        let bytes = model.save_bytes(&scenario);
+        for offset in [bytes.len() / 2, bytes.len() - 1] {
+            let mut corrupted = bytes.clone();
+            corrupted[offset] ^= 0x10;
+            assert!(
+                matches!(
+                    CdribModel::load_bytes(&corrupted),
+                    Err(ArtifactError::ChecksumMismatch { .. })
+                ),
+                "payload flip at {offset} must be caught"
+            );
+        }
+        assert!(matches!(
+            CdribModel::load_bytes(&bytes[..bytes.len() - 10]),
+            Err(ArtifactError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (model, scenario) = tiny();
+        let dir = std::env::temp_dir().join("cdrib-model-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cdrb");
+        model.save_file(&scenario, &path).unwrap();
+        let (loaded, _) = CdribModel::load_file(&path).unwrap();
+        assert_eq!(
+            loaded.infer_embeddings().unwrap().x_users,
+            model.infer_embeddings().unwrap().x_users
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

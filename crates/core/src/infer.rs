@@ -1,0 +1,204 @@
+//! The frozen, tape-free half of the train/serve split.
+//!
+//! Training needs the autodiff [`Tape`](cdrib_tensor::Tape); answering the
+//! paper's actual query — "recommend K items to this cold-start user" — does
+//! not. An [`InferenceModel`] is a [`CdribModel`](crate::model::CdribModel)
+//! frozen for serving: the same [`ParamSet`], the same per-domain VBGE
+//! encoders and normalised adjacencies, but the forward pass runs the
+//! deterministic **mean** path ([`VbgeEncoder::forward_mean`]) straight
+//! through the shared functional kernel layer with pooled scratch — no
+//! recording, no gradient slots, zero steady-state allocations
+//! (enforced by `tests/alloc_regression.rs`).
+//!
+//! The produced [`CdribEmbeddings`] are bitwise identical to
+//! [`CdribModel::infer_embeddings`] — both paths execute the same kernels in
+//! the same order — so a score served from a frozen artifact is exactly the
+//! score the trainer validated.
+
+use crate::artifact;
+use crate::error::Result;
+use crate::model::{CdribEmbeddings, CdribModel};
+use crate::vbge::VbgeEncoder;
+use cdrib_data::{CdrScenario, DomainId};
+use cdrib_tensor::{ArtifactError, CsrMatrix, FuncCtx, ParamId, ParamSet, Tensor};
+use std::sync::Arc;
+
+/// The per-domain state an inference forward needs.
+struct InferDomain {
+    user_emb: ParamId,
+    item_emb: ParamId,
+    user_encoder: VbgeEncoder,
+    item_encoder: VbgeEncoder,
+    /// `Norm(A)`, `|U| x |V|`.
+    norm_a: Arc<CsrMatrix>,
+    /// `Norm(A^T)`, `|V| x |U|`.
+    norm_a_t: Arc<CsrMatrix>,
+}
+
+/// A frozen CDRIB model specialised for serving-time encoding.
+pub struct InferenceModel {
+    params: ParamSet,
+    x: InferDomain,
+    y: InferDomain,
+    /// Pooled scratch shared by all four encoder forwards.
+    ctx: FuncCtx,
+}
+
+impl InferenceModel {
+    /// Freezes a (typically trained) model for inference. The parameter set
+    /// is copied, so the training model remains free to keep updating.
+    pub fn from_model(model: &CdribModel) -> Self {
+        let freeze = |id: DomainId| {
+            let dom = model.domain(id);
+            InferDomain {
+                user_emb: dom.user_emb,
+                item_emb: dom.item_emb,
+                user_encoder: dom.user_encoder.clone(),
+                item_encoder: dom.item_encoder.clone(),
+                norm_a: Arc::clone(&dom.norm_a),
+                norm_a_t: Arc::clone(&dom.norm_a_t),
+            }
+        };
+        InferenceModel {
+            params: model.params().clone(),
+            x: freeze(DomainId::X),
+            y: freeze(DomainId::Y),
+            ctx: FuncCtx::new(),
+        }
+    }
+
+    /// Loads a frozen model from artifact bytes (see
+    /// [`CdribModel::save_bytes`]), returning the scenario stored alongside
+    /// it — the id mappings and interaction graphs a serving process needs.
+    pub fn from_artifact_bytes(bytes: &[u8]) -> std::result::Result<(Self, CdrScenario), ArtifactError> {
+        let (model, scenario) = artifact::load_model_bytes(bytes)?;
+        Ok((InferenceModel::from_model(&model), scenario))
+    }
+
+    /// Loads a frozen model from an artifact file.
+    pub fn from_artifact_file(
+        path: impl AsRef<std::path::Path>,
+    ) -> std::result::Result<(Self, CdrScenario), ArtifactError> {
+        let (model, scenario) = artifact::load_model_file(path)?;
+        Ok((InferenceModel::from_model(&model), scenario))
+    }
+
+    /// The frozen parameters.
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Pool diagnostics of the shared scratch context.
+    pub fn pool_stats(&self) -> cdrib_tensor::PoolStats {
+        self.ctx.pool_stats()
+    }
+
+    /// Encodes one domain's user and item latent means into pooled tensors.
+    /// Callers should [`FuncCtx::recycle`] the results via
+    /// [`InferenceModel::recycle`] once consumed.
+    pub fn encode_domain_mean(&mut self, id: DomainId) -> Result<(Tensor, Tensor)> {
+        // Destructure for disjoint borrows: the encoders and parameters stay
+        // read-only while the scratch context hands out buffers.
+        let InferenceModel { params, x, y, ctx } = self;
+        let dom = match id {
+            DomainId::X => x,
+            DomainId::Y => y,
+        };
+        let users =
+            dom.user_encoder
+                .forward_mean(ctx, params, params.value(dom.user_emb), &dom.norm_a_t, &dom.norm_a)?;
+        let items =
+            dom.item_encoder
+                .forward_mean(ctx, params, params.value(dom.item_emb), &dom.norm_a, &dom.norm_a_t)?;
+        Ok((users, items))
+    }
+
+    /// Returns a tensor's storage to the model's scratch pool.
+    pub fn recycle(&mut self, tensor: Tensor) {
+        self.ctx.recycle(tensor);
+    }
+
+    /// Computes all four deterministic embedding tables (fresh storage).
+    pub fn embeddings(&mut self) -> Result<CdribEmbeddings> {
+        let (x_users, x_items) = self.encode_domain_mean(DomainId::X)?;
+        let (y_users, y_items) = self.encode_domain_mean(DomainId::Y)?;
+        Ok(CdribEmbeddings {
+            x_users,
+            x_items,
+            y_users,
+            y_items,
+        })
+    }
+
+    /// Recomputes the embedding tables into existing storage. After the
+    /// first call (which sizes `out`), refreshes touch the allocator zero
+    /// times — the serving-side analogue of the trainer's pooled steps.
+    pub fn encode_into(&mut self, out: &mut CdribEmbeddings) -> Result<()> {
+        let (x_users, x_items) = self.encode_domain_mean(DomainId::X)?;
+        let (y_users, y_items) = self.encode_domain_mean(DomainId::Y)?;
+        for (field, fresh) in [
+            (&mut out.x_users, x_users),
+            (&mut out.x_items, x_items),
+            (&mut out.y_users, y_users),
+            (&mut out.y_items, y_items),
+        ] {
+            if field.shape() == fresh.shape() {
+                field.copy_from(&fresh);
+                self.ctx.recycle(fresh);
+            } else {
+                *field = fresh;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CdribConfig;
+    use cdrib_data::{build_preset, Scale, ScenarioKind};
+
+    fn tiny_model() -> (CdribModel, CdrScenario) {
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 21).unwrap();
+        let config = CdribConfig {
+            layers: 2,
+            ..CdribConfig::fast_test()
+        };
+        let model = CdribModel::new(&config, &scenario).unwrap();
+        (model, scenario)
+    }
+
+    #[test]
+    fn inference_matches_tape_bitwise() {
+        let (model, _scenario) = tiny_model();
+        let tape_emb = model.infer_embeddings().unwrap();
+        let mut inference = InferenceModel::from_model(&model);
+        let frozen = inference.embeddings().unwrap();
+        assert_eq!(tape_emb.x_users, frozen.x_users);
+        assert_eq!(tape_emb.x_items, frozen.x_items);
+        assert_eq!(tape_emb.y_users, frozen.y_users);
+        assert_eq!(tape_emb.y_items, frozen.y_items);
+    }
+
+    #[test]
+    fn encode_into_is_pool_served_when_warm() {
+        let (model, _scenario) = tiny_model();
+        let mut inference = InferenceModel::from_model(&model);
+        let mut out = inference.embeddings().unwrap();
+        let reference = out.clone();
+        // Warm-up pass sizes every buffer.
+        inference.encode_into(&mut out).unwrap();
+        let misses = inference.pool_stats().misses;
+        for _ in 0..3 {
+            inference.encode_into(&mut out).unwrap();
+        }
+        assert_eq!(
+            inference.pool_stats().misses,
+            misses,
+            "warm encode_into must be served entirely from the pool"
+        );
+        assert_eq!(out.x_users, reference.x_users);
+        assert_eq!(out.y_items, reference.y_items);
+    }
+}

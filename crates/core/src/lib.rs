@@ -26,14 +26,18 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod config;
 pub mod error;
+pub mod infer;
 pub mod model;
 pub mod trainer;
 pub mod vbge;
 
+pub use artifact::{load_model_bytes, load_model_file, save_model_bytes, save_model_file};
 pub use config::{CdribConfig, CdribVariant};
 pub use error::{CoreError, Result};
+pub use infer::InferenceModel;
 pub use model::{CdribEmbeddings, CdribModel, DomainEncoding, LossBreakdown};
 pub use trainer::{train, train_model, validation_negatives, EpochStats, TrainReport, TrainedCdrib};
 pub use vbge::{encode_mean, ForwardNoise, MeanActivation, VbgeEncoder, VbgeOutput};

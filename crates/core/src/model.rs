@@ -27,16 +27,18 @@ use rand::Rng;
 use std::collections::HashSet;
 use std::sync::Arc;
 
-/// Cached graph views and parameter handles of one domain.
-struct DomainState {
-    user_emb: ParamId,
-    item_emb: ParamId,
-    user_encoder: VbgeEncoder,
-    item_encoder: VbgeEncoder,
+/// Cached graph views and parameter handles of one domain. Crate-visible so
+/// the tape-free [`InferenceModel`](crate::infer::InferenceModel) can clone
+/// the pieces it needs when freezing a trained model.
+pub(crate) struct DomainState {
+    pub(crate) user_emb: ParamId,
+    pub(crate) item_emb: ParamId,
+    pub(crate) user_encoder: VbgeEncoder,
+    pub(crate) item_encoder: VbgeEncoder,
     /// `Norm(A)`, `|U| x |V|`.
-    norm_a: Arc<CsrMatrix>,
+    pub(crate) norm_a: Arc<CsrMatrix>,
     /// `Norm(A^T)`, `|V| x |U|`.
-    norm_a_t: Arc<CsrMatrix>,
+    pub(crate) norm_a_t: Arc<CsrMatrix>,
 }
 
 /// Latent variables of one domain produced during a forward pass.
@@ -263,7 +265,7 @@ impl CdribModel {
         self.train_overlap_set = users.iter().copied().collect();
     }
 
-    fn domain(&self, id: DomainId) -> &DomainState {
+    pub(crate) fn domain(&self, id: DomainId) -> &DomainState {
         match id {
             DomainId::X => &self.x,
             DomainId::Y => &self.y,

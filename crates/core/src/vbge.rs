@@ -18,7 +18,7 @@
 
 use crate::error::Result;
 use cdrib_tensor::rng::{fill_dropout_mask, fill_normal};
-use cdrib_tensor::{Activation, CsrMatrix, Linear, ParamSet, Tape, Tensor, Var};
+use cdrib_tensor::{Activation, CsrMatrix, FuncCtx, Linear, ParamSet, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -236,8 +236,100 @@ impl VbgeEncoder {
     }
 }
 
+impl VbgeEncoder {
+    /// Tape-free inference forward: computes the latent **mean** path
+    /// (Eq. 2-3 with `z = mu`, no dropout, no sigma head) straight through
+    /// the shared functional kernel layer ([`cdrib_tensor::func`]).
+    ///
+    /// Because the tape's forward ops route through the *same* `func`
+    /// computations, the result is bitwise identical to the `mu` recorded by
+    /// [`VbgeEncoder::forward`] in inference mode — that equality is pinned
+    /// by the `inference_matches_tape` tests here and in
+    /// `tests/artifact_roundtrip.rs`. All intermediates are drawn from and
+    /// recycled into `ctx`'s pool, so warm calls are allocation-free.
+    pub fn forward_mean(
+        &self,
+        ctx: &mut FuncCtx,
+        params: &ParamSet,
+        embeddings: &Tensor,
+        to_other: &CsrMatrix,
+        to_self: &CsrMatrix,
+    ) -> Result<Tensor> {
+        // `last` is the most recent layer output (the tape's `h`); `acc`
+        // accumulates the concatenation of all *earlier* layer outputs in
+        // the same left-to-right order as the tape.
+        let mut last: Option<Tensor> = None;
+        let mut acc: Option<Tensor> = None;
+        for layer in &self.layers {
+            let h: &Tensor = last.as_ref().unwrap_or(embeddings);
+            // Eq. 2: push to the other side and aggregate homogeneous info.
+            let pushed = ctx.spmm(to_other, h)?;
+            let pushed_lin = layer.push.forward_infer(ctx, params, &pushed)?;
+            ctx.recycle(pushed);
+            let interim = ctx.leaky_relu(&pushed_lin, self.leaky_slope);
+            ctx.recycle(pushed_lin);
+            // Eq. 3 (inner part): pull back to the entity side.
+            let pulled = ctx.spmm(to_self, &interim)?;
+            ctx.recycle(interim);
+            let pulled_lin = layer.pull.forward_infer(ctx, params, &pulled)?;
+            ctx.recycle(pulled);
+            let back = ctx.leaky_relu(&pulled_lin, self.leaky_slope);
+            ctx.recycle(pulled_lin);
+            if let Some(prev) = last.take() {
+                acc = Some(match acc.take() {
+                    None => prev,
+                    Some(a) => {
+                        let joined = ctx.concat_cols(&a, &prev)?;
+                        ctx.recycle(a);
+                        ctx.recycle(prev);
+                        joined
+                    }
+                });
+            }
+            last = Some(back);
+        }
+        // Concatenate the stacked layer outputs with the raw embeddings
+        // (the `⊕ U^X` of Eq. 3).
+        let combined = match (acc, last) {
+            (Some(a), Some(l)) => {
+                let layers_cat = ctx.concat_cols(&a, &l)?;
+                ctx.recycle(a);
+                ctx.recycle(l);
+                let combined = ctx.concat_cols(&layers_cat, embeddings)?;
+                ctx.recycle(layers_cat);
+                combined
+            }
+            (None, Some(l)) => {
+                let combined = ctx.concat_cols(&l, embeddings)?;
+                ctx.recycle(l);
+                combined
+            }
+            // Zero propagation layers: the heads read the raw embeddings.
+            (_, None) => {
+                let mut copy = ctx.take(embeddings.rows(), embeddings.cols());
+                copy.copy_from(embeddings);
+                copy
+            }
+        };
+        let mu_lin = self.mu_head.forward_infer(ctx, params, &combined)?;
+        ctx.recycle(combined);
+        Ok(match self.mean_activation {
+            MeanActivation::LeakyRelu => {
+                let mu = ctx.leaky_relu(&mu_lin, self.leaky_slope);
+                ctx.recycle(mu_lin);
+                mu
+            }
+            MeanActivation::Identity => mu_lin,
+        })
+    }
+}
+
 /// Computes a deterministic (inference-mode) encoding and returns the mean
 /// tensors, used when exporting embeddings for ranking.
+///
+/// Convenience wrapper over [`VbgeEncoder::forward_mean`] with a throwaway
+/// scratch context; hot callers (the serving stack's `InferenceModel`) hold
+/// a persistent [`FuncCtx`] instead.
 pub fn encode_mean(
     encoder: &VbgeEncoder,
     params: &ParamSet,
@@ -245,10 +337,8 @@ pub fn encode_mean(
     to_other: &Arc<CsrMatrix>,
     to_self: &Arc<CsrMatrix>,
 ) -> Result<Tensor> {
-    let mut tape = Tape::new();
-    let emb = tape.constant_copy(embeddings);
-    let out = encoder.forward(&mut tape, params, emb, to_other, to_self, None)?;
-    Ok(tape.value(out.mu)?.clone())
+    let mut ctx = FuncCtx::new();
+    encoder.forward_mean(&mut ctx, params, embeddings, to_other, to_self)
 }
 
 #[cfg(test)]
@@ -290,6 +380,46 @@ mod tests {
         let m1 = encode_mean(&enc, &params, &emb, &norm_at, &norm_a).unwrap();
         let m2 = encode_mean(&enc, &params, &emb, &norm_at, &norm_a).unwrap();
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn forward_mean_matches_tape_bitwise() {
+        // The tape-free inference path and the recorded tape forward must
+        // agree to the bit (both route through the shared functional kernel
+        // layer), at every stacking depth and for both mean activations.
+        let (norm_a, norm_at) = toy_graph();
+        for layers in [1usize, 2, 3] {
+            for activation in [MeanActivation::LeakyRelu, MeanActivation::Identity] {
+                let mut rng = component_rng(layers as u64, "mean-parity");
+                let mut params = ParamSet::new();
+                let enc = VbgeEncoder::with_mean_activation(&mut params, &mut rng, "user", 8, layers, 0.1, activation)
+                    .unwrap();
+                let emb = cdrib_tensor::rng::normal_tensor(&mut rng, 5, 8, 0.1);
+
+                let mut tape = Tape::new();
+                let e = tape.constant(emb.clone());
+                let out = enc.forward(&mut tape, &params, e, &norm_at, &norm_a, None).unwrap();
+                let tape_mu = tape.value(out.mu).unwrap();
+
+                let mut ctx = FuncCtx::new();
+                let func_mu = enc.forward_mean(&mut ctx, &params, &emb, &norm_at, &norm_a).unwrap();
+                assert_eq!(tape_mu, &func_mu, "layers={layers} activation={activation:?}");
+
+                // Warm repetitions serve everything from the pool.
+                ctx.recycle(func_mu);
+                let misses = ctx.pool_stats().misses;
+                for _ in 0..3 {
+                    let again = enc.forward_mean(&mut ctx, &params, &emb, &norm_at, &norm_a).unwrap();
+                    assert_eq!(&again, tape_mu);
+                    ctx.recycle(again);
+                }
+                assert_eq!(
+                    ctx.pool_stats().misses,
+                    misses,
+                    "warm forward_mean must not miss the pool"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Error type of the serving crate.
+
+use cdrib_tensor::ArtifactError;
+use std::fmt;
+
+/// Errors produced while building a recommender or answering requests.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The requested user does not exist in the source-domain user table.
+    UserOutOfRange {
+        /// The requested user id.
+        user: u32,
+        /// Number of users in the source table.
+        bound: usize,
+    },
+    /// The target domain has no items to recommend.
+    EmptyCatalogue,
+    /// The embedding tables and interaction graphs disagree on entity
+    /// counts, or tables disagree on the embedding width.
+    ShapeMismatch {
+        /// Human readable detail.
+        detail: String,
+    },
+    /// An embedding table holds non-finite values; serving scores from it
+    /// would rank garbage.
+    NonFiniteEmbeddings {
+        /// Which table.
+        table: &'static str,
+    },
+    /// Loading a frozen model artifact failed.
+    Artifact(ArtifactError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UserOutOfRange { user, bound } => {
+                write!(f, "user {user} out of range for a source table of {bound} users")
+            }
+            ServeError::EmptyCatalogue => write!(f, "the target domain has no items to recommend"),
+            ServeError::ShapeMismatch { detail } => write!(f, "recommender shape mismatch: {detail}"),
+            ServeError::NonFiniteEmbeddings { table } => {
+                write!(f, "embedding table `{table}` holds non-finite values")
+            }
+            ServeError::Artifact(e) => write!(f, "artifact load failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Artifact(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArtifactError> for ServeError {
+    fn from(e: ArtifactError) -> Self {
+        ServeError::Artifact(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,317 @@
+//! # cdrib-serve
+//!
+//! The online top-K recommendation subsystem of the CDRIB reproduction —
+//! the serving half of the train/serve split. A trainer freezes its model
+//! into a versioned artifact (`cdrib_core::artifact`); this crate loads the
+//! frozen encoder output (or any baseline's tables) and answers the query
+//! the paper is actually for: *recommend K target-domain items to this
+//! cold-start user* (cf. CATN's online cold-start retrieval framing,
+//! SIGIR 2020).
+//!
+//! Serving path per request: chunked full-catalogue scoring through the
+//! shared SIMD candidate kernels → sorted-merge filtering of already-seen
+//! items against the bipartite interaction graph → bounded binary-heap
+//! top-K selection. Warm requests are allocation-free; batches fan out over
+//! `std::thread::scope` workers behind the default-on `parallel` feature.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cdrib_core::{CdribConfig, CdribModel};
+//! use cdrib_data::{build_preset, Direction, Scale, ScenarioKind};
+//! use cdrib_serve::{Recommender, Request};
+//!
+//! let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 7).unwrap();
+//! let model = CdribModel::new(&CdribConfig::fast_test(), &scenario).unwrap();
+//! // Freeze to artifact bytes and serve from the frozen snapshot.
+//! let artifact = model.save_bytes(&scenario);
+//! let mut recommender = Recommender::from_artifact_bytes(&artifact).unwrap();
+//! let user = scenario.cold_x_to_y.test_users[0];
+//! let recs = recommender
+//!     .recommend_vec(&Request { direction: Direction::X_TO_Y, user, k: 10 })
+//!     .unwrap();
+//! assert_eq!(recs.len(), 10);
+//! assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod recommender;
+pub mod topk;
+
+pub use error::{Result, ServeError};
+pub use recommender::{Recommender, Request};
+pub use topk::{ranks_above, Recommendation, TopK};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdrib_core::{CdribConfig, CdribModel, InferenceModel};
+    use cdrib_data::{build_preset, CdrScenario, Direction, DomainId, Scale, ScenarioKind};
+    use cdrib_eval::EmbeddingScorer;
+    use cdrib_graph::BipartiteGraph;
+    use cdrib_tensor::rng::{component_rng, normal_tensor};
+    use cdrib_tensor::Tensor;
+    use rand::Rng;
+
+    /// A small random serving setup with deliberately tie-heavy scores
+    /// (embedding values quantised to a coarse grid).
+    fn random_setup(seed: u64, n_users: usize, n_items: usize, dim: usize) -> Recommender {
+        let mut rng = component_rng(seed, "serve-tests");
+        let quantise = |t: Tensor| t.map(|v| (v * 4.0).round() / 4.0);
+        let tables = |rng: &mut rand::rngs::StdRng, rows: usize| quantise(normal_tensor(rng, rows, dim, 0.5));
+        let x_users = tables(&mut rng, n_users);
+        let x_items = tables(&mut rng, n_items);
+        let y_users = tables(&mut rng, n_users);
+        let y_items = tables(&mut rng, n_items);
+        let mut edges_x = Vec::new();
+        let mut edges_y = Vec::new();
+        for u in 0..n_users {
+            for _ in 0..rng.gen_range(0..5) {
+                edges_x.push((u, rng.gen_range(0..n_items)));
+            }
+            for _ in 0..rng.gen_range(0..5) {
+                edges_y.push((u, rng.gen_range(0..n_items)));
+            }
+        }
+        let seen_x = BipartiteGraph::new(n_users, n_items, &edges_x).unwrap();
+        let seen_y = BipartiteGraph::new(n_users, n_items, &edges_y).unwrap();
+        Recommender::new(EmbeddingScorer::dot(x_users, x_items, y_users, y_items), seen_x, seen_y).unwrap()
+    }
+
+    #[test]
+    fn heap_selection_matches_full_sort_exactly() {
+        let mut rec = random_setup(3, 40, 700, 8);
+        let mut out = Vec::new();
+        for direction in [Direction::X_TO_Y, Direction::Y_TO_X] {
+            for user in 0..40u32 {
+                for k in [1usize, 10, 699, 700, 2000] {
+                    let request = Request { direction, user, k };
+                    rec.recommend(&request, &mut out).unwrap();
+                    let reference = rec.recommend_full_sort(&request).unwrap();
+                    assert_eq!(out, reference, "direction={direction:?} user={user} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seen_items_are_filtered() {
+        let mut rec = random_setup(11, 30, 200, 8);
+        let mut out = Vec::new();
+        for user in 0..30u32 {
+            rec.recommend(
+                &Request {
+                    direction: Direction::X_TO_Y,
+                    user,
+                    k: 200,
+                },
+                &mut out,
+            )
+            .unwrap();
+            for r in &out {
+                assert!(
+                    !rec.seen_graph(DomainId::Y).has_edge(user as usize, r.item as usize),
+                    "user {user} was recommended already-seen item {}",
+                    r.item
+                );
+            }
+            // Everything unseen must be present when k covers the catalogue.
+            let seen_count = rec.seen_graph(DomainId::Y).user_degree(user as usize);
+            assert_eq!(out.len(), 200 - seen_count);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_requests() {
+        let mut rec = random_setup(7, 25, 300, 16);
+        let requests: Vec<Request> = (0..25u32)
+            .flat_map(|user| {
+                [
+                    Request {
+                        direction: Direction::X_TO_Y,
+                        user,
+                        k: 7,
+                    },
+                    Request {
+                        direction: Direction::Y_TO_X,
+                        user,
+                        k: 13,
+                    },
+                ]
+            })
+            .collect();
+        let mut responses = Vec::new();
+        rec.recommend_batch(&requests, &mut responses).unwrap();
+        assert_eq!(responses.len(), requests.len());
+        let mut single = Vec::new();
+        for (request, batched) in requests.iter().zip(responses.iter()) {
+            rec.recommend(request, &mut single).unwrap();
+            assert_eq!(&single, batched);
+        }
+        // Batch buffers are reused across calls without changing results.
+        let snapshot = responses.clone();
+        rec.recommend_batch(&requests, &mut responses).unwrap();
+        assert_eq!(responses, snapshot);
+    }
+
+    #[test]
+    fn source_only_users_serve_without_a_target_row() {
+        // Domains have unequal user counts: users in [n_target, n_source)
+        // exist only in the source domain. They are valid requesters (their
+        // user row exists where it is read from) and simply have no seen
+        // list in the target graph — the request must succeed and match the
+        // full-sort reference, not index out of the target graph.
+        let mut rng = component_rng(23, "asymmetric");
+        let dim = 6;
+        let (n_x_users, n_y_users) = (12usize, 5usize);
+        let (n_x_items, n_y_items) = (40usize, 30usize);
+        let scorer = EmbeddingScorer::dot(
+            normal_tensor(&mut rng, n_x_users, dim, 0.5),
+            normal_tensor(&mut rng, n_x_items, dim, 0.5),
+            normal_tensor(&mut rng, n_y_users, dim, 0.5),
+            normal_tensor(&mut rng, n_y_items, dim, 0.5),
+        );
+        let seen_x = BipartiteGraph::new(n_x_users, n_x_items, &[(0, 1), (7, 2)]).unwrap();
+        let seen_y = BipartiteGraph::new(n_y_users, n_y_items, &[(0, 3), (4, 9)]).unwrap();
+        let mut rec = Recommender::new(scorer, seen_x, seen_y).unwrap();
+        let mut out = Vec::new();
+        for user in 0..n_x_users as u32 {
+            let request = Request {
+                direction: Direction::X_TO_Y,
+                user,
+                k: 8,
+            };
+            rec.recommend(&request, &mut out).unwrap();
+            assert_eq!(out, rec.recommend_full_sort(&request).unwrap(), "user {user}");
+            assert_eq!(out.len(), 8);
+        }
+    }
+
+    #[test]
+    fn request_validation() {
+        let mut rec = random_setup(5, 10, 50, 4);
+        let mut out = Vec::new();
+        let err = rec.recommend(
+            &Request {
+                direction: Direction::X_TO_Y,
+                user: 10,
+                k: 5,
+            },
+            &mut out,
+        );
+        assert!(matches!(err, Err(ServeError::UserOutOfRange { user: 10, bound: 10 })));
+        // k = 0 is a valid no-op request.
+        rec.recommend(
+            &Request {
+                direction: Direction::X_TO_Y,
+                user: 0,
+                k: 0,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+        // Batch propagates worker errors.
+        let bad_batch = vec![
+            Request {
+                direction: Direction::X_TO_Y,
+                user: 0,
+                k: 3,
+            };
+            4
+        ]
+        .into_iter()
+        .chain([Request {
+            direction: Direction::Y_TO_X,
+            user: 99,
+            k: 3,
+        }])
+        .collect::<Vec<_>>();
+        let mut responses = Vec::new();
+        assert!(matches!(
+            rec.recommend_batch(&bad_batch, &mut responses),
+            Err(ServeError::UserOutOfRange { user: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn construction_rejects_inconsistent_tables() {
+        let scorer = EmbeddingScorer::dot(
+            Tensor::ones(3, 4),
+            Tensor::ones(5, 4),
+            Tensor::ones(3, 4),
+            Tensor::ones(6, 4),
+        );
+        let gx = BipartiteGraph::new(3, 5, &[]).unwrap();
+        let gy = BipartiteGraph::new(3, 6, &[]).unwrap();
+        assert!(Recommender::new(scorer.clone(), gx.clone(), gy.clone()).is_ok());
+        // Wrong graph size.
+        let small = BipartiteGraph::new(2, 5, &[]).unwrap();
+        assert!(matches!(
+            Recommender::new(scorer.clone(), small, gy.clone()),
+            Err(ServeError::ShapeMismatch { .. })
+        ));
+        // Non-finite table.
+        let mut bad = scorer.clone();
+        bad.y_items.set(0, 0, f32::INFINITY);
+        assert!(matches!(
+            Recommender::new(bad, gx.clone(), gy.clone()),
+            Err(ServeError::NonFiniteEmbeddings { table: "y_items" })
+        ));
+        // Mismatched embedding width.
+        let mut narrow = scorer;
+        narrow.x_items = Tensor::ones(5, 3);
+        assert!(matches!(
+            Recommender::new(narrow, gx, gy),
+            Err(ServeError::ShapeMismatch { .. })
+        ));
+    }
+
+    fn frozen_pipeline() -> (Recommender, CdribModel, CdrScenario) {
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 19).unwrap();
+        let model = CdribModel::new(&CdribConfig::fast_test(), &scenario).unwrap();
+        let bytes = model.save_bytes(&scenario);
+        let rec = Recommender::from_artifact_bytes(&bytes).unwrap();
+        (rec, model, scenario)
+    }
+
+    #[test]
+    fn artifact_pipeline_serves_tape_identical_scores() {
+        let (mut rec, model, scenario) = frozen_pipeline();
+        // The served tables are exactly the tape-side inference embeddings.
+        let tape = model.infer_embeddings().unwrap();
+        assert_eq!(rec.scorer().x_users, tape.x_users);
+        assert_eq!(rec.scorer().y_items, tape.y_items);
+
+        // Cold-start users receive full, strictly ordered top-K lists.
+        let user = scenario.cold_x_to_y.test_users[0];
+        let recs = rec
+            .recommend_vec(&Request {
+                direction: Direction::X_TO_Y,
+                user,
+                k: 10,
+            })
+            .unwrap();
+        assert_eq!(recs.len(), 10);
+        for pair in recs.windows(2) {
+            assert!(ranks_above(
+                (pair[0].score, pair[0].item),
+                (pair[1].score, pair[1].item)
+            ));
+        }
+
+        // And the InferenceModel route produces the same engine.
+        let mut inference = InferenceModel::from_model(&model);
+        let mut rec2 = Recommender::from_inference(&mut inference, &scenario).unwrap();
+        let recs2 = rec2
+            .recommend_vec(&Request {
+                direction: Direction::X_TO_Y,
+                user,
+                k: 10,
+            })
+            .unwrap();
+        assert_eq!(recs, recs2);
+    }
+}

@@ -1,0 +1,396 @@
+//! The top-K recommendation engine over frozen embedding tables.
+//!
+//! A [`Recommender`] is the serving half of the train/serve split: it caches
+//! the four embedding tables a frozen model produced (CDRIB's VBGE means via
+//! `cdrib_core::InferenceModel`, or any baseline's tables via
+//! `cdrib_baselines::registry::load_scorer`) and answers the query the paper
+//! is actually for — *recommend K target-domain items to this user*.
+//!
+//! Per request it scores the user against the **full** opposite-domain
+//! catalogue through the same fused SIMD candidate-scoring kernels the
+//! evaluation protocol uses (`score_candidates_dot` /
+//! `score_candidates_neg_sq_dist`), in cache-sized chunks from a pooled
+//! score buffer; filters items the user already interacted with by merging
+//! against the bipartite graph's sorted neighbour list; and selects the top
+//! K with a bounded binary heap ([`TopK`]) instead of a full sort. After
+//! warm-up a request performs **zero** allocations (enforced by
+//! `tests/alloc_regression.rs`), and heap selection is bitwise identical to
+//! full-sort selection under the shared total order (pinned by the parity
+//! tests and the CI serve smoke job).
+//!
+//! Batches of concurrent requests fan out across `std::thread::scope`
+//! workers behind the `parallel` feature, one warm scratch per worker.
+
+use crate::error::{Result, ServeError};
+use crate::topk::{ranks_above, Recommendation, TopK};
+use cdrib_core::{CdribEmbeddings, InferenceModel};
+use cdrib_data::{CdrScenario, Direction, DomainId};
+use cdrib_eval::EmbeddingScorer;
+use cdrib_graph::BipartiteGraph;
+
+/// One top-K recommendation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Transfer direction: the user's history lives in `direction.source`,
+    /// recommendations come from `direction.target`'s catalogue.
+    pub direction: Direction,
+    /// The user, indexed in the source-domain user table.
+    pub user: u32,
+    /// How many items to return (fewer when the unseen catalogue is smaller).
+    pub k: usize,
+}
+
+/// Number of candidate ids scored per kernel pass. At dim 64 a chunk reads
+/// ~512 KiB of table rows in catalogue order (hardware-prefetch friendly)
+/// and writes an 8 KiB score block that stays in L1 for the heap scan.
+const SCORE_CHUNK: usize = 2048;
+
+/// The immutable, thread-shared state of a recommender.
+struct ServeCore {
+    scorer: EmbeddingScorer,
+    /// Known (training-time) interactions per domain, used to filter items
+    /// the user already has. Cold-start users have none in their target
+    /// domain by construction.
+    seen_x: BipartiteGraph,
+    seen_y: BipartiteGraph,
+    /// The full candidate id range `0..n_items` per domain, kept
+    /// materialised so chunked scoring can slice it without rebuilding.
+    catalogue_x: Vec<u32>,
+    catalogue_y: Vec<u32>,
+}
+
+/// Reusable per-worker buffers: one chunk of scores plus the bounded heap.
+#[derive(Default)]
+struct RequestScratch {
+    scores: Vec<f32>,
+    topk: TopK,
+}
+
+/// A warm, thread-capable top-K recommendation engine.
+pub struct Recommender {
+    core: ServeCore,
+    /// One scratch per batch worker (a single entry without `parallel`).
+    scratches: Vec<RequestScratch>,
+}
+
+impl ServeCore {
+    fn seen(&self, domain: DomainId) -> &BipartiteGraph {
+        match domain {
+            DomainId::X => &self.seen_x,
+            DomainId::Y => &self.seen_y,
+        }
+    }
+
+    fn catalogue(&self, domain: DomainId) -> &[u32] {
+        match domain {
+            DomainId::X => &self.catalogue_x,
+            DomainId::Y => &self.catalogue_y,
+        }
+    }
+
+    fn user_count(&self, domain: DomainId) -> usize {
+        match domain {
+            DomainId::X => self.scorer.x_users.rows(),
+            DomainId::Y => self.scorer.y_users.rows(),
+        }
+    }
+
+    /// Answers one request into `out` (best first), reusing `scratch`.
+    fn recommend_into(
+        &self,
+        scratch: &mut RequestScratch,
+        request: &Request,
+        out: &mut Vec<Recommendation>,
+    ) -> Result<()> {
+        let Request { direction, user, k } = *request;
+        let bound = self.user_count(direction.source);
+        if user as usize >= bound {
+            return Err(ServeError::UserOutOfRange { user, bound });
+        }
+        let catalogue = self.catalogue(direction.target);
+        if catalogue.is_empty() {
+            return Err(ServeError::EmptyCatalogue);
+        }
+        // The user is indexed in the *source* domain; only overlap-prefix
+        // users exist in the target graph. A source-only user (valid above,
+        // absent from the target) simply has nothing to filter — exactly
+        // what `has_edge`'s bounds check yields on the full-sort path.
+        let target_seen = self.seen(direction.target);
+        let seen: &[u32] = if (user as usize) < target_seen.n_users() {
+            target_seen.items_of(user as usize)
+        } else {
+            &[]
+        };
+
+        if scratch.scores.len() < SCORE_CHUNK.min(catalogue.len()) {
+            scratch.scores.resize(SCORE_CHUNK.min(catalogue.len()), 0.0);
+        }
+        // At most `catalogue.len()` candidates can be retained, so an
+        // oversized `k` must not reserve beyond that.
+        scratch.topk.reset(k.min(catalogue.len()));
+        // The catalogue is ascending and the user's seen list is sorted, so
+        // one merge cursor filters seen items across all chunks.
+        let mut seen_cursor = 0usize;
+        for chunk in catalogue.chunks(SCORE_CHUNK) {
+            let scores = &mut scratch.scores[..chunk.len()];
+            self.scorer
+                .score_cross_into(direction.source, user, direction.target, chunk, scores);
+            for (&item, &score) in chunk.iter().zip(scores.iter()) {
+                while seen_cursor < seen.len() && seen[seen_cursor] < item {
+                    seen_cursor += 1;
+                }
+                if seen_cursor < seen.len() && seen[seen_cursor] == item {
+                    continue;
+                }
+                // NaN scores cannot participate in the total order; frozen
+                // tables are validated finite at construction, so this only
+                // guards pathological inf-inf arithmetic.
+                if score.is_nan() {
+                    continue;
+                }
+                scratch.topk.push(score, item);
+            }
+        }
+        scratch.topk.drain_sorted_into(out);
+        Ok(())
+    }
+
+    /// Full-sort reference selection: scores the whole catalogue, filters,
+    /// sorts under the same total order, truncates. `O(|V| log |V|)` and
+    /// allocating — the correctness baseline the heap path must match
+    /// exactly, not a serving path.
+    fn recommend_full_sort(&self, request: &Request) -> Result<Vec<Recommendation>> {
+        let Request { direction, user, k } = *request;
+        let bound = self.user_count(direction.source);
+        if user as usize >= bound {
+            return Err(ServeError::UserOutOfRange { user, bound });
+        }
+        let catalogue = self.catalogue(direction.target);
+        if catalogue.is_empty() {
+            return Err(ServeError::EmptyCatalogue);
+        }
+        let seen = self.seen(direction.target);
+        let mut scores = vec![0.0f32; catalogue.len()];
+        self.scorer
+            .score_cross_into(direction.source, user, direction.target, catalogue, &mut scores);
+        let mut ranked: Vec<(f32, u32)> = catalogue
+            .iter()
+            .zip(scores.iter())
+            .filter(|&(&item, &score)| !score.is_nan() && !seen.has_edge(user as usize, item as usize))
+            .map(|(&item, &score)| (score, item))
+            .collect();
+        ranked.sort_by(|a, b| {
+            if ranks_above(*a, *b) {
+                std::cmp::Ordering::Less
+            } else if ranks_above(*b, *a) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        ranked.truncate(k);
+        Ok(ranked
+            .into_iter()
+            .map(|(score, item)| Recommendation { item, score })
+            .collect())
+    }
+}
+
+impl Recommender {
+    /// Builds a recommender from frozen embedding tables plus the per-domain
+    /// interaction graphs used for seen-item filtering (typically the
+    /// scenario's *training* graphs — what the system has observed).
+    pub fn new(scorer: EmbeddingScorer, seen_x: BipartiteGraph, seen_y: BipartiteGraph) -> Result<Self> {
+        let dim = scorer.x_users.cols();
+        let checks: [(&'static str, usize, usize, usize); 4] = [
+            (
+                "x_users",
+                scorer.x_users.rows(),
+                seen_x.n_users(),
+                scorer.x_users.cols(),
+            ),
+            (
+                "x_items",
+                scorer.x_items.rows(),
+                seen_x.n_items(),
+                scorer.x_items.cols(),
+            ),
+            (
+                "y_users",
+                scorer.y_users.rows(),
+                seen_y.n_users(),
+                scorer.y_users.cols(),
+            ),
+            (
+                "y_items",
+                scorer.y_items.rows(),
+                seen_y.n_items(),
+                scorer.y_items.cols(),
+            ),
+        ];
+        for (name, rows, graph_rows, cols) in checks {
+            if rows != graph_rows {
+                return Err(ServeError::ShapeMismatch {
+                    detail: format!("table `{name}` has {rows} rows but the interaction graph has {graph_rows}"),
+                });
+            }
+            if cols != dim {
+                return Err(ServeError::ShapeMismatch {
+                    detail: format!("table `{name}` has embedding width {cols}, expected {dim}"),
+                });
+            }
+        }
+        for (name, table) in [
+            ("x_users", &scorer.x_users),
+            ("x_items", &scorer.x_items),
+            ("y_users", &scorer.y_users),
+            ("y_items", &scorer.y_items),
+        ] {
+            if !table.all_finite() {
+                return Err(ServeError::NonFiniteEmbeddings { table: name });
+            }
+        }
+        let catalogue_x: Vec<u32> = (0..seen_x.n_items() as u32).collect();
+        let catalogue_y: Vec<u32> = (0..seen_y.n_items() as u32).collect();
+        let workers = cdrib_tensor::kernels::parallelism().max(1);
+        let mut scratches = Vec::with_capacity(workers);
+        scratches.resize_with(workers, RequestScratch::default);
+        Ok(Recommender {
+            core: ServeCore {
+                scorer,
+                seen_x,
+                seen_y,
+                catalogue_x,
+                catalogue_y,
+            },
+            scratches,
+        })
+    }
+
+    /// Builds a recommender from frozen CDRIB embeddings and the scenario
+    /// whose training graphs define what each user has already seen.
+    pub fn from_embeddings(embeddings: CdribEmbeddings, scenario: &CdrScenario) -> Result<Self> {
+        Recommender::new(
+            embeddings.into_scorer(),
+            scenario.x.train.clone(),
+            scenario.y.train.clone(),
+        )
+    }
+
+    /// Precomputes the embedding tables from a frozen [`InferenceModel`] and
+    /// wraps them for serving.
+    pub fn from_inference(model: &mut InferenceModel, scenario: &CdrScenario) -> Result<Self> {
+        let embeddings = model.embeddings().map_err(|e| ServeError::ShapeMismatch {
+            detail: format!("inference forward failed: {e}"),
+        })?;
+        Recommender::from_embeddings(embeddings, scenario)
+    }
+
+    /// Loads a CDRIB model artifact (see `cdrib_core::artifact`) and builds
+    /// a recommender from its frozen encoder output.
+    pub fn from_artifact_bytes(bytes: &[u8]) -> Result<Self> {
+        let (mut inference, scenario) = InferenceModel::from_artifact_bytes(bytes)?;
+        Recommender::from_inference(&mut inference, &scenario)
+    }
+
+    /// Loads a CDRIB model artifact file and builds a recommender.
+    pub fn from_artifact_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let (mut inference, scenario) = InferenceModel::from_artifact_file(path)?;
+        Recommender::from_inference(&mut inference, &scenario)
+    }
+
+    /// The frozen scorer backing this recommender.
+    pub fn scorer(&self) -> &EmbeddingScorer {
+        &self.core.scorer
+    }
+
+    /// Number of candidate items in a domain's catalogue.
+    pub fn catalogue_size(&self, domain: DomainId) -> usize {
+        self.core.catalogue(domain).len()
+    }
+
+    /// The interaction graph used to filter a domain's already-seen items.
+    pub fn seen_graph(&self, domain: DomainId) -> &BipartiteGraph {
+        self.core.seen(domain)
+    }
+
+    /// Answers one request into `out` (best first). Reuses the first worker
+    /// scratch, so warm calls allocate nothing.
+    pub fn recommend(&mut self, request: &Request, out: &mut Vec<Recommendation>) -> Result<()> {
+        self.core.recommend_into(&mut self.scratches[0], request, out)
+    }
+
+    /// Allocating convenience wrapper around [`Recommender::recommend`].
+    pub fn recommend_vec(&mut self, request: &Request) -> Result<Vec<Recommendation>> {
+        let mut out = Vec::new();
+        self.recommend(request, &mut out)?;
+        Ok(out)
+    }
+
+    /// Full-sort reference selection (parity baseline; see
+    /// [`ServeCore::recommend_full_sort`]).
+    pub fn recommend_full_sort(&self, request: &Request) -> Result<Vec<Recommendation>> {
+        self.core.recommend_full_sort(request)
+    }
+
+    /// Answers a batch of requests, one response per request (best first).
+    ///
+    /// Behind the `parallel` feature the batch is split into contiguous
+    /// chunks across `std::thread::scope` workers, each with its own warm
+    /// scratch; responses land in `responses[i]` for `requests[i]` either
+    /// way, and the serial build produces identical output. `responses` is
+    /// resized to match and its per-request `Vec`s are reused across
+    /// batches.
+    pub fn recommend_batch(&mut self, requests: &[Request], responses: &mut Vec<Vec<Recommendation>>) -> Result<()> {
+        if responses.len() != requests.len() {
+            responses.resize_with(requests.len(), Vec::new);
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let workers = cdrib_tensor::kernels::parallelism()
+                .min(self.scratches.len())
+                .min(requests.len());
+            if workers > 1 {
+                let per_worker = requests.len().div_ceil(workers);
+                let core = &self.core;
+                let mut outcomes: Vec<Result<()>> = Vec::with_capacity(workers);
+                outcomes.resize_with(workers, || Ok(()));
+                std::thread::scope(|scope| {
+                    let mut req_rest = requests;
+                    let mut resp_rest = &mut responses[..];
+                    let mut scratch_rest = &mut self.scratches[..];
+                    for outcome in outcomes.iter_mut() {
+                        if req_rest.is_empty() {
+                            break;
+                        }
+                        let take = per_worker.min(req_rest.len());
+                        let (req_chunk, remaining_req) = req_rest.split_at(take);
+                        req_rest = remaining_req;
+                        let (resp_chunk, remaining_resp) = resp_rest.split_at_mut(take);
+                        resp_rest = remaining_resp;
+                        let (scratch, remaining_scratch) =
+                            scratch_rest.split_first_mut().expect("one scratch per worker");
+                        scratch_rest = remaining_scratch;
+                        scope.spawn(move || {
+                            for (request, out) in req_chunk.iter().zip(resp_chunk.iter_mut()) {
+                                if let Err(e) = core.recommend_into(scratch, request, out) {
+                                    *outcome = Err(e);
+                                    return;
+                                }
+                            }
+                        });
+                    }
+                });
+                for outcome in outcomes {
+                    outcome?;
+                }
+                return Ok(());
+            }
+        }
+        let scratch = &mut self.scratches[0];
+        for (request, out) in requests.iter().zip(responses.iter_mut()) {
+            self.core.recommend_into(scratch, request, out)?;
+        }
+        Ok(())
+    }
+}

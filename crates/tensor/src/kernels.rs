@@ -1513,6 +1513,129 @@ pub fn ln_approx(x: f32) -> f32 {
     r + f + e * LN2_HI + e * LN2_LO
 }
 
+/// Branchless polynomial `sin(x)` and `cos(x)` in one evaluation
+/// (Cephes-style): reduce `x` to `r` in `[-pi/4, pi/4]` with the quadrant
+/// count `k` (two-step Cody-Waite reduction so the subtraction stays
+/// accurate), evaluate the degree-7 sine and degree-6 cosine minimax
+/// polynomials on `r`, then swap/negate per quadrant. All compares compile
+/// to selects, so loops over this function vectorise 8/16-wide under the
+/// same `#[target_feature]` wrappers as the other transcendental kernels.
+/// Maximum absolute error is ~1e-7 over `|x| <= 4 pi` — far below the 1e-5
+/// parity tolerance the kernel suite guarantees (the Box-Muller caller only
+/// ever passes `[0, 2 pi)`).
+#[inline(always)]
+pub fn sin_cos_approx(x: f32) -> (f32, f32) {
+    const FRAC_2_PI: f32 = std::f32::consts::FRAC_2_PI;
+    // Cody-Waite split of pi/2: the f32-rounded high part plus the residual
+    // `pi/2 - (FRAC_PI_2 as f64)`, so the two-step subtraction loses no
+    // accuracy over the reduction range.
+    const PI_2_HI: f32 = std::f32::consts::FRAC_PI_2;
+    const PI_2_LO: f32 = -4.371_139e-8;
+    let k = (x * FRAC_2_PI).round();
+    let r = x - k * PI_2_HI - k * PI_2_LO;
+    let r2 = r * r;
+    // sin(r) = r + r^3 P(r^2) on the reduced range.
+    let mut ps = -1.951_529_6e-4f32;
+    ps = ps * r2 + 8.332_161e-3;
+    ps = ps * r2 - 1.666_665_5e-1;
+    let sin_r = r2 * r * ps + r;
+    // cos(r) = 1 - r^2/2 + r^4 Q(r^2).
+    let mut pc = 2.443_315_7e-5f32;
+    pc = pc * r2 - 1.388_731_6e-3;
+    pc = pc * r2 + 4.166_664_6e-2;
+    let cos_r = r2 * r2 * pc - 0.5 * r2 + 1.0;
+    // Quadrant fix-up: odd quadrants swap sin/cos, quadrants 2-3 negate the
+    // sine, quadrants 1-2 negate the cosine. Branchless selects on lane
+    // values.
+    let q = k as i32;
+    let swap = (q & 1) != 0;
+    let s = if swap { cos_r } else { sin_r };
+    let c = if swap { sin_r } else { cos_r };
+    let s = if (q & 2) != 0 { -s } else { s };
+    let c = if ((q + 1) & 2) != 0 { -c } else { c };
+    (s, c)
+}
+
+/// Branchless sine (see [`sin_cos_approx`]).
+#[inline(always)]
+pub fn sin_approx(x: f32) -> f32 {
+    sin_cos_approx(x).0
+}
+
+/// Branchless cosine (see [`sin_cos_approx`]).
+#[inline(always)]
+pub fn cos_approx(x: f32) -> f32 {
+    sin_cos_approx(x).1
+}
+
+// ---------------------------------------------------------------------------
+// Box-Muller transform (the reparameterisation-noise hot path)
+// ---------------------------------------------------------------------------
+//
+// Every training step fills `n x F` noise buffers with standard-normal
+// samples. The uniform draws themselves are cheap; what serialised the loop
+// was one libm `ln` and one `sin_cos` call per *pair*. Transforming a whole
+// buffer of uniforms at once through the branchless `ln_approx` /
+// `sin_cos_approx` polynomials lets LLVM vectorise the entire transform
+// 8/16-wide (an open ROADMAP lever since PR 2).
+
+/// Reference scalar transform for [`box_muller`] using libm `ln`/`sin_cos`:
+/// the parity baseline (`tests/kernel_parity.rs`) and the pre-vectorisation
+/// behaviour benched against in `benches/kernels.rs`.
+pub fn box_muller_serial(buf: &mut [f32], std: f32) {
+    const TWO_PI: f32 = std::f32::consts::TAU;
+    for pair in buf.chunks_exact_mut(2) {
+        let u1 = pair[0].max(f32::MIN_POSITIVE);
+        let r = (-2.0 * u1.ln()).sqrt() * std;
+        let (sin, cos) = (TWO_PI * pair[1]).sin_cos();
+        pair[0] = r * cos;
+        pair[1] = r * sin;
+    }
+}
+
+#[inline(always)]
+fn box_muller_body(buf: &mut [f32], std: f32) {
+    const TWO_PI: f32 = std::f32::consts::TAU;
+    for pair in buf.chunks_exact_mut(2) {
+        // Clamping u1 away from zero bounds `r` at ~13.2 std deviations, so
+        // the transform never produces a non-finite sample (the scalar seed
+        // path re-drew on the — practically unreachable — infinite case).
+        let u1 = pair[0].max(f32::MIN_POSITIVE);
+        let r = (-2.0 * ln_approx(u1)).sqrt() * std;
+        let (sin, cos) = sin_cos_approx(TWO_PI * pair[1]);
+        pair[0] = r * cos;
+        pair[1] = r * sin;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn box_muller_avx2(buf: &mut [f32], std: f32) {
+    box_muller_body(buf, std)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+unsafe fn box_muller_avx512(buf: &mut [f32], std: f32) {
+    box_muller_body(buf, std)
+}
+
+/// Transforms a buffer of `Uniform[0, 1)` samples into i.i.d. `N(0, std^2)`
+/// samples in place, consuming consecutive pairs `(u1, u2)` per Box-Muller
+/// transform (`buf[2k] = r cos(theta)`, `buf[2k+1] = r sin(theta)`). A
+/// trailing odd element is left untouched — callers handle it with a scalar
+/// draw.
+pub fn box_muller(buf: &mut [f32], std: f32) {
+    match isa() {
+        Isa::Portable => box_muller_body(buf, std),
+        // SAFETY: `isa()` verified the required CPU features at runtime.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => unsafe { box_muller_avx2(buf, std) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { box_muller_avx512(buf, std) },
+    }
+}
+
 /// Branchless numerically stable sigmoid built on [`exp_approx`].
 #[inline(always)]
 fn sigmoid_approx(x: f32) -> f32 {

@@ -37,7 +37,9 @@
 
 #[cfg(feature = "alloc-track")]
 pub mod alloc_track;
+pub mod artifact;
 pub mod error;
+pub mod func;
 pub mod init;
 pub mod kernels;
 pub mod nn;
@@ -49,7 +51,9 @@ pub mod sparse;
 pub mod tape;
 pub mod tensor;
 
+pub use artifact::ArtifactError;
 pub use error::{Result, TensorError};
+pub use func::FuncCtx;
 pub use nn::{Activation, Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamSet};

@@ -7,6 +7,7 @@
 //! forward pass.
 
 use crate::error::Result;
+use crate::func::FuncCtx;
 use crate::init::{xavier_normal, xavier_uniform};
 use crate::params::{ParamId, ParamSet};
 use crate::tape::{Tape, Var};
@@ -39,6 +40,21 @@ impl Activation {
             Activation::Tanh => tape.tanh(x),
             Activation::Softplus => tape.softplus(x),
         }
+    }
+
+    /// Applies the activation tape-free through the shared functional layer
+    /// (same kernels as [`Activation::apply`], so results agree bit for bit).
+    /// Takes ownership of `x` and recycles it when a new buffer is produced.
+    pub fn apply_infer(&self, ctx: &mut FuncCtx, x: Tensor) -> Tensor {
+        let out = match *self {
+            Activation::Identity => return x,
+            Activation::LeakyRelu(slope) => ctx.leaky_relu(&x, slope),
+            Activation::Sigmoid => ctx.sigmoid(&x),
+            Activation::Tanh => ctx.tanh(&x),
+            Activation::Softplus => ctx.softplus(&x),
+        };
+        ctx.recycle(x);
+        out
     }
 }
 
@@ -138,6 +154,19 @@ impl Linear {
         self.activation.apply(tape, y)
     }
 
+    /// Runs the layer tape-free through the shared functional layer. The
+    /// result is bitwise identical to [`Linear::forward`]'s recorded value
+    /// (both route through the same `func::*_into` computations).
+    pub fn forward_infer(&self, ctx: &mut FuncCtx, params: &ParamSet, x: &Tensor) -> Result<Tensor> {
+        let mut y = ctx.matmul(x, params.value(self.weight))?;
+        if let Some(bias) = self.bias {
+            let with_bias = ctx.add_row_broadcast(&y, params.value(bias))?;
+            ctx.recycle(y);
+            y = with_bias;
+        }
+        Ok(self.activation.apply_infer(ctx, y))
+    }
+
     /// Sum of squared parameter values, used for L2 regularisation.
     pub fn l2(&self, params: &ParamSet) -> f32 {
         let mut total = params.value(self.weight).sum_squares();
@@ -204,6 +233,18 @@ impl Mlp {
         let mut h = x;
         for layer in &self.layers {
             h = layer.forward(tape, params, h)?;
+        }
+        Ok(h)
+    }
+
+    /// Runs the MLP tape-free through the shared functional layer
+    /// (bitwise-identical to the recorded [`Mlp::forward`] values).
+    pub fn forward_infer(&self, ctx: &mut FuncCtx, params: &ParamSet, x: &Tensor) -> Result<Tensor> {
+        let mut h = self.layers[0].forward_infer(ctx, params, x)?;
+        for layer in &self.layers[1..] {
+            let next = layer.forward_infer(ctx, params, &h)?;
+            ctx.recycle(h);
+            h = next;
         }
         Ok(h)
     }

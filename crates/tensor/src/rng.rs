@@ -76,9 +76,28 @@ pub fn sample_standard_normal_pair<R: Rng + ?Sized>(rng: &mut R) -> (f32, f32) {
 
 /// Overwrites a buffer with i.i.d. `N(0, std^2)` samples (the
 /// allocation-free counterpart of [`normal_tensor`], for pooled buffers).
-/// Draws paired Box-Muller samples, so filling `n` elements costs `n`
-/// uniforms instead of `2n`.
+///
+/// The buffer is first filled with uniform draws (one per element, half the
+/// uniforms of the unpaired transform), then transformed in place by the
+/// vectorised Box-Muller kernel [`crate::kernels::box_muller`] — the whole
+/// `ln`/`sin`/`cos` chain runs through the branchless polynomial
+/// approximations, 8/16-wide. [`fill_normal_scalar`] keeps the libm
+/// formulation as the parity/bench reference.
 pub fn fill_normal<R: Rng + ?Sized>(rng: &mut R, buf: &mut [f32], std: f32) {
+    let (pairs, rest) = buf.split_at_mut(buf.len() / 2 * 2);
+    for u in pairs.iter_mut() {
+        *u = rng.gen::<f32>();
+    }
+    crate::kernels::box_muller(pairs, std);
+    if let [last] = rest {
+        *last = sample_standard_normal(rng) * std;
+    }
+}
+
+/// The pre-vectorisation formulation of [`fill_normal`]: pairwise scalar
+/// Box-Muller through libm `ln`/`sin_cos`. Kept as the reference the
+/// kernel-parity suite and the `fill_normal` bench pair compare against.
+pub fn fill_normal_scalar<R: Rng + ?Sized>(rng: &mut R, buf: &mut [f32], std: f32) {
     let (pairs, rest) = buf.split_at_mut(buf.len() / 2 * 2);
     for pair in pairs.chunks_exact_mut(2) {
         let (z0, z1) = sample_standard_normal_pair(rng);

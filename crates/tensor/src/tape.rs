@@ -25,6 +25,7 @@
 //! the hot backward chains.
 
 use crate::error::{Result, TensorError};
+use crate::func;
 use crate::kernels;
 use crate::params::{ParamId, ParamSet};
 use crate::pool::{BufferPool, PoolStats};
@@ -346,23 +347,10 @@ impl Tape {
     pub fn add_row_broadcast(&mut self, matrix: Var, row: Var) -> Result<Var> {
         let (im, ir) = (self.check(matrix)?, self.check(row)?);
         let (rows, cols) = self.val(im).shape();
-        let rshape = self.val(ir).shape();
-        if rshape != (1, cols) {
-            return Err(TensorError::ShapeMismatch {
-                op: "add_row_broadcast",
-                lhs: (rows, cols),
-                rhs: rshape,
-            });
-        }
         let mut out = self.pool.take_uninit(rows, cols);
-        {
-            let m = self.val(im);
-            let bias = self.val(ir).as_slice();
-            for r in 0..rows {
-                for ((o, &v), &b) in out.row_mut(r).iter_mut().zip(m.row(r)).zip(bias) {
-                    *o = v + b;
-                }
-            }
+        if let Err(e) = func::add_row_broadcast_into(self.val(im), self.val(ir), &mut out) {
+            self.pool.put(out);
+            return Err(e);
         }
         let rg = self.rg(im) || self.rg(ir);
         Ok(self.push(out, Op::AddRowBroadcast { matrix: im, row: ir }, rg))
@@ -391,24 +379,13 @@ impl Tape {
     /// Dense matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
         let (ia, ib) = (self.check(a)?, self.check(b)?);
-        let (m, k) = self.val(ia).shape();
-        let (kb, n) = self.val(ib).shape();
-        if k != kb {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul",
-                lhs: (m, k),
-                rhs: (kb, n),
-            });
-        }
+        let (m, _) = self.val(ia).shape();
+        let (_, n) = self.val(ib).shape();
         let mut out = self.pool.take_uninit(m, n);
-        kernels::matmul(
-            m,
-            k,
-            n,
-            self.val(ia).as_slice(),
-            self.val(ib).as_slice(),
-            out.as_mut_slice(),
-        );
+        if let Err(e) = func::matmul_into(self.val(ia), self.val(ib), &mut out) {
+            self.pool.put(out);
+            return Err(e);
+        }
         let rg = self.rg(ia) || self.rg(ib);
         Ok(self.push(out, Op::Matmul(ia, ib), rg))
     }
@@ -416,16 +393,12 @@ impl Tape {
     /// Sparse-dense matrix product with a constant sparse operand.
     pub fn spmm(&mut self, sparse: &Arc<CsrMatrix>, dense: Var) -> Result<Var> {
         let id = self.check(dense)?;
-        let (dr, n) = self.val(id).shape();
-        if sparse.cols() != dr {
-            return Err(TensorError::ShapeMismatch {
-                op: "spmm",
-                lhs: (sparse.rows(), sparse.cols()),
-                rhs: (dr, n),
-            });
-        }
+        let n = self.val(id).cols();
         let mut out = self.pool.take_uninit(sparse.rows(), n);
-        kernels::spmm(sparse.view(), n, self.val(id).as_slice(), out.as_mut_slice());
+        if let Err(e) = func::spmm_into(sparse, self.val(id), &mut out) {
+            self.pool.put(out);
+            return Err(e);
+        }
         let rg = self.rg(id);
         Ok(self.push(
             out,
@@ -441,22 +414,11 @@ impl Tape {
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Result<Var> {
         let (ia, ib) = (self.check(a)?, self.check(b)?);
         let (rows, ca) = self.val(ia).shape();
-        let (rb, cb) = self.val(ib).shape();
-        if rows != rb {
-            return Err(TensorError::ShapeMismatch {
-                op: "concat_cols",
-                lhs: (rows, ca),
-                rhs: (rb, cb),
-            });
-        }
+        let cb = self.val(ib).cols();
         let mut out = self.pool.take_uninit(rows, ca + cb);
-        {
-            let (va, vb) = (self.val(ia), self.val(ib));
-            for r in 0..rows {
-                let dst = out.row_mut(r);
-                dst[..ca].copy_from_slice(va.row(r));
-                dst[ca..].copy_from_slice(vb.row(r));
-            }
+        if let Err(e) = func::concat_cols_into(self.val(ia), self.val(ib), &mut out) {
+            self.pool.put(out);
+            return Err(e);
         }
         let rg = self.rg(ia) || self.rg(ib);
         Ok(self.push(out, Op::ConcatCols(ia, ib), rg))
@@ -587,13 +549,7 @@ impl Tape {
         let ii = self.check(input)?;
         let (r, c) = self.val(ii).shape();
         let mut out = self.pool.take_uninit(r, c);
-        kernels::map(self.val(ii).as_slice(), out.as_mut_slice(), |v| {
-            if v >= 0.0 {
-                v
-            } else {
-                slope * v
-            }
-        });
+        func::leaky_relu_into(self.val(ii), slope, &mut out);
         let rg = self.rg(ii);
         Ok(self.push(out, Op::LeakyRelu { input: ii, slope }, rg))
     }
@@ -603,7 +559,7 @@ impl Tape {
         let ii = self.check(input)?;
         let (r, c) = self.val(ii).shape();
         let mut out = self.pool.take_uninit(r, c);
-        kernels::softplus_forward(self.val(ii).as_slice(), out.as_mut_slice());
+        func::softplus_into(self.val(ii), &mut out);
         let rg = self.rg(ii);
         Ok(self.push(out, Op::Softplus { input: ii }, rg))
     }
@@ -613,7 +569,7 @@ impl Tape {
         let ii = self.check(input)?;
         let (r, c) = self.val(ii).shape();
         let mut out = self.pool.take_uninit(r, c);
-        kernels::sigmoid_forward(self.val(ii).as_slice(), out.as_mut_slice());
+        func::sigmoid_into(self.val(ii), &mut out);
         let rg = self.rg(ii);
         Ok(self.push(out, Op::Sigmoid { input: ii }, rg))
     }
@@ -623,7 +579,7 @@ impl Tape {
         let ii = self.check(input)?;
         let (r, c) = self.val(ii).shape();
         let mut out = self.pool.take_uninit(r, c);
-        self.val(ii).map_into(&mut out, |v| v.tanh());
+        func::tanh_into(self.val(ii), &mut out);
         let rg = self.rg(ii);
         Ok(self.push(out, Op::Tanh { input: ii }, rg))
     }

@@ -12,9 +12,11 @@
 //! * [`data`] — synthetic cross-domain scenarios, preprocessing and
 //!   cold-start splits;
 //! * [`eval`] — the leave-one-out ranking protocol, metrics and statistics;
-//! * [`core`] — the CDRIB model (VBGE + IB + contrastive regularizers) and
-//!   its trainer;
-//! * [`baselines`] — every comparison method of the paper's evaluation.
+//! * [`core`] — the CDRIB model (VBGE + IB + contrastive regularizers), its
+//!   trainer, the tape-free `InferenceModel` and frozen model artifacts;
+//! * [`baselines`] — every comparison method of the paper's evaluation;
+//! * [`serve`] — the online top-K recommendation subsystem over frozen
+//!   artifacts (see the README's "Serving" section).
 //!
 //! ## Quickstart
 //!
@@ -40,12 +42,13 @@ pub use cdrib_core as core;
 pub use cdrib_data as data;
 pub use cdrib_eval as eval;
 pub use cdrib_graph as graph;
+pub use cdrib_serve as serve;
 pub use cdrib_tensor as tensor;
 
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use cdrib_baselines::{BaselineOpts, Method};
-    pub use cdrib_core::{train, CdribConfig, CdribModel, CdribVariant, TrainedCdrib};
+    pub use cdrib_core::{train, CdribConfig, CdribModel, CdribVariant, InferenceModel, TrainedCdrib};
     pub use cdrib_data::{
         build_preset, generate_scenario, with_overlap_ratio, CdrScenario, Direction, DomainId, Scale, ScenarioKind,
         SplitConfig, SyntheticConfig,
@@ -54,5 +57,6 @@ pub mod prelude {
         evaluate_both_directions, evaluate_cold_start, EmbeddingScorer, EvalConfig, EvalSplit, RankingMetrics,
     };
     pub use cdrib_graph::BipartiteGraph;
+    pub use cdrib_serve::{Recommendation, Recommender, Request};
     pub use cdrib_tensor::{Adam, Optimizer, ParamSet, Tape, Tensor};
 }

@@ -20,8 +20,9 @@
 //! The tests run serially in one `#[test]` so no concurrent test thread can
 //! allocate while a steady-state window is being measured.
 
-use cdrib_core::{CdribConfig, CdribModel};
-use cdrib_data::{build_preset, EpochBatches, Scale, ScenarioKind};
+use cdrib_core::{CdribConfig, CdribModel, InferenceModel};
+use cdrib_data::{build_preset, Direction, EpochBatches, Scale, ScenarioKind};
+use cdrib_serve::{Recommendation, Recommender, Request};
 use cdrib_tensor::alloc_track::{allocation_count, CountingAlloc};
 use cdrib_tensor::rng::{component_rng, normal_tensor};
 use cdrib_tensor::{Adam, Optimizer, ParamSet, Tape, Tensor};
@@ -102,6 +103,75 @@ fn full_model_steady_state() {
     assert!(model.params().all_finite());
 }
 
+/// The serving half of the train/serve split: warm tape-free re-encoding
+/// (`InferenceModel::encode_into`) and warm top-K requests
+/// (`Recommender::recommend`) must both be allocation-free — a serving
+/// process answers millions of requests from one frozen snapshot, so any
+/// per-request allocation is a steady-state leak.
+fn inference_and_serving_steady_state() {
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 42).expect("preset");
+    let config = CdribConfig {
+        dim: 16,
+        layers: 2,
+        eval_every: 0,
+        patience: 0,
+        seed: 42,
+        ..CdribConfig::default()
+    };
+    let model = CdribModel::new(&config, &scenario).expect("model");
+
+    // Tape-free re-encoding: zero allocator requests once warm.
+    let mut inference = InferenceModel::from_model(&model);
+    let mut embeddings = inference.embeddings().expect("embeddings");
+    for _ in 0..2 {
+        inference.encode_into(&mut embeddings).expect("warm encode");
+    }
+    let steady = min_allocs_over_windows(|| {
+        for _ in 0..3 {
+            inference.encode_into(&mut embeddings).expect("measured encode");
+        }
+    });
+    assert_eq!(
+        steady, 0,
+        "warm InferenceModel::encode_into must not touch the allocator (got {steady} requests over 3 passes)"
+    );
+
+    // Top-K serving: zero allocator requests per warm request.
+    let mut recommender = Recommender::from_embeddings(embeddings, &scenario).expect("recommender");
+    let mut requests: Vec<Request> = Vec::new();
+    for &user in scenario.cold_x_to_y.test_users.iter().take(8) {
+        requests.push(Request {
+            direction: Direction::X_TO_Y,
+            user,
+            k: 10,
+        });
+    }
+    for &user in scenario.cold_y_to_x.test_users.iter().take(8) {
+        requests.push(Request {
+            direction: Direction::Y_TO_X,
+            user,
+            k: 10,
+        });
+    }
+    assert!(!requests.is_empty());
+    let mut out: Vec<Recommendation> = Vec::new();
+    for request in &requests {
+        recommender.recommend(request, &mut out).expect("warm request");
+    }
+    let steady = min_allocs_over_windows(|| {
+        for request in &requests {
+            recommender.recommend(request, &mut out).expect("measured request");
+        }
+    });
+    assert_eq!(
+        steady,
+        0,
+        "warm top-K requests must not touch the allocator (got {steady} requests over {} recommendations)",
+        requests.len()
+    );
+    assert!(!out.is_empty());
+}
+
 #[test]
 fn warm_training_steps_are_allocation_free() {
     // Pin the kernels to one thread before the first dispatch: scoped-thread
@@ -167,7 +237,9 @@ fn warm_training_steps_are_allocation_free() {
     assert!(losses[4] < losses[0], "loss should decrease: {losses:?}");
     assert!(params.all_finite());
 
-    // Same property for the full model, measured in the same process so the
-    // two steady-state windows cannot interleave with other test threads.
+    // Same property for the full model and the serving stack, measured in
+    // the same process so the steady-state windows cannot interleave with
+    // other test threads.
     full_model_steady_state();
+    inference_and_serving_steady_state();
 }

@@ -1,0 +1,102 @@
+//! Property tests of the frozen-model artifact pipeline: `save` → `load` →
+//! tape-free `InferenceModel` must reproduce the tape forward **bit for
+//! bit** across model topologies, and damaged or version-skewed artifacts
+//! must fail with typed errors — never decode into a silently different
+//! model.
+
+use cdrib::core::artifact::{MODEL_KIND, MODEL_VERSION};
+use cdrib::core::{CdribConfig, CdribModel, InferenceModel};
+use cdrib::data::{build_preset, Scale, ScenarioKind};
+use cdrib::tensor::artifact as envelope;
+use cdrib::tensor::ArtifactError;
+use proptest::prelude::*;
+
+/// A small model-topology strategy: embedding width, stacking depth, mean
+/// activation and init seed all vary; the scenario stays tiny so each case
+/// builds in milliseconds.
+fn topology() -> impl Strategy<Value = (usize, usize, bool, u64)> {
+    (4usize..20, 1usize..4, 0usize..2, 0u64..1000).prop_map(|(dim, layers, nl, seed)| (dim, layers, nl == 1, seed))
+}
+
+fn build(dim: usize, layers: usize, nonlinear_mean: bool, seed: u64) -> (CdribModel, cdrib::data::CdrScenario) {
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 13).unwrap();
+    let config = CdribConfig {
+        dim,
+        layers,
+        nonlinear_mean,
+        seed,
+        eval_every: 0,
+        patience: 0,
+        ..CdribConfig::default()
+    };
+    let model = CdribModel::new(&config, &scenario).unwrap();
+    (model, scenario)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn save_load_inference_reproduces_tape_forward_bit_for_bit((dim, layers, nonlinear_mean, seed) in topology()) {
+        let (model, scenario) = build(dim, layers, nonlinear_mean, seed);
+        let tape = model.infer_embeddings().unwrap();
+
+        let bytes = model.save_bytes(&scenario);
+        let (loaded, loaded_scenario) = CdribModel::load_bytes(&bytes).unwrap();
+        prop_assert_eq!(loaded_scenario.x.n_items, scenario.x.n_items);
+
+        let mut inference = InferenceModel::from_model(&loaded);
+        let frozen = inference.embeddings().unwrap();
+        // Bitwise: the artifact carries exact f32 payloads and the tape-free
+        // forward shares the tape's functional kernel layer.
+        prop_assert_eq!(&tape.x_users, &frozen.x_users);
+        prop_assert_eq!(&tape.x_items, &frozen.x_items);
+        prop_assert_eq!(&tape.y_users, &frozen.y_users);
+        prop_assert_eq!(&tape.y_items, &frozen.y_items);
+    }
+
+    #[test]
+    fn corrupted_artifacts_fail_with_typed_errors((dim, layers, nonlinear_mean, seed) in topology()) {
+        let (model, scenario) = build(dim, layers, nonlinear_mean, seed);
+        let bytes = model.save_bytes(&scenario);
+        let payload_len = envelope::decode(&bytes, MODEL_KIND, MODEL_VERSION).unwrap().len();
+        let payload_start = bytes.len() - payload_len;
+
+        // Flip one byte at several payload offsets derived from the seed:
+        // the checksum must catch every one of them.
+        for salt in 0..4u64 {
+            let offset = payload_start + ((seed.wrapping_mul(0x9e37) + salt * 7919) as usize % payload_len);
+            let mut corrupted = bytes.clone();
+            corrupted[offset] ^= 1 << (salt % 8);
+            prop_assert!(
+                matches!(CdribModel::load_bytes(&corrupted), Err(ArtifactError::ChecksumMismatch { .. })),
+                "payload flip at {} escaped the checksum", offset
+            );
+        }
+        // Header damage is typed too (never a panic, never a silent load).
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        prop_assert!(matches!(CdribModel::load_bytes(&bad_magic), Err(ArtifactError::BadMagic)));
+        prop_assert!(CdribModel::load_bytes(&bytes[..payload_start / 2]).is_err());
+    }
+
+    #[test]
+    fn version_skew_is_rejected((dim, layers, nonlinear_mean, seed) in topology()) {
+        let (model, scenario) = build(dim, layers, nonlinear_mean, seed);
+        let bytes = model.save_bytes(&scenario);
+        let payload = envelope::decode(&bytes, MODEL_KIND, MODEL_VERSION).unwrap().to_vec();
+
+        let future = envelope::encode(MODEL_KIND, MODEL_VERSION + 1, &payload);
+        prop_assert!(matches!(
+            CdribModel::load_bytes(&future),
+            Err(ArtifactError::UnsupportedVersion { found, supported, .. })
+                if found == MODEL_VERSION + 1 && supported == MODEL_VERSION
+        ));
+
+        let wrong_kind = envelope::encode("cdrib.baseline", MODEL_VERSION, &payload);
+        prop_assert!(matches!(
+            CdribModel::load_bytes(&wrong_kind),
+            Err(ArtifactError::WrongKind { .. })
+        ));
+    }
+}

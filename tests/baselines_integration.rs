@@ -41,12 +41,13 @@ fn trained_baseline_ranks_observed_interactions_highly() {
     let graph = &scenario.x.train;
     let mut correct = 0usize;
     let mut total = 0usize;
+    let mut scores = [0.0f32; 2];
     for &(u, i) in graph.edges().iter().take(500) {
         let neg = (i as usize + 17) % scenario.x.n_items;
         if graph.has_edge(u as usize, neg) {
             continue;
         }
-        let scores = scorer.score_cross(DomainId::X, u, DomainId::X, &[i, neg as u32]);
+        scorer.score_cross_into(DomainId::X, u, DomainId::X, &[i, neg as u32], &mut scores);
         total += 1;
         if scores[0] > scores[1] {
             correct += 1;

@@ -150,6 +150,83 @@ fn explicit_edge_shapes() {
 }
 
 #[test]
+fn sin_cos_approx_matches_libm_at_1e_5() {
+    use cdrib::tensor::kernels::{cos_approx, sin_approx, sin_cos_approx};
+    // Dense sweep over the Box-Muller input range [0, 2 pi) plus margin on
+    // both sides (the reduction handles a few extra periods).
+    let mut worst = 0.0f32;
+    for i in 0..200_000 {
+        let x = -4.0 * std::f32::consts::PI + i as f32 * (8.0 * std::f32::consts::PI / 200_000.0);
+        let (s, c) = sin_cos_approx(x);
+        let ds = (s - x.sin()).abs();
+        let dc = (c - x.cos()).abs();
+        worst = worst.max(ds).max(dc);
+        assert!(ds <= 1e-5, "sin({x}) diverged: {s} vs {}", x.sin());
+        assert!(dc <= 1e-5, "cos({x}) diverged: {c} vs {}", x.cos());
+        assert_eq!(sin_approx(x), s);
+        assert_eq!(cos_approx(x), c);
+    }
+    // The polynomials should be far inside the advertised tolerance.
+    assert!(worst <= 2e-6, "worst sin/cos error {worst} larger than expected");
+}
+
+#[test]
+fn box_muller_matches_scalar_reference_at_1e_5() {
+    use cdrib::tensor::kernels::{box_muller, box_muller_serial};
+    let mut rng = TestRng::for_case("box_muller_parity", 0);
+    for (len, std) in [(2usize, 1.0f32), (64, 1.0), (1023, 0.1), (4096, 2.5)] {
+        let uniforms: Vec<f32> = (0..len).map(|_| (rng.unit_f64() as f32).min(0.999_999)).collect();
+        let mut fast = uniforms.clone();
+        let mut reference = uniforms;
+        let even = len / 2 * 2;
+        box_muller(&mut fast[..even], std);
+        box_muller_serial(&mut reference[..even], std);
+        for (i, (&f, &r)) in fast.iter().zip(reference.iter()).enumerate() {
+            assert!(f.is_finite(), "sample {i} not finite");
+            // Absolute tolerance scaled by the sample magnitude: r can reach
+            // ~13 std, where a 1e-7 sin/cos error scales accordingly.
+            let scale = 1.0f32.max(f.abs()).max(r.abs());
+            assert!(
+                (f - r).abs() <= 1e-5 * scale,
+                "len {len} std {std}: sample {i} diverged: vectorised {f} vs scalar {r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn box_muller_handles_degenerate_uniforms() {
+    use cdrib::tensor::kernels::box_muller;
+    // u1 = 0 must clamp (ln(0) would be -inf), u2 on period boundaries must
+    // stay finite, and the odd trailing element is left untouched.
+    let mut buf = [0.0, 0.0, 0.0, 1.0 - f32::EPSILON, 0.5, 0.25, 7.0];
+    box_muller(&mut buf[..6], 1.0);
+    for (i, v) in buf[..6].iter().enumerate() {
+        assert!(v.is_finite(), "sample {i} not finite: {v}");
+        assert!(v.abs() < 20.0, "sample {i} implausibly large: {v}");
+    }
+    assert_eq!(buf[6], 7.0, "odd tail must not be transformed");
+}
+
+#[test]
+fn fill_normal_is_seeded_and_well_distributed() {
+    use cdrib::tensor::rng::{component_rng, fill_normal};
+    // Same seed -> identical buffer; the vectorised path preserves the
+    // determinism contract of every stochastic component.
+    let mut a = vec![0.0f32; 4097];
+    let mut b = vec![0.0f32; 4097];
+    fill_normal(&mut component_rng(9, "fill-normal"), &mut a, 1.0);
+    fill_normal(&mut component_rng(9, "fill-normal"), &mut b, 1.0);
+    assert_eq!(a, b);
+    // And the moments still look standard-normal.
+    let n = a.len() as f64;
+    let mean = a.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = a.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+    assert!(mean.abs() < 0.08, "mean {mean}");
+    assert!((var - 1.0).abs() < 0.1, "var {var}");
+}
+
+#[test]
 fn dispatched_kernels_are_run_to_run_deterministic() {
     // Two invocations of the same dispatched kernel must agree bit-for-bit:
     // the ISA choice is fixed per process and row/band chunking preserves
