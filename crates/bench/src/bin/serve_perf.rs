@@ -12,7 +12,12 @@
 //! * batched throughput in requests/s and raw candidate scores/s (each
 //!   request scores the full opposite-domain catalogue);
 //! * steady-state allocator requests per warm request (must be zero; the
-//!   `alloc_regression` integration test enforces the same property).
+//!   `alloc_regression` integration test enforces the same property);
+//! * **online delta ingestion**: batches of new cold-start users with fresh
+//!   source-domain interactions applied through `Recommender::apply_delta`
+//!   (graph apply + incremental re-encode + epoch table swap), gated on
+//!   bitwise parity with a full rebuild and on zero steady-state
+//!   allocations for replayed (duplicate) batches.
 //!
 //! Results are written to `BENCH_serve.json` (override with `--out`). Usage:
 //!
@@ -22,7 +27,8 @@
 
 use cdrib_bench::Args;
 use cdrib_core::{CdribConfig, CdribModel, InferenceModel};
-use cdrib_data::{build_preset, Direction, EpochBatches, Scale, ScenarioKind};
+use cdrib_data::{build_preset, Direction, DomainId, EpochBatches, Scale, ScenarioKind};
+use cdrib_graph::GraphDelta;
 use cdrib_serve::{Recommendation, Recommender, Request};
 use cdrib_tensor::alloc_track::{allocation_count, CountingAlloc};
 use cdrib_tensor::rng::component_rng;
@@ -207,9 +213,112 @@ fn main() {
     let recs_per_sec = total_requests / batch_secs;
     let scores_per_sec = total_requests * candidates_per_request as f64 / batch_secs;
 
+    // --- Online delta ingestion. --------------------------------------------
+    // Fresh cold-start users arrive in batches with new source-domain (X)
+    // interactions; each batch flows through `apply_delta` — graph apply,
+    // dirty-set propagation, incremental re-encode, epoch table swap.
+    use rand::Rng;
+    let mut online = Recommender::from_inference_online(InferenceModel::from_model(&model), &loaded_scenario)
+        .expect("online engine");
+    let mut delta_rng = component_rng(seed, "serve-perf-delta");
+    let (users_per_batch, edges_per_user) = (8usize, 4usize);
+    let mut make_growth_delta = |rec: &Recommender| {
+        let base_user = rec.seen_graph(DomainId::X).n_users() as u32;
+        let n_items = rec.seen_graph(DomainId::X).n_items();
+        let mut edges = Vec::with_capacity(users_per_batch * edges_per_user);
+        for u in 0..users_per_batch as u32 {
+            for _ in 0..edges_per_user {
+                edges.push((base_user + u, delta_rng.gen_range(0..n_items) as u32));
+            }
+        }
+        GraphDelta {
+            add_users: users_per_batch,
+            add_items: 0,
+            edges,
+        }
+    };
+    // Warm-up batch sizes pools, stamps and shadow tables.
+    online
+        .apply_delta(DomainId::X, &make_growth_delta(&online))
+        .expect("warm delta");
+    let delta_rounds = if quick { 8usize } else { 40 };
+    let mut rows_reencoded: u64 = 0;
+    let mut delta_edges_added: u64 = 0;
+    let started = Instant::now();
+    for _ in 0..delta_rounds {
+        let delta = make_growth_delta(&online);
+        let outcome = online.apply_delta(DomainId::X, &delta).expect("growth delta");
+        rows_reencoded += (outcome.users_reencoded + outcome.items_reencoded) as u64;
+        delta_edges_added += outcome.edges_added as u64;
+    }
+    let delta_secs = started.elapsed().as_secs_f64();
+    let delta_batches_per_sec = delta_rounds as f64 / delta_secs;
+    let delta_rows_mean = rows_reencoded as f64 / delta_rounds as f64;
+
+    // Correctness gate: the incrementally updated engine must be bitwise
+    // identical to a full re-freeze on the post-delta graph, and the newest
+    // cold user's top-K must match the rebuilt engine's full-sort reference.
+    let gx = online.seen_graph(DomainId::X).clone();
+    let gy = online.seen_graph(DomainId::Y).clone();
+    let mut rebuilt = InferenceModel::from_model(&model);
+    rebuilt
+        .extend_entities(DomainId::X, gx.n_users(), gx.n_items())
+        .expect("extend");
+    rebuilt.rebind_graph(DomainId::X, &gx).expect("rebind");
+    let rebuilt_embeddings = rebuilt.embeddings().expect("rebuilt forward");
+    assert_eq!(
+        online.scorer().x_users,
+        rebuilt_embeddings.x_users,
+        "incremental user table diverged from the full rebuild"
+    );
+    assert_eq!(
+        online.scorer().x_items,
+        rebuilt_embeddings.x_items,
+        "incremental item table diverged from the full rebuild"
+    );
+    let mut rebuilt_rec = Recommender::new(rebuilt_embeddings.into_scorer(), gx.clone(), gy).expect("rebuilt engine");
+    rebuilt_rec.set_shared_user_prefix(online.shared_user_prefix());
+    let newest = Request {
+        direction: Direction::X_TO_Y,
+        user: gx.n_users() as u32 - 1,
+        k,
+    };
+    online.recommend(&newest, &mut out).expect("newest user");
+    assert_eq!(
+        out,
+        rebuilt_rec.recommend_full_sort(&newest).expect("rebuilt full sort"),
+        "incremental top-K diverged from the rebuilt engine"
+    );
+
+    // Steady-state allocation audit: replayed (duplicate) batches drive the
+    // whole ingest path without growing any structure — must be 0 allocs.
+    let replay = GraphDelta {
+        add_users: 0,
+        add_items: 0,
+        edges: online.seen_graph(DomainId::X).edges()[..users_per_batch * edges_per_user / 2].to_vec(),
+    };
+    for _ in 0..2 {
+        online.apply_delta(DomainId::X, &replay).expect("warm replay");
+    }
+    let allocs_before = allocation_count();
+    let replay_rounds = 20usize;
+    for _ in 0..replay_rounds {
+        online.apply_delta(DomainId::X, &replay).expect("audited replay");
+    }
+    let delta_allocs_per_batch = (allocation_count() - allocs_before) as f64 / replay_rounds as f64;
+
     eprintln!(
         "latency    : p50 {p50:.1} us, p99 {p99:.1} us over {} single requests ({candidates_per_request} candidates each, k={k})",
         latencies_us.len()
+    );
+    eprintln!(
+        "deltas     : {delta_batches_per_sec:.0} batches/s ({users_per_batch} new users x {edges_per_user} edges, {:.1} rows re-encoded/batch, {} edges total); replay steady state {delta_allocs_per_batch:.2} allocs/batch",
+        delta_rows_mean,
+        delta_edges_added,
+    );
+    assert_eq!(
+        delta_allocs_per_batch, 0.0,
+        "steady-state (duplicate) delta batches must not touch the allocator"
     );
     eprintln!(
         "throughput : {recs_per_sec:.0} recommendations/s, {:.2}M candidate scores/s ({} requests/batch, {} threads)",
@@ -249,7 +358,13 @@ fn main() {
             "  \"candidate_scores_per_sec\": {sps:.0},\n",
             "  \"steady_state_allocs_per_request\": {allocs:.2},\n",
             "  \"heap_matches_full_sort\": true,\n",
-            "  \"frozen_matches_tape_forward\": true\n",
+            "  \"frozen_matches_tape_forward\": true,\n",
+            "  \"delta_users_per_batch\": {delta_users},\n",
+            "  \"delta_edges_per_user\": {delta_edges_per_user},\n",
+            "  \"delta_batches_per_sec\": {delta_bps:.1},\n",
+            "  \"delta_rows_reencoded_mean\": {delta_rows:.1},\n",
+            "  \"delta_steady_state_allocs_per_batch\": {delta_allocs:.2},\n",
+            "  \"delta_incremental_matches_rebuild\": true\n",
             "}}\n"
         ),
         scale = scale_name,
@@ -268,6 +383,11 @@ fn main() {
         rps = recs_per_sec,
         sps = scores_per_sec,
         allocs = allocs_per_request,
+        delta_users = users_per_batch,
+        delta_edges_per_user = edges_per_user,
+        delta_bps = delta_batches_per_sec,
+        delta_rows = delta_rows_mean,
+        delta_allocs = delta_allocs_per_batch,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
     eprintln!("wrote {out_path}");

@@ -22,6 +22,13 @@ pub enum CoreError {
         /// The epoch at which divergence was detected.
         epoch: usize,
     },
+    /// An online graph delta cannot be applied to the frozen model (counts
+    /// out of step with the post-delta graph, or incremental caches not
+    /// enabled).
+    InvalidDelta {
+        /// Human readable detail.
+        detail: String,
+    },
     /// An underlying tensor error.
     Tensor(cdrib_tensor::TensorError),
     /// An underlying data error.
@@ -36,6 +43,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidScenario { detail } => write!(f, "invalid scenario: {detail}"),
             CoreError::Diverged { epoch } => write!(f, "training diverged at epoch {epoch}"),
+            CoreError::InvalidDelta { detail } => write!(f, "invalid online delta: {detail}"),
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),
         }

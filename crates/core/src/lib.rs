@@ -37,7 +37,7 @@ pub mod vbge;
 pub use artifact::{load_model_bytes, load_model_file, save_model_bytes, save_model_file};
 pub use config::{CdribConfig, CdribVariant};
 pub use error::{CoreError, Result};
-pub use infer::InferenceModel;
+pub use infer::{DeltaReencode, InferenceModel};
 pub use model::{CdribEmbeddings, CdribModel, DomainEncoding, LossBreakdown};
 pub use trainer::{train, train_model, validation_negatives, EpochStats, TrainReport, TrainedCdrib};
-pub use vbge::{encode_mean, ForwardNoise, MeanActivation, VbgeEncoder, VbgeOutput};
+pub use vbge::{encode_mean, DirtyScratch, ForwardNoise, MeanActivation, MeanCache, VbgeEncoder, VbgeOutput};

@@ -5,6 +5,7 @@
 //! views the VBGE consumes (`Norm(A)` and `Norm(A^T)`, Eq. 2-3) and the
 //! neighbour lists used by samplers and baselines.
 
+use crate::delta::{DeltaEffect, GraphDelta};
 use crate::error::{GraphError, Result};
 use cdrib_tensor::CsrMatrix;
 use serde::{Deserialize, Serialize};
@@ -175,6 +176,158 @@ impl BipartiteGraph {
         hist
     }
 
+    /// Applies an additive [`GraphDelta`] in place, writing the receipt into
+    /// reusable `effect` storage (see [`BipartiteGraph::apply_delta`] for the
+    /// allocating convenience form).
+    ///
+    /// Application is **atomic**: every edge is validated against the
+    /// *post-delta* entity ranges before anything is mutated, so a failed
+    /// apply leaves the graph untouched. Afterwards all construction
+    /// invariants still hold — neighbour lists sorted and deduplicated, the
+    /// edge list sorted lexicographically and consistent with both adjacency
+    /// sides (the sorted-CSR invariant `adjacency()` relies on) — which
+    /// `tests/delta_parity.rs` pins against arbitrary delta batches.
+    ///
+    /// Steady-state cost: duplicate-only batches mutate nothing and the
+    /// touched lists reuse their capacity, so repeated same-shaped deltas
+    /// run allocation-free; structural growth allocates amortised, like any
+    /// `Vec` push.
+    pub fn apply_delta_into(&mut self, delta: &GraphDelta, effect: &mut DeltaEffect) -> Result<()> {
+        let new_users = self.n_users + delta.add_users;
+        let new_items = self.n_items + delta.add_items;
+        for &(u, i) in &delta.edges {
+            if u as usize >= new_users {
+                return Err(GraphError::UserOutOfRange {
+                    user: u as usize,
+                    n_users: new_users,
+                });
+            }
+            if i as usize >= new_items {
+                return Err(GraphError::ItemOutOfRange {
+                    item: i as usize,
+                    n_items: new_items,
+                });
+            }
+        }
+        effect.clear();
+        effect.users_added = delta.add_users;
+        effect.items_added = delta.add_items;
+        self.user_items.resize_with(new_users, Vec::new);
+        self.item_users.resize_with(new_items, Vec::new);
+        // New entities are always "touched": their rows exist now and every
+        // derived table must gain one.
+        effect.touched_users.extend(self.n_users as u32..new_users as u32);
+        effect.touched_items.extend(self.n_items as u32..new_items as u32);
+        self.n_users = new_users;
+        self.n_items = new_items;
+        for &(u, i) in &delta.edges {
+            effect.touched_users.push(u);
+            effect.touched_items.push(i);
+            match self.user_items[u as usize].binary_search(&i) {
+                Ok(_) => effect.duplicate_edges += 1,
+                Err(pos) => {
+                    self.user_items[u as usize].insert(pos, i);
+                    let upos = self.item_users[i as usize]
+                        .binary_search(&u)
+                        .expect_err("user/item lists must agree on edge membership");
+                    self.item_users[i as usize].insert(upos, u);
+                    self.edges.push((u, i));
+                    effect.edges_added += 1;
+                }
+            }
+        }
+        if effect.edges_added > 0 {
+            // `sort_unstable` is in-place (no allocation) and near-linear on
+            // the mostly-sorted edge list; entries are unique by the
+            // duplicate check above.
+            self.edges.sort_unstable();
+        }
+        effect.touched_users.sort_unstable();
+        effect.touched_users.dedup();
+        effect.touched_items.sort_unstable();
+        effect.touched_items.dedup();
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`BipartiteGraph::apply_delta_into`].
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DeltaEffect> {
+        let mut effect = DeltaEffect::new();
+        self.apply_delta_into(delta, &mut effect)?;
+        Ok(effect)
+    }
+
+    /// Checks every structural invariant the rest of the stack relies on:
+    /// neighbour lists sorted, deduplicated and in range on both sides, the
+    /// two adjacency sides mutually consistent, and the edge list sorted,
+    /// unique and equal in both count and content to the per-user lists
+    /// (which makes `adjacency()`'s CSR row offsets monotone by
+    /// construction). Cheap enough for tests and debug assertions; the
+    /// delta-invariant proptests call it after every batch.
+    pub fn check_invariants(&self) -> Result<()> {
+        let fail = |detail: String| Err(GraphError::InvariantViolation { detail });
+        let mut n_edges = 0usize;
+        for (u, items) in self.user_items.iter().enumerate() {
+            if !items.windows(2).all(|w| w[0] < w[1]) {
+                return fail(format!("user {u}: neighbour list not sorted/deduplicated"));
+            }
+            for &i in items {
+                if i as usize >= self.n_items {
+                    return fail(format!("user {u}: item {i} out of range"));
+                }
+                if self.item_users[i as usize].binary_search(&(u as u32)).is_err() {
+                    return fail(format!("edge ({u}, {i}) missing from the item side"));
+                }
+            }
+            n_edges += items.len();
+        }
+        let item_side_edges: usize = self.item_users.iter().map(Vec::len).sum();
+        if item_side_edges != n_edges {
+            return fail(format!(
+                "degree sums disagree: {n_edges} user-side vs {item_side_edges} item-side"
+            ));
+        }
+        for (i, users) in self.item_users.iter().enumerate() {
+            if !users.windows(2).all(|w| w[0] < w[1]) {
+                return fail(format!("item {i}: neighbour list not sorted/deduplicated"));
+            }
+            for &u in users {
+                if u as usize >= self.n_users {
+                    return fail(format!("item {i}: user {u} out of range"));
+                }
+            }
+        }
+        if self.edges.len() != n_edges {
+            return fail(format!(
+                "edge list holds {} entries but the adjacency holds {n_edges}",
+                self.edges.len()
+            ));
+        }
+        if !self.edges.windows(2).all(|w| w[0] < w[1]) {
+            return fail("edge list not sorted/unique".to_string());
+        }
+        for &(u, i) in &self.edges {
+            if self.user_items[u as usize].binary_search(&i).is_err() {
+                return fail(format!("edge ({u}, {i}) missing from the user side"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds `Norm(A)` **into** existing CSR storage (no allocation once
+    /// the storage capacity covers the edge count). Values are bitwise
+    /// identical to [`BipartiteGraph::norm_adjacency`] — see
+    /// [`CsrMatrix::rebuild_row_normalized_uniform`].
+    pub fn norm_adjacency_into(&self, out: &mut CsrMatrix) {
+        out.rebuild_row_normalized_uniform(self.n_users, self.n_items, |u| self.user_items[u].as_slice());
+    }
+
+    /// Rebuilds `Norm(A^T)` **into** existing CSR storage; bitwise identical
+    /// to [`BipartiteGraph::norm_adjacency_transpose`].
+    pub fn norm_adjacency_transpose_into(&self, out: &mut CsrMatrix) {
+        out.rebuild_row_normalized_uniform(self.n_items, self.n_users, |i| self.item_users[i].as_slice());
+    }
+
     /// Returns a new graph containing only the edges whose user passes the
     /// `keep` predicate (items keep their indices). Used to hide cold-start
     /// users' target-domain interactions during training.
@@ -277,6 +430,129 @@ mod tests {
         assert!(!filtered.has_edge(0, 0));
         assert!(filtered.has_edge(2, 2));
         assert_eq!(filtered.n_users(), g.n_users());
+    }
+
+    #[test]
+    fn apply_delta_matches_from_scratch_construction() {
+        let mut g = sample();
+        let delta = GraphDelta {
+            add_users: 2, // users 4, 5
+            add_items: 1, // item 3
+            edges: vec![(4, 3), (0, 2), (4, 3), (0, 0), (5, 1), (1, 3)],
+        };
+        let mut effect = DeltaEffect::new();
+        g.apply_delta_into(&delta, &mut effect).unwrap();
+        assert_eq!(effect.users_added, 2);
+        assert_eq!(effect.items_added, 1);
+        assert_eq!(effect.edges_added, 4); // (4,3), (0,2), (5,1), (1,3)
+        assert_eq!(effect.duplicate_edges, 2); // (4,3) repeat + existing (0,0)
+        assert_eq!(effect.touched_users, vec![0, 1, 4, 5]);
+        assert_eq!(effect.touched_items, vec![0, 1, 2, 3]);
+        g.check_invariants().unwrap();
+
+        let reference = BipartiteGraph::new(
+            6,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 1),
+                (2, 0),
+                (2, 2),
+                (3, 2),
+                (4, 3),
+                (0, 2),
+                (5, 1),
+                (1, 3),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.edges(), reference.edges());
+        for u in 0..6 {
+            assert_eq!(g.items_of(u), reference.items_of(u), "user {u}");
+        }
+        for i in 0..4 {
+            assert_eq!(g.users_of(i), reference.users_of(i), "item {i}");
+        }
+    }
+
+    #[test]
+    fn apply_delta_is_atomic_on_invalid_edges() {
+        let mut g = sample();
+        let before_edges = g.edges().to_vec();
+        let delta = GraphDelta {
+            add_users: 1,
+            add_items: 0,
+            edges: vec![(0, 1), (7, 0)], // user 7 out of range even after the add
+        };
+        let mut effect = DeltaEffect::new();
+        assert!(matches!(
+            g.apply_delta_into(&delta, &mut effect),
+            Err(GraphError::UserOutOfRange { user: 7, n_users: 5 })
+        ));
+        assert_eq!(g.n_users(), 4);
+        assert_eq!(g.edges(), before_edges.as_slice());
+        let bad_item = GraphDelta {
+            add_users: 0,
+            add_items: 0,
+            edges: vec![(0, 9)],
+        };
+        assert!(matches!(
+            g.apply_delta_into(&bad_item, &mut effect),
+            Err(GraphError::ItemOutOfRange { item: 9, n_items: 3 })
+        ));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_and_duplicate_deltas_touch_without_mutating() {
+        let mut g = sample();
+        let mut effect = DeltaEffect::new();
+        g.apply_delta_into(&GraphDelta::empty(), &mut effect).unwrap();
+        assert!(effect.is_noop());
+        // Re-adding an existing edge: no structural change, but the
+        // endpoints count as touched (the re-encode treats them as dirty).
+        g.apply_delta_into(
+            &GraphDelta {
+                add_users: 0,
+                add_items: 0,
+                edges: vec![(0, 0)],
+            },
+            &mut effect,
+        )
+        .unwrap();
+        assert!(!effect.structural_change());
+        assert_eq!(effect.duplicate_edges, 1);
+        assert_eq!(effect.touched_users, vec![0]);
+        assert_eq!(effect.touched_items, vec![0]);
+        assert_eq!(g.n_edges(), 6);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn norm_into_matches_allocating_norms_bitwise() {
+        let mut g = sample();
+        let mut norm = CsrMatrix::empty(1, 1);
+        let mut norm_t = CsrMatrix::empty(1, 1);
+        g.norm_adjacency_into(&mut norm);
+        g.norm_adjacency_transpose_into(&mut norm_t);
+        assert_eq!(&norm, g.norm_adjacency().as_ref());
+        assert_eq!(&norm_t, g.norm_adjacency_transpose().as_ref());
+        // Still bitwise after an in-place delta (incl. a new, edge-less user
+        // whose normalised row must exist and stay empty).
+        g.apply_delta(&GraphDelta {
+            add_users: 2,
+            add_items: 1,
+            edges: vec![(4, 3), (1, 0)],
+        })
+        .unwrap();
+        g.norm_adjacency_into(&mut norm);
+        g.norm_adjacency_transpose_into(&mut norm_t);
+        assert_eq!(&norm, g.norm_adjacency().as_ref());
+        assert_eq!(&norm_t, g.norm_adjacency_transpose().as_ref());
+        assert_eq!(norm.rows(), 6);
+        assert_eq!(norm.row_nnz(5), 0);
+        assert_eq!(norm_t.rows(), 4);
     }
 
     #[test]

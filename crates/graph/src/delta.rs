@@ -1,0 +1,122 @@
+//! Incremental graph deltas.
+//!
+//! A production recommender ingests interactions continuously: a cold-start
+//! user arrives with a handful of source-domain clicks and must be servable
+//! *now*, not after the next artifact re-freeze. A [`GraphDelta`] is the unit
+//! of that ingestion — new users, new items and new edges for **one** domain
+//! — and [`DeltaEffect`] is the receipt the rest of the stack consumes: which
+//! entity neighbourhoods the delta addressed (the seed of the dirty-set
+//! propagation in `cdrib_core::InferenceModel`) and how the graph actually
+//! changed (duplicate edges collapse, exactly as they do at construction).
+//!
+//! Deltas are additive: interactions are observations, and the paper's
+//! setting never retracts one. Removal would force dirty-set propagation
+//! through *shrinking* neighbourhoods and is out of scope here.
+
+/// A batch of additive changes to one domain's bipartite interaction graph.
+///
+/// Indices in [`GraphDelta::edges`] may reference entities the same delta
+/// introduces: with `add_users = 2` on a 10-user graph, users `10` and `11`
+/// are valid edge endpoints. Application is atomic — an out-of-range edge
+/// rejects the whole batch before anything is mutated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Number of new users appended after the current user range.
+    pub add_users: usize,
+    /// Number of new items appended after the current item range.
+    pub add_items: usize,
+    /// New `(user, item)` interactions; duplicates (against the graph or
+    /// within the batch) are collapsed, matching construction semantics.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl GraphDelta {
+    /// A delta that changes nothing.
+    pub fn empty() -> Self {
+        GraphDelta::default()
+    }
+
+    /// Whether the delta requests no change at all.
+    pub fn is_empty(&self) -> bool {
+        self.add_users == 0 && self.add_items == 0 && self.edges.is_empty()
+    }
+}
+
+/// What applying a [`GraphDelta`] did, with reusable storage: the touched
+/// lists keep their capacity across batches, so steady-state ingestion of
+/// same-shaped deltas never allocates (`tests/alloc_regression.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct DeltaEffect {
+    /// Users appended by the delta.
+    pub users_added: usize,
+    /// Items appended by the delta.
+    pub items_added: usize,
+    /// Edges actually inserted (duplicates excluded).
+    pub edges_added: usize,
+    /// Edges skipped because the interaction already existed (in the graph
+    /// or earlier in the same batch).
+    pub duplicate_edges: usize,
+    /// Sorted, deduplicated users whose neighbourhood the delta addressed:
+    /// every edge endpoint (including duplicates — re-encoding an unchanged
+    /// row is idempotent, so over-approximating costs work, never
+    /// correctness) plus every newly added user.
+    pub touched_users: Vec<u32>,
+    /// Sorted, deduplicated items, same notion as
+    /// [`DeltaEffect::touched_users`].
+    pub touched_items: Vec<u32>,
+}
+
+impl DeltaEffect {
+    /// Fresh, empty effect storage.
+    pub fn new() -> Self {
+        DeltaEffect::default()
+    }
+
+    /// Resets the counters and clears the touched lists, keeping capacity.
+    pub fn clear(&mut self) {
+        self.users_added = 0;
+        self.items_added = 0;
+        self.edges_added = 0;
+        self.duplicate_edges = 0;
+        self.touched_users.clear();
+        self.touched_items.clear();
+    }
+
+    /// Whether the graph structure actually changed (entities appended or
+    /// edges inserted). A duplicate-only delta leaves the graph — and every
+    /// normalised view of it — identical.
+    pub fn structural_change(&self) -> bool {
+        self.users_added > 0 || self.items_added > 0 || self.edges_added > 0
+    }
+
+    /// Whether the delta addressed any entity at all (even redundantly).
+    pub fn is_noop(&self) -> bool {
+        !self.structural_change() && self.touched_users.is_empty() && self.touched_items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_noop_semantics() {
+        assert!(GraphDelta::empty().is_empty());
+        assert!(!GraphDelta {
+            add_users: 1,
+            ..GraphDelta::empty()
+        }
+        .is_empty());
+
+        let mut effect = DeltaEffect::new();
+        assert!(effect.is_noop());
+        effect.duplicate_edges = 1;
+        effect.touched_users.push(3);
+        assert!(!effect.structural_change());
+        assert!(!effect.is_noop());
+        effect.clear();
+        assert!(effect.is_noop());
+        effect.edges_added = 2;
+        assert!(effect.structural_change());
+    }
+}

@@ -21,6 +21,14 @@ pub enum GraphError {
     },
     /// The graph has no edges where at least one is required.
     EmptyGraph,
+    /// A structural invariant was violated (sorted/deduplicated neighbour
+    /// lists, consistent adjacency sides, sorted unique edge list). Only
+    /// reachable through [`crate::BipartiteGraph::check_invariants`]; a
+    /// violation means a bug in an in-place mutation path.
+    InvariantViolation {
+        /// Human readable detail.
+        detail: String,
+    },
     /// A lower-level tensor error.
     Tensor(cdrib_tensor::TensorError),
 }
@@ -35,6 +43,9 @@ impl fmt::Display for GraphError {
                 write!(f, "item index {item} out of range (graph has {n_items} items)")
             }
             GraphError::EmptyGraph => write!(f, "the interaction graph has no edges"),
+            GraphError::InvariantViolation { detail } => {
+                write!(f, "graph invariant violated: {detail}")
+            }
             GraphError::Tensor(e) => write!(f, "tensor error: {e}"),
         }
     }

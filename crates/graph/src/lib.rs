@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod bipartite;
+pub mod delta;
 pub mod error;
 
 pub use bipartite::BipartiteGraph;
+pub use delta::{DeltaEffect, GraphDelta};
 pub use error::{GraphError, Result};

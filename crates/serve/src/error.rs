@@ -29,6 +29,17 @@ pub enum ServeError {
     },
     /// Loading a frozen model artifact failed.
     Artifact(ArtifactError),
+    /// A graph delta was rejected while updating the seen-item graphs.
+    Graph(cdrib_graph::GraphError),
+    /// The recommender was built from bare tables (no frozen encoder), so
+    /// it cannot ingest deltas; build it with
+    /// [`crate::Recommender::from_inference_online`].
+    UpdaterMissing,
+    /// The incremental re-encode of a delta failed.
+    Update {
+        /// Human readable detail.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -43,6 +54,12 @@ impl fmt::Display for ServeError {
                 write!(f, "embedding table `{table}` holds non-finite values")
             }
             ServeError::Artifact(e) => write!(f, "artifact load failed: {e}"),
+            ServeError::Graph(e) => write!(f, "delta rejected by the interaction graph: {e}"),
+            ServeError::UpdaterMissing => write!(
+                f,
+                "this recommender has no frozen encoder attached; build it with from_inference_online to ingest deltas"
+            ),
+            ServeError::Update { detail } => write!(f, "incremental update failed: {detail}"),
         }
     }
 }
@@ -51,6 +68,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Artifact(e) => Some(e),
+            ServeError::Graph(e) => Some(e),
             _ => None,
         }
     }
@@ -59,6 +77,12 @@ impl std::error::Error for ServeError {
 impl From<ArtifactError> for ServeError {
     fn from(e: ArtifactError) -> Self {
         ServeError::Artifact(e)
+    }
+}
+
+impl From<cdrib_graph::GraphError> for ServeError {
+    fn from(e: cdrib_graph::GraphError) -> Self {
+        ServeError::Graph(e)
     }
 }
 

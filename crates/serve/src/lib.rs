@@ -14,6 +14,18 @@
 //! top-K selection. Warm requests are allocation-free; batches fan out over
 //! `std::thread::scope` workers behind the default-on `parallel` feature.
 //!
+//! ## Online updates
+//!
+//! An engine built with [`Recommender::from_inference_online`] additionally
+//! ingests interaction deltas at serving time
+//! ([`Recommender::apply_delta`]): new users, items and edges are applied to
+//! the seen-item graphs in place, only the entities whose propagated
+//! neighbourhood changed are re-encoded through the frozen VBGE mean path,
+//! and the cached tables are patched behind a copy-on-write epoch swap (see
+//! [`delta`]). The result is bitwise identical to re-freezing on the
+//! post-delta graph — pinned by the differential harness in
+//! `tests/delta_parity.rs`.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -36,10 +48,12 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod error;
 pub mod recommender;
 pub mod topk;
 
+pub use delta::DeltaOutcome;
 pub use error::{Result, ServeError};
 pub use recommender::{Recommender, Request};
 pub use topk::{ranks_above, Recommendation, TopK};
@@ -275,6 +289,196 @@ mod tests {
         let bytes = model.save_bytes(&scenario);
         let rec = Recommender::from_artifact_bytes(&bytes).unwrap();
         (rec, model, scenario)
+    }
+
+    #[test]
+    fn apply_delta_brings_new_cold_users_online() {
+        use cdrib_graph::GraphDelta;
+
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 31).unwrap();
+        let model = CdribModel::new(&CdribConfig::fast_test(), &scenario).unwrap();
+        let mut rec = Recommender::from_inference_online(InferenceModel::from_model(&model), &scenario).unwrap();
+        assert!(rec.supports_deltas());
+        assert_eq!(rec.epoch(), 0);
+
+        // A brand-new cold-start user arrives with three source-domain (X)
+        // interactions; one of them is with a brand-new item.
+        let new_user = rec.seen_graph(DomainId::X).n_users() as u32;
+        let new_item = rec.seen_graph(DomainId::X).n_items() as u32;
+        let delta = GraphDelta {
+            add_users: 1,
+            add_items: 1,
+            edges: vec![(new_user, 0), (new_user, 7), (new_user, new_item)],
+        };
+        let outcome = rec.apply_delta(DomainId::X, &delta).unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.users_added, 1);
+        assert_eq!(outcome.items_added, 1);
+        assert_eq!(outcome.edges_added, 3);
+        assert!(outcome.users_reencoded >= 1 && outcome.items_reencoded >= 1);
+        assert_eq!(rec.epoch(), 1);
+        assert_eq!(rec.catalogue_size(DomainId::X), new_item as usize + 1);
+
+        // The new user is immediately recommendable in the target domain.
+        let request = Request {
+            direction: Direction::X_TO_Y,
+            user: new_user,
+            k: 10,
+        };
+        let mut out = Vec::new();
+        rec.recommend(&request, &mut out).unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out, rec.recommend_full_sort(&request).unwrap());
+
+        // Differential check: a recommender re-frozen from scratch on the
+        // post-delta graph must agree bitwise.
+        let mut gx = scenario.x.train.clone();
+        gx.apply_delta(&delta).unwrap();
+        let mut reference = InferenceModel::from_model(&model);
+        reference
+            .extend_entities(DomainId::X, gx.n_users(), gx.n_items())
+            .unwrap();
+        reference.rebind_graph(DomainId::X, &gx).unwrap();
+        let want = reference.embeddings().unwrap();
+        assert_eq!(rec.scorer().x_users, want.x_users);
+        assert_eq!(rec.scorer().x_items, want.x_items);
+        let mut rebuilt = Recommender::new(want.into_scorer(), gx, scenario.y.train.clone()).unwrap();
+        rebuilt.set_shared_user_prefix(scenario.n_overlap_total);
+        assert_eq!(out, rebuilt.recommend_full_sort(&request).unwrap());
+    }
+
+    #[test]
+    fn non_overlap_users_never_alias_a_strangers_seen_list() {
+        // User indices identify the same person across domains only inside
+        // the shared overlap prefix. A source user beyond it (domain-only,
+        // or appended by a delta) whose index happens to collide with an
+        // existing target-domain user must NOT have that stranger's items
+        // filtered from their recommendations.
+        let mut rng = component_rng(53, "alias");
+        let dim = 4;
+        let (n_users, n_items) = (6usize, 12usize);
+        let scorer = EmbeddingScorer::dot(
+            normal_tensor(&mut rng, n_users, dim, 0.5),
+            normal_tensor(&mut rng, n_items, dim, 0.5),
+            normal_tensor(&mut rng, n_users, dim, 0.5),
+            normal_tensor(&mut rng, n_items, dim, 0.5),
+        );
+        // Target-domain (Y) user 4 — a stranger to X user 4 — has history.
+        let seen_x = BipartiteGraph::new(n_users, n_items, &[]).unwrap();
+        let seen_y = BipartiteGraph::new(n_users, n_items, &[(4, 0), (4, 1), (4, 2)]).unwrap();
+        let mut rec = Recommender::new(scorer, seen_x, seen_y).unwrap();
+        let request = Request {
+            direction: Direction::X_TO_Y,
+            user: 4,
+            k: n_items,
+        };
+        let mut out = Vec::new();
+        // Default prefix (bare tables): indices are one shared id space, so
+        // the history IS user 4's own and gets filtered.
+        rec.recommend(&request, &mut out).unwrap();
+        assert_eq!(out.len(), n_items - 3);
+        // With the overlap prefix ending at 2, X user 4 is a domain-only
+        // user: the Y-side index-4 history belongs to someone else and the
+        // full catalogue must come back, on both selection paths.
+        rec.set_shared_user_prefix(2);
+        assert_eq!(rec.shared_user_prefix(), 2);
+        rec.recommend(&request, &mut out).unwrap();
+        assert_eq!(out.len(), n_items);
+        assert_eq!(out, rec.recommend_full_sort(&request).unwrap());
+        // Overlap users keep their own filtering.
+        let overlap_request = Request {
+            direction: Direction::Y_TO_X,
+            user: 1,
+            k: n_items,
+        };
+        rec.recommend(&overlap_request, &mut out).unwrap();
+        assert_eq!(out.len(), n_items); // user 1 has no X history
+    }
+
+    #[test]
+    fn k_clamp_returns_full_ranked_list_for_fresh_user() {
+        use cdrib_graph::GraphDelta;
+
+        // Regression for the k-clamp edge case: a fresh user arriving
+        // through an (edge-)empty delta asks for more items than the
+        // catalogue holds. The engine must return the *full* ranked
+        // catalogue — clamped against the live (post-delta) catalogue size,
+        // never silently truncated against stale state — on both the single
+        // and the batched path.
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 33).unwrap();
+        let model = CdribModel::new(&CdribConfig::fast_test(), &scenario).unwrap();
+        let mut rec = Recommender::from_inference_online(InferenceModel::from_model(&model), &scenario).unwrap();
+        let fresh = rec.seen_graph(DomainId::X).n_users() as u32;
+        rec.apply_delta(
+            DomainId::X,
+            &GraphDelta {
+                add_users: 1,
+                add_items: 0,
+                edges: vec![],
+            },
+        )
+        .unwrap();
+        // The target catalogue also grows by two items mid-flight.
+        rec.apply_delta(
+            DomainId::Y,
+            &GraphDelta {
+                add_users: 0,
+                add_items: 2,
+                edges: vec![],
+            },
+        )
+        .unwrap();
+        let catalogue = rec.catalogue_size(DomainId::Y);
+        let request = Request {
+            direction: Direction::X_TO_Y,
+            user: fresh,
+            k: catalogue + 100,
+        };
+        let mut out = Vec::new();
+        rec.recommend(&request, &mut out).unwrap();
+        // A fresh user has seen nothing, so the full catalogue comes back —
+        // including the items added after the user appeared.
+        assert_eq!(out.len(), catalogue);
+        assert_eq!(out, rec.recommend_full_sort(&request).unwrap());
+        let mut responses = Vec::new();
+        rec.recommend_batch(std::slice::from_ref(&request), &mut responses)
+            .unwrap();
+        assert_eq!(responses[0].len(), catalogue);
+        assert_eq!(responses[0], out);
+        // Exact-fit k behaves identically.
+        let exact = Request {
+            k: catalogue,
+            ..request
+        };
+        rec.recommend(&exact, &mut out).unwrap();
+        assert_eq!(out.len(), catalogue);
+    }
+
+    #[test]
+    fn delta_requires_an_updater_and_rejects_bad_edges_atomically() {
+        use cdrib_graph::GraphDelta;
+
+        let mut rec = random_setup(41, 10, 50, 4);
+        assert!(!rec.supports_deltas());
+        let err = rec.apply_delta(DomainId::X, &GraphDelta::empty());
+        assert!(matches!(err, Err(ServeError::UpdaterMissing)));
+
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 37).unwrap();
+        let model = CdribModel::new(&CdribConfig::fast_test(), &scenario).unwrap();
+        let mut rec = Recommender::from_inference_online(InferenceModel::from_model(&model), &scenario).unwrap();
+        let edges_before = rec.seen_graph(DomainId::X).n_edges();
+        let bad = GraphDelta {
+            add_users: 0,
+            add_items: 0,
+            edges: vec![(u32::MAX, 0)],
+        };
+        assert!(matches!(
+            rec.apply_delta(DomainId::X, &bad),
+            Err(ServeError::Graph(cdrib_graph::GraphError::UserOutOfRange { .. }))
+        ));
+        // Nothing moved: graph, epoch and tables are untouched.
+        assert_eq!(rec.seen_graph(DomainId::X).n_edges(), edges_before);
+        assert_eq!(rec.epoch(), 0);
     }
 
     #[test]

@@ -21,12 +21,13 @@
 //! Batches of concurrent requests fan out across `std::thread::scope`
 //! workers behind the `parallel` feature, one warm scratch per worker.
 
+use crate::delta::{DeltaOutcome, OnlineUpdater};
 use crate::error::{Result, ServeError};
 use crate::topk::{ranks_above, Recommendation, TopK};
 use cdrib_core::{CdribEmbeddings, InferenceModel};
 use cdrib_data::{CdrScenario, Direction, DomainId};
 use cdrib_eval::EmbeddingScorer;
-use cdrib_graph::BipartiteGraph;
+use cdrib_graph::{BipartiteGraph, GraphDelta};
 
 /// One top-K recommendation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +54,14 @@ struct ServeCore {
     /// domain by construction.
     seen_x: BipartiteGraph,
     seen_y: BipartiteGraph,
+    /// User indices below this bound name the *same person* in both
+    /// domains (the scenario's shared overlap prefix); at or above it, the
+    /// same index in the two user tables refers to unrelated domain-only
+    /// users. Cross-domain seen-item filtering only applies inside the
+    /// prefix — otherwise a source user's recommendations would silently
+    /// drop a *stranger's* target-domain items (and a delta-appended cold
+    /// user would alias whichever target user shares their index).
+    shared_user_prefix: usize,
     /// The full candidate id range `0..n_items` per domain, kept
     /// materialised so chunked scoring can slice it without rebuilding.
     catalogue_x: Vec<u32>,
@@ -71,6 +80,12 @@ pub struct Recommender {
     core: ServeCore,
     /// One scratch per batch worker (a single entry without `parallel`).
     scratches: Vec<RequestScratch>,
+    /// The frozen encoder plus shadow tables, when the engine was built for
+    /// online updates ([`Recommender::from_inference_online`]).
+    updater: Option<Box<OnlineUpdater>>,
+    /// Monotone counter of published table states; bumped by every applied
+    /// delta's shadow swap.
+    epoch: u64,
 }
 
 impl ServeCore {
@@ -95,6 +110,20 @@ impl ServeCore {
         }
     }
 
+    /// The target-domain items to filter for a *source-indexed* user: their
+    /// own history when the index lies in the shared overlap prefix (same
+    /// person in both domains), nothing otherwise — a source-only or
+    /// delta-appended user has no target history, and whatever target user
+    /// happens to share their index is a stranger.
+    fn cross_domain_seen(&self, target: DomainId, user: u32) -> &[u32] {
+        let graph = self.seen(target);
+        if (user as usize) < self.shared_user_prefix && (user as usize) < graph.n_users() {
+            graph.items_of(user as usize)
+        } else {
+            &[]
+        }
+    }
+
     /// Answers one request into `out` (best first), reusing `scratch`.
     fn recommend_into(
         &self,
@@ -111,16 +140,9 @@ impl ServeCore {
         if catalogue.is_empty() {
             return Err(ServeError::EmptyCatalogue);
         }
-        // The user is indexed in the *source* domain; only overlap-prefix
-        // users exist in the target graph. A source-only user (valid above,
-        // absent from the target) simply has nothing to filter — exactly
-        // what `has_edge`'s bounds check yields on the full-sort path.
-        let target_seen = self.seen(direction.target);
-        let seen: &[u32] = if (user as usize) < target_seen.n_users() {
-            target_seen.items_of(user as usize)
-        } else {
-            &[]
-        };
+        // The user is indexed in the *source* domain; only the shared
+        // overlap prefix identifies them in the target graph too.
+        let seen: &[u32] = self.cross_domain_seen(direction.target, user);
 
         if scratch.scores.len() < SCORE_CHUNK.min(catalogue.len()) {
             scratch.scores.resize(SCORE_CHUNK.min(catalogue.len()), 0.0);
@@ -169,14 +191,14 @@ impl ServeCore {
         if catalogue.is_empty() {
             return Err(ServeError::EmptyCatalogue);
         }
-        let seen = self.seen(direction.target);
+        let seen = self.cross_domain_seen(direction.target, user);
         let mut scores = vec![0.0f32; catalogue.len()];
         self.scorer
             .score_cross_into(direction.source, user, direction.target, catalogue, &mut scores);
         let mut ranked: Vec<(f32, u32)> = catalogue
             .iter()
             .zip(scores.iter())
-            .filter(|&(&item, &score)| !score.is_nan() && !seen.has_edge(user as usize, item as usize))
+            .filter(|&(&item, &score)| !score.is_nan() && seen.binary_search(&item).is_err())
             .map(|(&item, &score)| (score, item))
             .collect();
         ranked.sort_by(|a, b| {
@@ -260,21 +282,43 @@ impl Recommender {
                 scorer,
                 seen_x,
                 seen_y,
+                // Bare-table construction has no scenario to name the
+                // overlap prefix; default to "every common index is the
+                // same person" (single-id-space deployments). Scenario
+                // constructors narrow it to `n_overlap_total`.
+                shared_user_prefix: usize::MAX,
                 catalogue_x,
                 catalogue_y,
             },
             scratches,
+            updater: None,
+            epoch: 0,
         })
     }
 
+    /// The bound below which user indices are treated as the same person in
+    /// both domains (cross-domain seen-item filtering applies only there).
+    pub fn shared_user_prefix(&self) -> usize {
+        self.core.shared_user_prefix
+    }
+
+    /// Sets the shared-identity prefix (the scenario's overlap user count).
+    /// Scenario-based constructors set this automatically.
+    pub fn set_shared_user_prefix(&mut self, prefix: usize) {
+        self.core.shared_user_prefix = prefix;
+    }
+
     /// Builds a recommender from frozen CDRIB embeddings and the scenario
-    /// whose training graphs define what each user has already seen.
+    /// whose training graphs define what each user has already seen (and
+    /// whose overlap count bounds cross-domain identity).
     pub fn from_embeddings(embeddings: CdribEmbeddings, scenario: &CdrScenario) -> Result<Self> {
-        Recommender::new(
+        let mut rec = Recommender::new(
             embeddings.into_scorer(),
             scenario.x.train.clone(),
             scenario.y.train.clone(),
-        )
+        )?;
+        rec.set_shared_user_prefix(scenario.n_overlap_total);
+        Ok(rec)
     }
 
     /// Precomputes the embedding tables from a frozen [`InferenceModel`] and
@@ -284,6 +328,36 @@ impl Recommender {
             detail: format!("inference forward failed: {e}"),
         })?;
         Recommender::from_embeddings(embeddings, scenario)
+    }
+
+    /// Builds a **delta-capable** recommender: takes ownership of the frozen
+    /// encoder, enables its incremental stage caches, and serves from its
+    /// cached tables. Unlike [`Recommender::from_inference`], the returned
+    /// engine can ingest [`GraphDelta`]s through
+    /// [`Recommender::apply_delta`] — new cold-start users become
+    /// recommendable without re-freezing or reloading the artifact.
+    pub fn from_inference_online(mut inference: InferenceModel, scenario: &CdrScenario) -> Result<Self> {
+        let to_serve = |e: cdrib_core::CoreError| ServeError::Update { detail: e.to_string() };
+        inference.enable_incremental().map_err(to_serve)?;
+        // The stage caches already hold the full forward's tables (bitwise
+        // equal to `embeddings()` — same kernels, same order), so the
+        // serving copies are four memcpys, not a second encoder pass.
+        let embeddings = CdribEmbeddings {
+            x_users: inference.cached_user_table(DomainId::X).map_err(to_serve)?.clone(),
+            x_items: inference.cached_item_table(DomainId::X).map_err(to_serve)?.clone(),
+            y_users: inference.cached_user_table(DomainId::Y).map_err(to_serve)?.clone(),
+            y_items: inference.cached_item_table(DomainId::Y).map_err(to_serve)?.clone(),
+        };
+        let mut rec = Recommender::from_embeddings(embeddings, scenario)?;
+        rec.updater = Some(Box::new(OnlineUpdater::new(inference)));
+        Ok(rec)
+    }
+
+    /// Loads a CDRIB model artifact and builds a delta-capable recommender
+    /// (see [`Recommender::from_inference_online`]).
+    pub fn from_artifact_bytes_online(bytes: &[u8]) -> Result<Self> {
+        let (inference, scenario) = InferenceModel::from_artifact_bytes(bytes)?;
+        Recommender::from_inference_online(inference, &scenario)
     }
 
     /// Loads a CDRIB model artifact (see `cdrib_core::artifact`) and builds
@@ -312,6 +386,68 @@ impl Recommender {
     /// The interaction graph used to filter a domain's already-seen items.
     pub fn seen_graph(&self, domain: DomainId) -> &BipartiteGraph {
         self.core.seen(domain)
+    }
+
+    /// Whether this engine can ingest deltas (it owns a frozen encoder).
+    pub fn supports_deltas(&self) -> bool {
+        self.updater.is_some()
+    }
+
+    /// The epoch of the currently published tables: 0 at construction,
+    /// bumped by every applied delta's shadow swap.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Ingests a batch of new interactions for one domain **online**: the
+    /// domain's seen-item graph absorbs the delta in place, the frozen
+    /// encoder re-encodes only the entities whose propagated neighbourhood
+    /// changed (`InferenceModel::apply_delta`), new items join the scored
+    /// catalogue, and the served tables are patched behind the copy-on-write
+    /// epoch swap (see [`crate::delta`]).
+    ///
+    /// After any delta sequence the engine's embeddings are **bitwise
+    /// identical** to a recommender rebuilt from scratch on the post-delta
+    /// graph, and its top-K lists are exactly equal under the
+    /// `(score desc, item asc)` order — `tests/delta_parity.rs` pins both.
+    /// Steady-state batches (no entity/edge growth) allocate nothing.
+    ///
+    /// Application is atomic: a rejected delta (out-of-range edge, missing
+    /// updater) leaves graphs, tables and epoch untouched. If a re-encoded
+    /// row comes back non-finite (pathological weights), **both** of the
+    /// domain's tables stay unpublished — validation runs across the whole
+    /// patch before the first swap, so the served tables never straddle two
+    /// epochs.
+    pub fn apply_delta(&mut self, domain: DomainId, delta: &GraphDelta) -> Result<DeltaOutcome> {
+        let updater = self.updater.as_mut().ok_or(ServeError::UpdaterMissing)?;
+        let seen = match domain {
+            DomainId::X => &mut self.core.seen_x,
+            DomainId::Y => &mut self.core.seen_y,
+        };
+        seen.apply_delta_into(delta, &mut updater.effect)?;
+        let report = updater
+            .inference
+            .apply_delta(domain, seen, &updater.effect)
+            .map_err(|e| ServeError::Update { detail: e.to_string() })?;
+        // New items join the catalogue immediately; without this, the k
+        // clamp against the stale (shorter) catalogue would silently
+        // truncate full-list requests and fresh items would never be scored.
+        let catalogue = match domain {
+            DomainId::X => &mut self.core.catalogue_x,
+            DomainId::Y => &mut self.core.catalogue_y,
+        };
+        catalogue.extend(catalogue.len() as u32..seen.n_items() as u32);
+        updater.patch_tables(&mut self.core.scorer, domain)?;
+        self.epoch += 1;
+        Ok(DeltaOutcome {
+            epoch: self.epoch,
+            users_added: updater.effect.users_added,
+            items_added: updater.effect.items_added,
+            edges_added: updater.effect.edges_added,
+            duplicate_edges: updater.effect.duplicate_edges,
+            users_reencoded: report.users_reencoded,
+            items_reencoded: report.items_reencoded,
+        })
     }
 
     /// Answers one request into `out` (best first). Reuses the first worker

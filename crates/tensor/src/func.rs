@@ -48,6 +48,32 @@ pub fn spmm_into(sparse: &CsrMatrix, dense: &Tensor, out: &mut Tensor) -> Result
     Ok(())
 }
 
+/// Shape-checks and computes the selected `rows` of `sparse · dense`,
+/// compacted into `out` (`rows.len() x dense.cols`). Row `i` of `out` is
+/// bitwise identical to row `rows[i]` of [`spmm_into`]'s result — the
+/// incremental re-encode path's core primitive.
+pub fn spmm_rows_into(sparse: &CsrMatrix, rows: &[u32], dense: &Tensor, out: &mut Tensor) -> Result<()> {
+    let (dr, n) = dense.shape();
+    if sparse.cols() != dr {
+        return Err(TensorError::ShapeMismatch {
+            op: "spmm_rows",
+            lhs: (sparse.rows(), sparse.cols()),
+            rhs: (dr, n),
+        });
+    }
+    for &r in rows {
+        if r as usize >= sparse.rows() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: r as usize,
+                bound: sparse.rows(),
+            });
+        }
+    }
+    debug_assert_eq!(out.shape(), (rows.len(), n));
+    kernels::spmm_rows(sparse.view(), rows, n, dense.as_slice(), out.as_mut_slice());
+    Ok(())
+}
+
 /// Shape-checks and computes the horizontal concatenation `out = [a | b]`.
 pub fn concat_cols_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     let (rows, ca) = a.shape();
@@ -172,6 +198,27 @@ impl FuncCtx {
                 Err(e)
             }
         }
+    }
+
+    /// Pooled row-subset sparse-dense product: the selected `rows` of
+    /// `sparse · dense`, compacted into a `rows.len() x dense.cols` tensor.
+    pub fn spmm_rows(&mut self, sparse: &CsrMatrix, rows: &[u32], dense: &Tensor) -> Result<Tensor> {
+        let mut out = self.take(rows.len(), dense.cols());
+        match spmm_rows_into(sparse, rows, dense, &mut out) {
+            Ok(()) => Ok(out),
+            Err(e) => {
+                self.recycle(out);
+                Err(e)
+            }
+        }
+    }
+
+    /// Pre-parks `count` buffers of the `rows x cols` size class so a later
+    /// burst of takes at that shape is pool-served from the first call.
+    /// The online-update path uses this to keep even the *first* delta batch
+    /// after warm-up off the allocator for its known full-table stages.
+    pub fn prewarm(&mut self, rows: usize, cols: usize, count: usize) {
+        self.pool.prewarm(rows * cols, count);
     }
 
     /// Pooled horizontal concatenation `[a | b]`.

@@ -643,6 +643,29 @@ pub fn spmm(s: CsrView<'_>, n: usize, dense: &[f32], out: &mut [f32]) {
     });
 }
 
+/// Row-subset sparse-dense product: computes only the selected `rows` of
+/// `S * D`, compacted into `out` (`rows.len() x n`, `out[i]` = row `rows[i]`
+/// of the full product).
+///
+/// Each selected row runs the *same* per-row body as [`spmm`] (same ISA
+/// dispatch, same accumulation order over the row's nonzeros), so `out[i]`
+/// is **bitwise identical** to the corresponding row of a full [`spmm`] —
+/// the property the incremental re-encode path builds its full-rebuild
+/// parity on (`tests/delta_parity.rs`). Dirty sets are small and scattered,
+/// so the subset path always runs inline on the calling thread.
+pub fn spmm_rows(s: CsrView<'_>, rows: &[u32], n: usize, dense: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(dense.len(), s.cols * n);
+    debug_assert_eq!(out.len(), rows.len() * n);
+    if n == 0 {
+        return;
+    }
+    for (i, &r) in rows.iter().enumerate() {
+        let r = r as usize;
+        debug_assert!(r < s.rows);
+        spmm_range(r, r + 1, s, n, dense, &mut out[i * n..(i + 1) * n]);
+    }
+}
+
 /// Reference loop for [`spmm_transpose`] (the seed implementation):
 /// `out (S.cols x n) = S^T * D` with `D` dense `(S.rows x n)`, scattering
 /// into `out` without materialising the transpose.
@@ -2163,6 +2186,74 @@ mod tests {
             matmul_serial(m, k, n, &a, &b, &mut reference);
             matmul(m, k, n, &a, &b, &mut fast);
             assert_close(&fast, &reference, 1e-5);
+        }
+    }
+
+    #[test]
+    fn spmm_rows_matches_full_spmm_bitwise() {
+        // The row-subset kernel must reproduce the full product's rows to
+        // the bit: the incremental re-encode scatters these rows into cached
+        // tables that are later compared bitwise against a full rebuild.
+        let (rows, cols, n) = (13usize, 9usize, 8usize);
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let weights = pseudo(21, rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if (r * 7 + c * 3) % 4 == 0 {
+                    indices.push(c as u32);
+                    values.push(weights[r * cols + c]);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        let s = CsrView {
+            rows,
+            cols,
+            indptr: &indptr,
+            indices: &indices,
+            values: &values,
+        };
+        let dense = pseudo(22, cols * n);
+        let mut full = vec![0.0; rows * n];
+        spmm(s, n, &dense, &mut full);
+        for subset in [vec![0u32], vec![12, 3, 7], vec![5, 5], (0..rows as u32).collect()] {
+            let mut out = vec![f32::NAN; subset.len() * n];
+            spmm_rows(s, &subset, n, &dense, &mut out);
+            for (i, &r) in subset.iter().enumerate() {
+                assert_eq!(
+                    &out[i * n..(i + 1) * n],
+                    &full[r as usize * n..(r as usize + 1) * n],
+                    "row {r} of the subset product must be bitwise equal to the full product"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_row_subset_is_bitwise_row_independent() {
+        // A row's result must not depend on which other rows are computed
+        // alongside it (MR-tile grouping, remainder handling, thread
+        // chunking): the delta path re-runs `matmul` on gathered dirty rows
+        // and scatters the output back expecting bitwise equality with the
+        // full-table product.
+        let (m, k, n) = (11usize, 19usize, 13usize);
+        let a = pseudo(31, m * k);
+        let b = pseudo(32, k * n);
+        let mut full = vec![0.0; m * n];
+        matmul(m, k, n, &a, &b, &mut full);
+        for subset in [vec![0usize], vec![10, 2, 5], vec![7, 8, 9, 10], (0..m).collect()] {
+            let gathered: Vec<f32> = subset.iter().flat_map(|&r| a[r * k..(r + 1) * k].to_vec()).collect();
+            let mut out = vec![f32::NAN; subset.len() * n];
+            matmul(subset.len(), k, n, &gathered, &b, &mut out);
+            for (i, &r) in subset.iter().enumerate() {
+                assert_eq!(
+                    &out[i * n..(i + 1) * n],
+                    &full[r * n..(r + 1) * n],
+                    "row {r} must be bitwise independent of its tile grouping"
+                );
+            }
         }
     }
 

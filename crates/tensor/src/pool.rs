@@ -123,6 +123,23 @@ impl BufferPool {
         bucket.push(data);
     }
 
+    /// Ensures at least `count` buffers of the size class serving `len`
+    /// elements are parked, allocating the shortfall now. Callers with a
+    /// known steady-state working set (e.g. the delta re-encode's full-table
+    /// stages) prewarm their classes up front so even the first post-warm-up
+    /// request is a pool hit; the prewarm itself counts as neither hit nor
+    /// miss.
+    pub fn prewarm(&mut self, len: usize, count: usize) {
+        if len == 0 {
+            return;
+        }
+        let class = size_class(len);
+        let bucket = self.buckets.entry(class).or_default();
+        while bucket.len() < count.min(MAX_PER_CLASS) {
+            bucket.push(vec![0.0; class]);
+        }
+    }
+
     /// Current counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
@@ -209,6 +226,27 @@ mod tests {
         let a = pool.take_uninit(0, 5);
         pool.put(a);
         assert_eq!(pool.stats().parked, 0);
+    }
+
+    #[test]
+    fn prewarm_parks_buffers_ahead_of_takes() {
+        let mut pool = BufferPool::new();
+        pool.prewarm(6, 3);
+        assert_eq!(pool.stats().parked, 3);
+        assert_eq!(pool.stats().misses, 0);
+        for _ in 0..3 {
+            let t = pool.take_uninit(2, 3);
+            assert_eq!(t.shape(), (2, 3));
+        }
+        assert_eq!(pool.stats().hits, 3);
+        assert_eq!(pool.stats().misses, 0);
+        // Prewarming an already-covered class is a no-op.
+        let t = pool.take_uninit(2, 3);
+        pool.put(t);
+        pool.prewarm(6, 1);
+        assert_eq!(pool.stats().parked, 1);
+        pool.prewarm(0, 5);
+        assert_eq!(pool.stats().parked, 1);
     }
 
     #[test]

@@ -302,6 +302,45 @@ impl CsrMatrix {
     pub fn row_degrees(&self) -> Vec<f32> {
         (0..self.rows).map(|r| self.row_iter(r).map(|(_, v)| v).sum()).collect()
     }
+
+    /// Rebuilds the matrix **in place** as the row-normalisation of a binary
+    /// adjacency whose row `r` has the sorted column indices `row_cols(r)`:
+    /// every stored value of row `r` becomes `1 / row_cols(r).len()` (empty
+    /// rows stay empty). This is `Norm(·)` of Eq. (2)/(3) computed without a
+    /// fresh allocation: the `indptr`/`indices`/`values` vectors are cleared
+    /// and refilled, so once their capacity covers the edge count, delta
+    /// batches rebuild the normalised views allocation-free
+    /// (`tests/alloc_regression.rs`).
+    ///
+    /// The values are **bitwise identical** to
+    /// `CsrMatrix::from_edges(..).row_normalized()`: that path sums `deg`
+    /// ones in `f32` (exact for `deg < 2^24`) and divides, which equals the
+    /// `1.0 / deg as f32` computed here.
+    pub fn rebuild_row_normalized_uniform<'a, F: Fn(usize) -> &'a [u32]>(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        row_cols: F,
+    ) {
+        self.rows = rows;
+        self.cols = cols;
+        self.indptr.clear();
+        self.indices.clear();
+        self.values.clear();
+        self.indptr.push(0);
+        for r in 0..rows {
+            let row = row_cols(r);
+            debug_assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "row {r}: column indices must be sorted and deduplicated"
+            );
+            debug_assert!(row.iter().all(|&c| (c as usize) < cols), "row {r}: column out of range");
+            let norm = 1.0 / row.len() as f32;
+            self.indices.extend_from_slice(row);
+            self.values.resize(self.indices.len(), norm);
+            self.indptr.push(self.indices.len());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -389,6 +428,30 @@ mod tests {
             assert!((x - y).abs() < 1e-5);
         }
         assert!(m.spmm_transpose(&Tensor::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn rebuild_row_normalized_uniform_matches_classic_path() {
+        // The in-place rebuild must reproduce `from_edges(..).row_normalized()`
+        // bit for bit — the online-update path swaps one for the other.
+        let rows: Vec<Vec<u32>> = vec![vec![0, 2, 5], vec![], vec![1], vec![0, 1, 2, 3, 4, 5, 6]];
+        let edges: Vec<(usize, usize)> = rows
+            .iter()
+            .enumerate()
+            .flat_map(|(r, cs)| cs.iter().map(move |&c| (r, c as usize)))
+            .collect();
+        let classic = CsrMatrix::from_edges(4, 7, &edges).unwrap().row_normalized();
+        let mut rebuilt = CsrMatrix::empty(1, 1);
+        rebuilt.rebuild_row_normalized_uniform(4, 7, |r| &rows[r]);
+        assert_eq!(rebuilt, classic);
+        // Rebuilding again over the same storage is idempotent and in place.
+        rebuilt.rebuild_row_normalized_uniform(4, 7, |r| &rows[r]);
+        assert_eq!(rebuilt, classic);
+        // Shrinking to a smaller shape works too.
+        rebuilt.rebuild_row_normalized_uniform(2, 7, |r| &rows[r]);
+        assert_eq!(rebuilt.rows(), 2);
+        assert_eq!(rebuilt.nnz(), 3);
+        assert_eq!(rebuilt.get(0, 2), Some(1.0 / 3.0));
     }
 
     #[test]

@@ -312,6 +312,17 @@ impl Tensor {
         self.data.copy_from_slice(&src.data);
     }
 
+    /// Changes the row count in place, keeping the column width. Existing
+    /// rows are preserved (the storage is row-major, so growth appends at the
+    /// end); new rows are zero-filled. Used by the online-update path to
+    /// extend embedding tables when a graph delta introduces new entities —
+    /// growth reallocates amortised, shrink-or-equal never touches the
+    /// allocator.
+    pub fn resize_rows(&mut self, rows: usize) {
+        self.data.resize(rows * self.cols, 0.0);
+        self.rows = rows;
+    }
+
     /// Applies `f` to element pairs (shapes already checked by the caller).
     pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Tensor {
         debug_assert_eq!(self.shape(), other.shape());

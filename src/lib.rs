@@ -56,7 +56,7 @@ pub mod prelude {
     pub use cdrib_eval::{
         evaluate_both_directions, evaluate_cold_start, EmbeddingScorer, EvalConfig, EvalSplit, RankingMetrics,
     };
-    pub use cdrib_graph::BipartiteGraph;
-    pub use cdrib_serve::{Recommendation, Recommender, Request};
+    pub use cdrib_graph::{BipartiteGraph, DeltaEffect, GraphDelta};
+    pub use cdrib_serve::{DeltaOutcome, Recommendation, Recommender, Request};
     pub use cdrib_tensor::{Adam, Optimizer, ParamSet, Tape, Tensor};
 }

@@ -21,7 +21,8 @@
 //! allocate while a steady-state window is being measured.
 
 use cdrib_core::{CdribConfig, CdribModel, InferenceModel};
-use cdrib_data::{build_preset, Direction, EpochBatches, Scale, ScenarioKind};
+use cdrib_data::{build_preset, Direction, DomainId, EpochBatches, Scale, ScenarioKind};
+use cdrib_graph::GraphDelta;
 use cdrib_serve::{Recommendation, Recommender, Request};
 use cdrib_tensor::alloc_track::{allocation_count, CountingAlloc};
 use cdrib_tensor::rng::{component_rng, normal_tensor};
@@ -172,6 +173,81 @@ fn inference_and_serving_steady_state() {
     assert!(!out.is_empty());
 }
 
+/// The online-update path: warm delta ingestion — graph apply, dirty-set
+/// propagation, partial re-encode through the pooled kernels, shadow-swap
+/// table patch — plus a request on the updated tables must be
+/// allocation-free at **steady state**, i.e. when the delta grows no
+/// structure. Replayed (duplicate) interactions are exactly that workload:
+/// they re-encode the touched neighbourhoods through the full incremental
+/// machinery while every buffer, stamp array and dirty list retains its
+/// size. (Structural growth — new users/items/edges — legitimately
+/// allocates, amortised like any `Vec` push.)
+fn delta_apply_steady_state() {
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 42).expect("preset");
+    let config = CdribConfig {
+        dim: 16,
+        layers: 2,
+        eval_every: 0,
+        patience: 0,
+        seed: 42,
+        ..CdribConfig::default()
+    };
+    let model = CdribModel::new(&config, &scenario).expect("model");
+    let mut recommender =
+        Recommender::from_inference_online(InferenceModel::from_model(&model), &scenario).expect("recommender");
+
+    // Structural warm-up: a new cold-start user with two interactions grows
+    // every structure (tables, graphs, stamp arrays, shadows) once.
+    let user = recommender.seen_graph(DomainId::X).n_users() as u32;
+    recommender
+        .apply_delta(
+            DomainId::X,
+            &GraphDelta {
+                add_users: 1,
+                add_items: 0,
+                edges: vec![(user, 0), (user, 5)],
+            },
+        )
+        .expect("warm growth delta");
+
+    // Steady-state workload: replayed interactions (all duplicates) that
+    // still touch real neighbourhoods and drive the full re-encode path.
+    let replay = GraphDelta {
+        add_users: 0,
+        add_items: 0,
+        edges: vec![
+            (user, 0),
+            recommender.seen_graph(DomainId::X).edges()[0],
+            recommender.seen_graph(DomainId::X).edges()[1],
+        ],
+    };
+    let request = Request {
+        direction: Direction::X_TO_Y,
+        user,
+        k: 10,
+    };
+    let mut out: Vec<Recommendation> = Vec::new();
+    for _ in 0..2 {
+        let outcome = recommender
+            .apply_delta(DomainId::X, &replay)
+            .expect("warm replay delta");
+        assert_eq!(outcome.duplicate_edges, 3);
+        assert!(outcome.users_reencoded > 0, "replays must re-encode touched rows");
+        recommender.recommend(&request, &mut out).expect("warm request");
+    }
+    let steady = min_allocs_over_windows(|| {
+        for _ in 0..3 {
+            recommender.apply_delta(DomainId::X, &replay).expect("measured delta");
+            recommender.recommend(&request, &mut out).expect("measured request");
+        }
+    });
+    assert_eq!(
+        steady, 0,
+        "warm delta ingestion + re-encode + request must not touch the allocator (got {steady} requests over 3 batches)"
+    );
+    assert_eq!(out.len(), 10);
+}
+
 #[test]
 fn warm_training_steps_are_allocation_free() {
     // Pin the kernels to one thread before the first dispatch: scoped-thread
@@ -237,9 +313,10 @@ fn warm_training_steps_are_allocation_free() {
     assert!(losses[4] < losses[0], "loss should decrease: {losses:?}");
     assert!(params.all_finite());
 
-    // Same property for the full model and the serving stack, measured in
-    // the same process so the steady-state windows cannot interleave with
-    // other test threads.
+    // Same property for the full model, the serving stack and the online
+    // delta-update path, measured in the same process so the steady-state
+    // windows cannot interleave with other test threads.
     full_model_steady_state();
     inference_and_serving_steady_state();
+    delta_apply_steady_state();
 }

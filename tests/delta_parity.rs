@@ -1,0 +1,281 @@
+//! Differential test harness for online graph deltas.
+//!
+//! The online-update subsystem promises that ingesting interaction deltas
+//! incrementally is *indistinguishable* from re-freezing the model on the
+//! post-delta graph:
+//!
+//! 1. after any randomized delta sequence, the incrementally updated
+//!    [`Recommender`]'s four embedding tables are **bitwise identical** to
+//!    those of a recommender rebuilt from scratch
+//!    (`InferenceModel::extend_entities` + `rebind_graph` + full forward);
+//! 2. its top-K lists equal the rebuilt engine's full-sort reference
+//!    **exactly** under the `(score desc, item asc)` total order;
+//! 3. `BipartiteGraph::apply_delta` preserves every structural invariant
+//!    and is equivalent to from-scratch construction on the accumulated
+//!    edge list (sorted-CSR row offsets monotone, neighbour lists sorted
+//!    and deduplicated, degree counts consistent).
+//!
+//! Delta sequences interleave the two domains and mix new users (with and
+//! without edges), new items, brand-new edges, duplicate edges and empty
+//! deltas — the traffic a serving process would actually see.
+
+use cdrib_core::{CdribConfig, CdribModel, InferenceModel};
+use cdrib_data::{build_preset, CdrScenario, Direction, DomainId, Scale, ScenarioKind};
+use cdrib_graph::{BipartiteGraph, GraphDelta};
+use cdrib_serve::{Recommender, Request};
+use cdrib_tensor::CsrMatrix;
+use proptest::prelude::*;
+
+/// Raw material for one delta: domain selector, entity growth, and raw edge
+/// draws that get mapped into the valid (post-growth) index ranges.
+type RawDelta = (u8, u8, u8, Vec<(u16, u16)>);
+
+fn raw_delta() -> impl Strategy<Value = RawDelta> {
+    (
+        0u8..2,
+        0u8..3,
+        0u8..3,
+        proptest::collection::vec((0u16..u16::MAX, 0u16..u16::MAX), 0..7),
+    )
+}
+
+/// Maps a raw draw onto a concrete delta for `graph`: every raw edge lands
+/// in range, a fifth of the draws duplicate an existing interaction, and
+/// each new user receives one guaranteed edge so the cold-start story
+/// (fresh user, fresh neighbourhood, recommendable now) is always exercised.
+fn materialise_delta(graph: &BipartiteGraph, add_users: usize, add_items: usize, raw: &[(u16, u16)]) -> GraphDelta {
+    let n_users = graph.n_users() + add_users;
+    let n_items = graph.n_items() + add_items;
+    let mut edges = Vec::new();
+    for &(a, b) in raw {
+        if a % 5 == 0 && graph.n_edges() > 0 {
+            edges.push(graph.edges()[b as usize % graph.n_edges()]);
+        } else {
+            edges.push((a as u32 % n_users as u32, b as u32 % n_items as u32));
+        }
+    }
+    for (offset, &(_, b)) in raw.iter().take(add_users).enumerate() {
+        edges.push(((graph.n_users() + offset) as u32, b as u32 % n_items as u32));
+    }
+    GraphDelta {
+        add_users,
+        add_items,
+        edges,
+    }
+}
+
+/// A tiny two-domain scenario and its (untrained but fully structured)
+/// model; deterministic per seed.
+fn setup(seed: u64) -> (CdrScenario, CdribModel) {
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 1000 + seed).unwrap();
+    let config = CdribConfig {
+        layers: 2,
+        ..CdribConfig::fast_test()
+    };
+    let model = CdribModel::new(&config, &scenario).unwrap();
+    (scenario, model)
+}
+
+/// Rebuilds a recommender from scratch on the post-delta graphs: the
+/// re-freeze path the incremental engine must be indistinguishable from.
+/// `shared_prefix` is the scenario's overlap count — both engines must
+/// agree on which user indices name the same person across domains.
+fn rebuild_from_scratch(
+    model: &CdribModel,
+    gx: &BipartiteGraph,
+    gy: &BipartiteGraph,
+    shared_prefix: usize,
+) -> Recommender {
+    let mut reference = InferenceModel::from_model(model);
+    reference
+        .extend_entities(DomainId::X, gx.n_users(), gx.n_items())
+        .unwrap();
+    reference
+        .extend_entities(DomainId::Y, gy.n_users(), gy.n_items())
+        .unwrap();
+    reference.rebind_graph(DomainId::X, gx).unwrap();
+    reference.rebind_graph(DomainId::Y, gy).unwrap();
+    let embeddings = reference.embeddings().unwrap();
+    let mut rec = Recommender::new(embeddings.into_scorer(), gx.clone(), gy.clone()).unwrap();
+    rec.set_shared_user_prefix(shared_prefix);
+    rec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Headline differential property: incremental == full rebuild, for the
+    /// tables bitwise and for the served top-K lists exactly, after every
+    /// prefix of a randomized cross-domain delta sequence.
+    #[test]
+    fn incremental_recommender_matches_full_rebuild(
+        seed in 0u64..1 << 32,
+        raw_deltas in proptest::collection::vec(raw_delta(), 1..4),
+    ) {
+        let (scenario, model) = setup(seed % 7);
+        let mut rec =
+            Recommender::from_inference_online(InferenceModel::from_model(&model), &scenario).unwrap();
+        // The harness tracks the ground-truth graphs itself.
+        let mut gx = scenario.x.train.clone();
+        let mut gy = scenario.y.train.clone();
+
+        for (step, (dom, add_users, add_items, raw)) in raw_deltas.iter().enumerate() {
+            let domain = if dom % 2 == 0 { DomainId::X } else { DomainId::Y };
+            let graph = if domain == DomainId::X { &mut gx } else { &mut gy };
+            // Make the last delta of roughly a third of the sequences empty.
+            let delta = if step + 1 == raw_deltas.len() && seed % 3 == 0 {
+                GraphDelta::empty()
+            } else {
+                materialise_delta(graph, *add_users as usize, *add_items as usize, raw)
+            };
+            let effect = graph.apply_delta(&delta).unwrap();
+            let outcome = rec.apply_delta(domain, &delta).unwrap();
+            prop_assert_eq!(outcome.edges_added, effect.edges_added);
+            prop_assert_eq!(outcome.epoch, step as u64 + 1);
+            graph.check_invariants().unwrap();
+            prop_assert_eq!(rec.seen_graph(domain).edges(), graph.edges());
+
+            // 1. Embedding tables: bitwise equality with a full re-freeze.
+            let reference = rebuild_from_scratch(&model, &gx, &gy, scenario.n_overlap_total);
+            prop_assert_eq!(&rec.scorer().x_users, &reference.scorer().x_users, "x_users, step {}", step);
+            prop_assert_eq!(&rec.scorer().x_items, &reference.scorer().x_items, "x_items, step {}", step);
+            prop_assert_eq!(&rec.scorer().y_users, &reference.scorer().y_users, "y_users, step {}", step);
+            prop_assert_eq!(&rec.scorer().y_items, &reference.scorer().y_items, "y_items, step {}", step);
+
+            // 2. Top-K lists: exact equality under the shared total order,
+            // for old users, the newest users, and k beyond the catalogue.
+            let mut out = Vec::new();
+            for direction in [Direction::X_TO_Y, Direction::Y_TO_X] {
+                let n_source = rec.seen_graph(direction.source).n_users();
+                let catalogue = rec.catalogue_size(direction.target);
+                let probes = [0, n_source / 2, n_source.saturating_sub(1)];
+                for &user in &probes {
+                    for k in [1usize, 10, catalogue + 5] {
+                        let request = Request { direction, user: user as u32, k };
+                        rec.recommend(&request, &mut out).unwrap();
+                        let want = reference.recommend_full_sort(&request).unwrap();
+                        prop_assert_eq!(&out, &want, "step {} {:?} user {} k {}", step, direction, user, k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `BipartiteGraph::apply_delta` invariants: after arbitrary batches the
+    /// graph equals from-scratch construction on the accumulated edges, all
+    /// structural invariants hold, and the CSR views stay consistent.
+    #[test]
+    fn apply_delta_preserves_graph_invariants(
+        n_users in 1usize..24,
+        n_items in 1usize..24,
+        initial in proptest::collection::vec((0u16..u16::MAX, 0u16..u16::MAX), 0..40),
+        raw_deltas in proptest::collection::vec(raw_delta(), 1..6),
+    ) {
+        let seed_edges: Vec<(usize, usize)> = initial
+            .iter()
+            .map(|&(a, b)| (a as usize % n_users, b as usize % n_items))
+            .collect();
+        let mut graph = BipartiteGraph::new(n_users, n_items, &seed_edges).unwrap();
+        let mut accumulated = seed_edges;
+
+        for (dom, add_users, add_items, raw) in &raw_deltas {
+            // Both tuple orders exercise the same code; the domain byte just
+            // varies the mix of growth sizes.
+            let add_users = (*add_users as usize + *dom as usize) % 3;
+            let delta = materialise_delta(&graph, add_users, *add_items as usize, raw);
+            let effect = graph.apply_delta(&delta).unwrap();
+            prop_assert_eq!(effect.users_added, add_users);
+            accumulated.extend(delta.edges.iter().map(|&(u, i)| (u as usize, i as usize)));
+
+            // Structural invariants after every batch.
+            graph.check_invariants().unwrap();
+
+            // Equivalence with from-scratch construction.
+            let reference = BipartiteGraph::new(graph.n_users(), graph.n_items(), &accumulated).unwrap();
+            prop_assert_eq!(graph.edges(), reference.edges());
+            for u in 0..graph.n_users() {
+                prop_assert_eq!(graph.items_of(u), reference.items_of(u));
+                prop_assert_eq!(graph.user_degree(u), reference.user_degree(u));
+            }
+            for i in 0..graph.n_items() {
+                prop_assert_eq!(graph.users_of(i), reference.users_of(i));
+                prop_assert_eq!(graph.item_degree(i), reference.item_degree(i));
+            }
+
+            // The CSR views: row offsets monotone, per-row nnz == degree,
+            // and the in-place normalised rebuilds equal the fresh ones.
+            let adj = graph.adjacency();
+            prop_assert_eq!(adj.nnz(), graph.n_edges());
+            let mut running = 0usize;
+            for u in 0..graph.n_users() {
+                prop_assert_eq!(adj.row_nnz(u), graph.user_degree(u));
+                running += adj.row_nnz(u);
+            }
+            prop_assert_eq!(running, adj.nnz());
+            let mut norm = CsrMatrix::empty(1, 1);
+            graph.norm_adjacency_into(&mut norm);
+            prop_assert_eq!(&norm, reference.norm_adjacency().as_ref());
+            graph.norm_adjacency_transpose_into(&mut norm);
+            prop_assert_eq!(&norm, reference.norm_adjacency_transpose().as_ref());
+
+            // Touched sets cover every endpoint the delta addressed.
+            for &(u, i) in &delta.edges {
+                prop_assert!(effect.touched_users.binary_search(&u).is_ok());
+                prop_assert!(effect.touched_items.binary_search(&i).is_ok());
+            }
+        }
+    }
+}
+
+/// Deterministic end-to-end scenario outside the proptest loop: a cold user
+/// arrives empty, accumulates interactions over several deltas (including
+/// duplicates and an empty delta), and every intermediate state matches a
+/// full rebuild.
+#[test]
+fn cold_user_trajectory_matches_rebuild_at_every_step() {
+    let (scenario, model) = setup(99);
+    let mut rec = Recommender::from_inference_online(InferenceModel::from_model(&model), &scenario).unwrap();
+    let mut gx = scenario.x.train.clone();
+    let gy = scenario.y.train.clone();
+    let user = gx.n_users() as u32;
+
+    let steps = [
+        // Arrives with no history at all.
+        GraphDelta {
+            add_users: 1,
+            add_items: 0,
+            edges: vec![],
+        },
+        // First interactions trickle in.
+        GraphDelta {
+            add_users: 0,
+            add_items: 0,
+            edges: vec![(user, 3), (user, 11)],
+        },
+        // A replayed event (duplicate) plus a new item they interact with.
+        GraphDelta {
+            add_users: 0,
+            add_items: 1,
+            edges: vec![(user, 3), (user, 107_u32.min(gx.n_items() as u32))],
+        },
+        // A quiet tick.
+        GraphDelta::empty(),
+    ];
+    let mut out = Vec::new();
+    for (step, delta) in steps.iter().enumerate() {
+        gx.apply_delta(delta).unwrap();
+        rec.apply_delta(DomainId::X, delta).unwrap();
+        let reference = rebuild_from_scratch(&model, &gx, &gy, scenario.n_overlap_total);
+        assert_eq!(rec.scorer().x_users, reference.scorer().x_users, "step {step}");
+        let request = Request {
+            direction: Direction::X_TO_Y,
+            user,
+            k: 10,
+        };
+        rec.recommend(&request, &mut out).unwrap();
+        assert_eq!(out, reference.recommend_full_sort(&request).unwrap(), "step {step}");
+        assert_eq!(out.len(), 10, "step {step}");
+    }
+    // The duplicate edge never created a second interaction.
+    assert_eq!(gx.user_degree(user as usize), 3);
+}
