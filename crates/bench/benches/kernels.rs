@@ -65,6 +65,60 @@ fn bench_matmul_serial_vs_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tiled-driver vs hand-packed AVX-512 micro-kernel matmul at the
+/// acceptance pair (`1024 x 256 * 256 x 256`), plus the int8 candidate
+/// scorer against the f32 scorer at the serving width. Raw-slice kernel
+/// entry points with preallocated outputs, so the pair times the kernels
+/// alone — no allocation, no tensor wrapping.
+fn bench_matmul_tiled_vs_packed(c: &mut Criterion) {
+    use cdrib_tensor::kernels::{self, QuantUser};
+    use cdrib_tensor::quant::quantize_user_into;
+    use cdrib_tensor::QuantizedTable;
+    let mut rng = component_rng(7, "bench-matmul-packed");
+    let (m, k, n) = (1024usize, 256usize, 256usize);
+    let a = cdrib_tensor::rng::normal_tensor(&mut rng, m, k, 0.1);
+    let b_mat = cdrib_tensor::rng::normal_tensor(&mut rng, k, n, 0.1);
+    let mut out = vec![0.0f32; m * n];
+    let mut group = c.benchmark_group("matmul_tiled_vs_packed");
+    group.bench_function(BenchmarkId::new("tiled", format!("{m}x{k}x{n}")), |bench| {
+        bench.iter(|| {
+            kernels::matmul_tiled(m, k, n, black_box(a.as_slice()), black_box(b_mat.as_slice()), &mut out);
+            black_box(out[0])
+        })
+    });
+    group.bench_function(BenchmarkId::new("packed", format!("{m}x{k}x{n}")), |bench| {
+        bench.iter(|| {
+            kernels::matmul(m, k, n, black_box(a.as_slice()), black_box(b_mat.as_slice()), &mut out);
+            black_box(out[0])
+        })
+    });
+    // Candidate scoring at the serving width: f32 rows vs int8 codes over a
+    // catalogue-scale table.
+    let dim = 32usize;
+    let rows = 65_536usize;
+    let table = cdrib_tensor::rng::normal_tensor(&mut rng, rows, dim, 0.5);
+    let user = cdrib_tensor::rng::normal_tensor(&mut rng, 1, dim, 0.5);
+    let qt = QuantizedTable::from_tensor(&table);
+    let mut uq = vec![0u8; dim];
+    let (scale, norm) = quantize_user_into(user.row(0), &mut uq);
+    let items: Vec<u32> = (0..rows as u32).collect();
+    let mut scores = vec![0.0f32; rows];
+    group.bench_function(BenchmarkId::new("score_f32", rows), |bench| {
+        bench.iter(|| {
+            kernels::score_candidates_dot(dim, black_box(user.row(0)), table.as_slice(), &items, &mut scores);
+            black_box(scores[0])
+        })
+    });
+    group.bench_function(BenchmarkId::new("score_int8", rows), |bench| {
+        let qu = QuantUser { q: &uq, scale, norm };
+        bench.iter(|| {
+            kernels::score_candidates_quant_dot(black_box(qt.view()), qu, &items, &mut scores);
+            black_box(scores[0])
+        })
+    });
+    group.finish();
+}
+
 /// Serial vs dispatched spmm on the synthetic scenario graph's normalised
 /// adjacency — the exact operand shape of a VBGE propagation step.
 fn bench_spmm_serial_vs_parallel(c: &mut Criterion) {
@@ -163,7 +217,7 @@ criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_sparse_dense, bench_dense_matmul, bench_matmul_serial_vs_parallel,
-        bench_spmm_serial_vs_parallel, bench_vbge_forward, bench_negative_sampling, bench_ranking,
-        bench_fill_normal_pair
+        bench_matmul_tiled_vs_packed, bench_spmm_serial_vs_parallel, bench_vbge_forward,
+        bench_negative_sampling, bench_ranking, bench_fill_normal_pair
 }
 criterion_main!(kernels);

@@ -19,20 +19,30 @@
 //!   bitwise parity with a full rebuild and on zero steady-state
 //!   allocations for replayed (duplicate) batches.
 //!
+//! * **int8 quantised scoring** (`ScoringPrecision::Int8`): the same
+//!   request mix through the VNNI/AVX2/portable integer kernels, gated on
+//!   recall@10 >= 0.99 against the f32 lists and 0 steady-state allocs, with
+//!   table bytes, ns/candidate and the speedup over f32 recorded;
+//! * **thread scaling**: batched throughput swept over explicit worker
+//!   counts (`Recommender::recommend_batch_with_workers`), so multi-core
+//!   serve is measured whenever a multi-core runner shows up.
+//!
 //! Results are written to `BENCH_serve.json` (override with `--out`). Usage:
 //!
 //! ```text
-//! serve_perf [--scale tiny|small] [--epochs N] [--requests N] [--k K] [--quick] [--out PATH]
+//! serve_perf [--scale tiny|small] [--epochs N] [--requests N] [--k K] [--threads N] [--quick] [--out PATH]
 //! ```
 
 use cdrib_bench::Args;
 use cdrib_core::{CdribConfig, CdribModel, InferenceModel};
 use cdrib_data::{build_preset, Direction, DomainId, EpochBatches, Scale, ScenarioKind};
-use cdrib_graph::GraphDelta;
-use cdrib_serve::{Recommendation, Recommender, Request};
+use cdrib_eval::EmbeddingScorer;
+use cdrib_graph::{BipartiteGraph, GraphDelta};
+use cdrib_serve::{Recommendation, Recommender, Request, ScoringPrecision};
 use cdrib_tensor::alloc_track::{allocation_count, CountingAlloc};
-use cdrib_tensor::rng::component_rng;
-use cdrib_tensor::{kernels, Adam, Optimizer, Tape};
+use cdrib_tensor::rng::{component_rng, normal_tensor};
+use cdrib_tensor::{kernels, Adam, Optimizer, QuantizedTable, Tape};
+use std::collections::HashSet;
 use std::time::Instant;
 
 #[global_allocator]
@@ -92,6 +102,11 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn main() {
     let args = Args::from_env();
+    // Thread pinning must precede the first kernel dispatch: the worker pool
+    // size latches `CDRIB_NUM_THREADS` once per process.
+    if let Some(threads) = args.get("threads") {
+        std::env::set_var("CDRIB_NUM_THREADS", threads);
+    }
     let quick = args.get("quick").is_some();
     let scale = match args.get("scale").unwrap_or("tiny") {
         "small" => Scale::Small,
@@ -213,6 +228,148 @@ fn main() {
     let recs_per_sec = total_requests / batch_secs;
     let scores_per_sec = total_requests * candidates_per_request as f64 / batch_secs;
 
+    // --- Thread-scaling sweep over the batch fan-out. -----------------------
+    // On a single-core runner this is one entry; on a multi-core box the
+    // sweep shows how batched serve scales across `thread::scope` workers.
+    let max_workers = kernels::parallelism().max(1);
+    let mut threads_sweep: Vec<(usize, f64)> = Vec::new();
+    for workers in 1..=max_workers {
+        recommender
+            .recommend_batch_with_workers(&requests, &mut responses, workers)
+            .expect("sweep warm-up");
+        let started = Instant::now();
+        for _ in 0..batch_rounds {
+            recommender
+                .recommend_batch_with_workers(&requests, &mut responses, workers)
+                .expect("sweep round");
+        }
+        threads_sweep.push((workers, total_requests / started.elapsed().as_secs_f64()));
+    }
+
+    // --- Int8 quantised scoring. --------------------------------------------
+    // The same request mix through the integer kernels: retrieval parity vs
+    // the f32 lists is the gate, then the f32 measurements are repeated.
+    let mut f32_responses: Vec<Vec<Recommendation>> = Vec::new();
+    recommender
+        .recommend_batch(&requests, &mut f32_responses)
+        .expect("f32 reference lists");
+    recommender.set_precision(ScoringPrecision::Int8);
+    let (mut hits, mut total, mut exact) = (0usize, 0usize, 0usize);
+    for (request, f32_list) in requests.iter().zip(f32_responses.iter()) {
+        recommender.recommend(request, &mut out).expect("int8 request");
+        let want: HashSet<u32> = f32_list.iter().map(|r| r.item).collect();
+        hits += out.iter().filter(|r| want.contains(&r.item)).count();
+        total += f32_list.len();
+        exact += usize::from(f32_list.iter().map(|r| r.item).eq(out.iter().map(|r| r.item)));
+    }
+    let int8_recall = hits as f64 / total.max(1) as f64;
+    let int8_exact_rate = exact as f64 / requests.len() as f64;
+    assert!(
+        int8_recall >= 0.99,
+        "int8 retrieval must keep recall@{k} >= 0.99 vs f32, got {int8_recall:.4}"
+    );
+
+    // Steady-state allocation audit on the int8 path.
+    for request in &requests {
+        recommender.recommend(request, &mut out).expect("int8 warm-up");
+    }
+    let allocs_before = allocation_count();
+    for request in requests.iter().cycle().take(audit_rounds) {
+        recommender.recommend(request, &mut out).expect("audited int8 request");
+    }
+    let int8_allocs_per_request = (allocation_count() - allocs_before) as f64 / audit_rounds as f64;
+    assert_eq!(
+        int8_allocs_per_request, 0.0,
+        "warm int8 requests must not touch the allocator"
+    );
+
+    // Int8 latency and batched throughput.
+    let mut int8_latencies_us: Vec<f64> = Vec::with_capacity(latency_rounds * requests.len());
+    for _ in 0..latency_rounds {
+        for request in &requests {
+            let started = Instant::now();
+            recommender.recommend(request, &mut out).expect("int8 latency request");
+            int8_latencies_us.push(started.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    int8_latencies_us.sort_by(f64::total_cmp);
+    let int8_p50 = percentile(&int8_latencies_us, 0.50);
+    let int8_p99 = percentile(&int8_latencies_us, 0.99);
+    recommender
+        .recommend_batch(&requests, &mut responses)
+        .expect("int8 batch warm-up");
+    let started = Instant::now();
+    for _ in 0..batch_rounds {
+        recommender
+            .recommend_batch(&requests, &mut responses)
+            .expect("int8 batch round");
+    }
+    let int8_batch_secs = started.elapsed().as_secs_f64();
+    let int8_recs_per_sec = total_requests / int8_batch_secs;
+    let int8_scores_per_sec = total_requests * candidates_per_request as f64 / int8_batch_secs;
+    let int8_speedup = int8_scores_per_sec / scores_per_sec;
+
+    // Table footprint: the f32 item tables the int8 mirrors replace.
+    let f32_table_bytes = (recommender.scorer().x_items.as_slice().len()
+        + recommender.scorer().y_items.as_slice().len())
+        * std::mem::size_of::<f32>();
+    let int8_table_bytes = recommender.quantized_items(DomainId::X).expect("quant x").table_bytes()
+        + recommender.quantized_items(DomainId::Y).expect("quant y").table_bytes();
+    let table_compression = f32_table_bytes as f64 / int8_table_bytes as f64;
+    recommender.set_precision(ScoringPrecision::F32);
+
+    // --- Catalogue-scale int8 stress. ---------------------------------------
+    // The CI presets shrink catalogues to a few hundred items, which keeps
+    // both precisions cache-resident and hides the memory-traffic cost int8
+    // removes. Real cross-domain catalogues hold tens of thousands of items,
+    // so the quantisation speedup is measured against a serving engine over
+    // a catalogue of that shape (random tables — throughput does not depend
+    // on the values, and retrieval parity is gated on the trained preset
+    // above and in `tests/quant_parity.rs`).
+    let stress_items = 65_536usize;
+    let stress_users = 64usize;
+    let mut stress_rng = component_rng(seed, "serve-perf-stress");
+    let mk = |rng: &mut _, rows: usize| normal_tensor(rng, rows, config.dim, 0.5);
+    let stress_scorer = EmbeddingScorer::dot(
+        mk(&mut stress_rng, stress_users),
+        mk(&mut stress_rng, stress_items),
+        mk(&mut stress_rng, stress_users),
+        mk(&mut stress_rng, stress_items),
+    );
+    let empty = BipartiteGraph::new(stress_users, stress_items, &[]).expect("stress graph");
+    let mut stress = Recommender::new(stress_scorer, empty.clone(), empty).expect("stress engine");
+    let stress_requests: Vec<Request> = (0..stress_users as u32)
+        .flat_map(|user| [Direction::X_TO_Y, Direction::Y_TO_X].map(|direction| Request { direction, user, k }))
+        .collect();
+    let stress_rounds = if quick { 2usize } else { 12 };
+    let stress_candidates = (stress_requests.len() * stress_items) as f64;
+    let mut stress_sps = [0.0f64; 2]; // [f32, int8]
+    for (slot, precision) in [(0usize, ScoringPrecision::F32), (1, ScoringPrecision::Int8)] {
+        stress.set_precision(precision);
+        stress
+            .recommend_batch(&stress_requests, &mut responses)
+            .expect("stress warm-up");
+        let started = Instant::now();
+        for _ in 0..stress_rounds {
+            stress
+                .recommend_batch(&stress_requests, &mut responses)
+                .expect("stress round");
+        }
+        stress_sps[slot] = stress_rounds as f64 * stress_candidates / started.elapsed().as_secs_f64();
+    }
+    let stress_speedup = stress_sps[1] / stress_sps[0];
+    eprintln!(
+        "int8 stress: {stress_items}-item catalogue, dim {}: f32 {:.0}M scores/s, int8 {:.0}M scores/s ({stress_speedup:.2}x)",
+        config.dim,
+        stress_sps[0] / 1e6,
+        stress_sps[1] / 1e6,
+    );
+    assert!(
+        stress_speedup >= 1.5,
+        "int8 must beat f32 scoring on a catalogue-scale table, got {stress_speedup:.2}x"
+    );
+    drop(stress);
+
     // --- Online delta ingestion. --------------------------------------------
     // Fresh cold-start users arrive in batches with new source-domain (X)
     // interactions; each batch flows through `apply_delta` — graph apply,
@@ -220,6 +377,9 @@ fn main() {
     use rand::Rng;
     let mut online = Recommender::from_inference_online(InferenceModel::from_model(&model), &loaded_scenario)
         .expect("online engine");
+    // The online engine serves int8 so the measured ingest path includes the
+    // per-delta re-quantisation of dirty rows inside the epoch swap.
+    online.set_precision(ScoringPrecision::Int8);
     let mut delta_rng = component_rng(seed, "serve-perf-delta");
     let (users_per_batch, edges_per_user) = (8usize, 4usize);
     let mut make_growth_delta = |rec: &Recommender| {
@@ -255,6 +415,20 @@ fn main() {
     let delta_batches_per_sec = delta_rounds as f64 / delta_secs;
     let delta_rows_mean = rows_reencoded as f64 / delta_rounds as f64;
 
+    // Quant-mirror coherence: after every ingest the served int8 tables must
+    // equal a from-scratch quantisation of the served f32 tables.
+    for domain in [DomainId::X, DomainId::Y] {
+        let table = match domain {
+            DomainId::X => &online.scorer().x_items,
+            DomainId::Y => &online.scorer().y_items,
+        };
+        assert_eq!(
+            online.quantized_items(domain).expect("online quant table"),
+            &QuantizedTable::from_tensor(table),
+            "post-delta quant mirror diverged from re-quantisation ({domain:?})"
+        );
+    }
+
     // Correctness gate: the incrementally updated engine must be bitwise
     // identical to a full re-freeze on the post-delta graph, and the newest
     // cold user's top-K must match the rebuilt engine's full-sort reference.
@@ -283,12 +457,17 @@ fn main() {
         user: gx.n_users() as u32 - 1,
         k,
     };
+    // `recommend_full_sort` is the f32 reference baseline, so the bitwise
+    // comparison runs with f32 scoring; int8 comes back on for the replay
+    // audit below.
+    online.set_precision(ScoringPrecision::F32);
     online.recommend(&newest, &mut out).expect("newest user");
     assert_eq!(
         out,
         rebuilt_rec.recommend_full_sort(&newest).expect("rebuilt full sort"),
         "incremental top-K diverged from the rebuilt engine"
     );
+    online.set_precision(ScoringPrecision::Int8);
 
     // Steady-state allocation audit: replayed (duplicate) batches drive the
     // whole ingest path without growing any structure — must be 0 allocs.
@@ -326,6 +505,13 @@ fn main() {
         requests.len(),
         kernels::parallelism()
     );
+    for (workers, rps) in &threads_sweep {
+        eprintln!("  sweep    : {workers} worker(s) -> {rps:.0} recommendations/s");
+    }
+    eprintln!(
+        "int8       : p50 {int8_p50:.1} us, {:.2}M candidate scores/s ({int8_speedup:.2}x f32), recall@{k} {int8_recall:.4}, exact-list rate {int8_exact_rate:.2}, tables {int8_table_bytes} B vs {f32_table_bytes} B f32 ({table_compression:.2}x smaller)",
+        int8_scores_per_sec / 1e6,
+    );
     eprintln!("allocations: {allocs_per_request:.2} steady-state allocs/request (must be 0)");
     assert_eq!(
         allocs_per_request, 0.0,
@@ -336,6 +522,11 @@ fn main() {
         "serving must sustain at least 1M candidate scores/s, got {scores_per_sec:.0}"
     );
 
+    let sweep_json = threads_sweep
+        .iter()
+        .map(|(workers, rps)| format!("{{\"workers\": {workers}, \"recommendations_per_sec\": {rps:.1}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         concat!(
             "{{\n",
@@ -359,6 +550,29 @@ fn main() {
             "  \"steady_state_allocs_per_request\": {allocs:.2},\n",
             "  \"heap_matches_full_sort\": true,\n",
             "  \"frozen_matches_tape_forward\": true,\n",
+            "  \"threads_sweep\": [{sweep}],\n",
+            "  \"int8\": {{\n",
+            "    \"latency_us_p50\": {int8_p50:.2},\n",
+            "    \"latency_us_p99\": {int8_p99:.2},\n",
+            "    \"recommendations_per_sec\": {int8_rps:.1},\n",
+            "    \"candidate_scores_per_sec\": {int8_sps:.0},\n",
+            "    \"speedup_vs_f32\": {int8_speedup:.3},\n",
+            "    \"ns_per_candidate_f32\": {ns_f32:.3},\n",
+            "    \"ns_per_candidate_int8\": {ns_int8:.3},\n",
+            "    \"table_bytes_f32\": {f32_table_bytes},\n",
+            "    \"table_bytes_int8\": {int8_table_bytes},\n",
+            "    \"table_compression\": {table_compression:.3},\n",
+            "    \"recall_at_10_vs_f32\": {int8_recall:.4},\n",
+            "    \"exact_list_rate_vs_f32\": {int8_exact_rate:.4},\n",
+            "    \"steady_state_allocs_per_request\": {int8_allocs:.2},\n",
+            "    \"delta_quant_matches_requantise\": true,\n",
+            "    \"catalogue_scale\": {{\n",
+            "      \"items\": {stress_items},\n",
+            "      \"f32_scores_per_sec\": {stress_f32:.0},\n",
+            "      \"int8_scores_per_sec\": {stress_int8:.0},\n",
+            "      \"speedup_vs_f32\": {stress_speedup:.3}\n",
+            "    }}\n",
+            "  }},\n",
             "  \"delta_users_per_batch\": {delta_users},\n",
             "  \"delta_edges_per_user\": {delta_edges_per_user},\n",
             "  \"delta_batches_per_sec\": {delta_bps:.1},\n",
@@ -383,6 +597,24 @@ fn main() {
         rps = recs_per_sec,
         sps = scores_per_sec,
         allocs = allocs_per_request,
+        sweep = sweep_json,
+        int8_p50 = int8_p50,
+        int8_p99 = int8_p99,
+        int8_rps = int8_recs_per_sec,
+        int8_sps = int8_scores_per_sec,
+        int8_speedup = int8_speedup,
+        ns_f32 = 1e9 / scores_per_sec,
+        ns_int8 = 1e9 / int8_scores_per_sec,
+        f32_table_bytes = f32_table_bytes,
+        int8_table_bytes = int8_table_bytes,
+        table_compression = table_compression,
+        int8_recall = int8_recall,
+        int8_exact_rate = int8_exact_rate,
+        int8_allocs = int8_allocs_per_request,
+        stress_items = stress_items,
+        stress_f32 = stress_sps[0],
+        stress_int8 = stress_sps[1],
+        stress_speedup = stress_speedup,
         delta_users = users_per_batch,
         delta_edges_per_user = edges_per_user,
         delta_bps = delta_batches_per_sec,

@@ -34,7 +34,10 @@ pub mod model;
 pub mod trainer;
 pub mod vbge;
 
-pub use artifact::{load_model_bytes, load_model_file, save_model_bytes, save_model_file};
+pub use artifact::{
+    freeze_quant_bytes, load_model_bytes, load_model_file, load_quant_bytes, save_model_bytes, save_model_file,
+    save_quant_bytes, QuantArtifact,
+};
 pub use config::{CdribConfig, CdribVariant};
 pub use error::{CoreError, Result};
 pub use infer::{DeltaReencode, InferenceModel};

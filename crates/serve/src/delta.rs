@@ -25,7 +25,7 @@ use cdrib_core::InferenceModel;
 use cdrib_data::DomainId;
 use cdrib_eval::EmbeddingScorer;
 use cdrib_graph::DeltaEffect;
-use cdrib_tensor::Tensor;
+use cdrib_tensor::{QuantizedTable, Tensor};
 
 /// Receipt of one [`Recommender::apply_delta`](crate::Recommender::apply_delta).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +60,11 @@ pub(crate) struct OnlineUpdater {
     /// Rows each shadow is missing relative to its active table (the rows
     /// the previous swap patched).
     pending: [Vec<u32>; 4],
+    /// Shadow/pending state of the int8 item-table mirrors (`x_items`,
+    /// `y_items`), driven by the same protocol whenever the engine carries
+    /// quantised tables.
+    quant_shadow: [Option<QuantizedTable>; 2],
+    quant_pending: [Vec<u32>; 2],
 }
 
 /// Slot of a domain's user/item table in the shadow/pending arrays.
@@ -80,6 +85,8 @@ impl OnlineUpdater {
             effect: DeltaEffect::new(),
             shadow: [None, None, None, None],
             pending: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            quant_shadow: [None, None],
+            quant_pending: [Vec::new(), Vec::new()],
         }
     }
 
@@ -89,11 +96,18 @@ impl OnlineUpdater {
     /// a rejected row leaves the served tables entirely unpublished — never
     /// with one table ahead of the other. Warm calls (shadows materialised,
     /// no row growth) are allocation-free.
-    pub(crate) fn patch_tables(&mut self, scorer: &mut EmbeddingScorer, domain: DomainId) -> Result<()> {
+    pub(crate) fn patch_tables(
+        &mut self,
+        scorer: &mut EmbeddingScorer,
+        quant_items: Option<&mut QuantizedTable>,
+        domain: DomainId,
+    ) -> Result<()> {
         let OnlineUpdater {
             inference,
             shadow,
             pending,
+            quant_shadow,
+            quant_pending,
             ..
         } = self;
         let to_serve = |e: cdrib_core::CoreError| ServeError::Update { detail: e.to_string() };
@@ -122,6 +136,22 @@ impl OnlineUpdater {
             src_items,
             dirty_items,
         );
+        // The int8 mirror follows the same shadow-swap: exactly the dirty
+        // re-encoded rows are re-quantised from the fresh f32 rows, so the
+        // mirror is always a from-scratch quantisation of the served table.
+        if let Some(quant) = quant_items {
+            let qslot = match domain {
+                DomainId::X => 0,
+                DomainId::Y => 1,
+            };
+            patch_one_quant(
+                quant,
+                &mut quant_shadow[qslot],
+                &mut quant_pending[qslot],
+                src_items,
+                dirty_items,
+            );
+        }
         Ok(())
     }
 }
@@ -159,6 +189,35 @@ fn patch_one(active: &mut Tensor, shadow: &mut Option<Tensor>, pending: &mut Vec
     pending.extend_from_slice(dirty);
 }
 
+/// The int8 counterpart of [`patch_one`]: same catch-up / write / swap /
+/// remember protocol over a [`QuantizedTable`], re-quantising the dirty rows
+/// from their fresh f32 source. Warm calls (shadow materialised, no row
+/// growth) are allocation-free.
+fn patch_one_quant(
+    active: &mut QuantizedTable,
+    shadow: &mut Option<QuantizedTable>,
+    pending: &mut Vec<u32>,
+    src: &Tensor,
+    dirty: &[u32],
+) {
+    let shadow = shadow.get_or_insert_with(|| active.clone());
+    // 1. Catch up on the rows the previous swap patched into `active`.
+    shadow.resize_rows(active.rows());
+    for &r in pending.iter() {
+        shadow.copy_row_from(r as usize, active, r as usize);
+    }
+    pending.clear();
+    // 2. Re-quantise this delta's rows (growing for new entities).
+    shadow.resize_rows(src.rows());
+    for &r in dirty {
+        shadow.requantize_row(r as usize, src.row(r as usize));
+    }
+    // 3. The epoch swap.
+    std::mem::swap(active, shadow);
+    // 4. The demoted mirror is now one delta behind.
+    pending.extend_from_slice(dirty);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +245,31 @@ mod tests {
         assert_eq!(active.row(1), &[30.0, 40.0]);
         assert_eq!(active.row(2), &[50.0, 60.0]);
         assert_eq!(pending, vec![0]);
+    }
+
+    #[test]
+    fn patch_one_quant_tracks_the_f32_table_exactly() {
+        // Whatever sequence of deltas runs, the quant mirror must equal a
+        // from-scratch quantisation of the post-delta f32 table.
+        let initial = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut active = QuantizedTable::from_tensor(&initial);
+        let mut shadow = None;
+        let mut pending = Vec::new();
+        // Delta 1: row 1 changes, row 2 appears.
+        let src = Tensor::from_vec(3, 2, vec![0.0, 0.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
+        patch_one_quant(&mut active, &mut shadow, &mut pending, &src, &[1, 2]);
+        let mut want = initial.clone();
+        want.resize_rows(3);
+        want.row_mut(1).copy_from_slice(&[30.0, 40.0]);
+        want.row_mut(2).copy_from_slice(&[50.0, 60.0]);
+        assert_eq!(active, QuantizedTable::from_tensor(&want));
+        assert_eq!(pending, vec![1, 2]);
+        // Delta 2: row 0 changes; catch-up must carry rows 1/2 along.
+        let src2 = Tensor::from_vec(3, 2, vec![10.0, 20.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        patch_one_quant(&mut active, &mut shadow, &mut pending, &src2, &[0]);
+        want.row_mut(0).copy_from_slice(&[10.0, 20.0]);
+        assert_eq!(active, QuantizedTable::from_tensor(&want));
+        assert!(active.validate().is_ok());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod topk;
 
 pub use delta::DeltaOutcome;
 pub use error::{Result, ServeError};
-pub use recommender::{Recommender, Request};
+pub use recommender::{Recommender, Request, ScoringPrecision};
 pub use topk::{ranks_above, Recommendation, TopK};
 
 #[cfg(test)]
@@ -479,6 +479,164 @@ mod tests {
         // Nothing moved: graph, epoch and tables are untouched.
         assert_eq!(rec.seen_graph(DomainId::X).n_edges(), edges_before);
         assert_eq!(rec.epoch(), 0);
+    }
+
+    #[test]
+    fn int8_precision_serves_deterministic_high_recall_lists() {
+        use cdrib_tensor::QuantizedTable;
+        use std::collections::HashSet;
+
+        let mut rec = random_setup(61, 30, 400, 16);
+        assert_eq!(rec.precision(), ScoringPrecision::F32);
+        let request = |user| Request {
+            direction: Direction::X_TO_Y,
+            user,
+            k: 10,
+        };
+        let f32_lists: Vec<_> = (0..30u32).map(|u| rec.recommend_vec(&request(u)).unwrap()).collect();
+        rec.set_precision(ScoringPrecision::Int8);
+        assert_eq!(rec.precision(), ScoringPrecision::Int8);
+        assert_eq!(
+            rec.quantized_items(DomainId::Y).unwrap(),
+            &QuantizedTable::from_tensor(&rec.scorer().y_items)
+        );
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (u, f32_list) in f32_lists.iter().enumerate() {
+            let int8_list = rec.recommend_vec(&request(u as u32)).unwrap();
+            assert_eq!(int8_list.len(), f32_list.len());
+            // Bitwise determinism: a second int8 pass reproduces the list.
+            assert_eq!(int8_list, rec.recommend_vec(&request(u as u32)).unwrap());
+            let want: HashSet<u32> = f32_list.iter().map(|r| r.item).collect();
+            hits += int8_list.iter().filter(|r| want.contains(&r.item)).count();
+            total += f32_list.len();
+        }
+        // Quantisation noise may reorder near-ties but must not change the
+        // retrieved set much.
+        assert!(
+            hits as f64 >= 0.95 * total as f64,
+            "int8 recall@10 collapsed: {hits}/{total}"
+        );
+        // Batch and single paths agree under int8 too, at every worker count.
+        let requests: Vec<Request> = (0..30u32).map(request).collect();
+        let mut responses = Vec::new();
+        rec.recommend_batch(&requests, &mut responses).unwrap();
+        let mut single = Vec::new();
+        for (req, batched) in requests.iter().zip(responses.iter()) {
+            rec.recommend(req, &mut single).unwrap();
+            assert_eq!(&single, batched);
+        }
+        let snapshot = responses.clone();
+        for workers in [1usize, 2, 5] {
+            rec.recommend_batch_with_workers(&requests, &mut responses, workers)
+                .unwrap();
+            assert_eq!(responses, snapshot, "workers={workers}");
+        }
+        // Switching back to f32 restores the original lists exactly.
+        rec.set_precision(ScoringPrecision::F32);
+        for (u, f32_list) in f32_lists.iter().enumerate() {
+            assert_eq!(&rec.recommend_vec(&request(u as u32)).unwrap(), f32_list);
+        }
+    }
+
+    #[test]
+    fn delta_ingest_keeps_quant_tables_coherent() {
+        use cdrib_graph::GraphDelta;
+        use cdrib_tensor::QuantizedTable;
+
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 43).unwrap();
+        let model = CdribModel::new(&CdribConfig::fast_test(), &scenario).unwrap();
+        let mut rec = Recommender::from_inference_online(InferenceModel::from_model(&model), &scenario).unwrap();
+        rec.set_precision(ScoringPrecision::Int8);
+        let new_user = rec.seen_graph(DomainId::X).n_users() as u32;
+        let new_item = rec.seen_graph(DomainId::X).n_items() as u32;
+        // Several deltas so the shadow catch-up path is exercised on both
+        // domains, including entity growth.
+        let deltas = [
+            (
+                DomainId::X,
+                GraphDelta {
+                    add_users: 1,
+                    add_items: 1,
+                    edges: vec![(new_user, 0), (new_user, new_item)],
+                },
+            ),
+            (
+                DomainId::Y,
+                GraphDelta {
+                    add_users: 0,
+                    add_items: 0,
+                    edges: vec![(1, 3), (2, 5)],
+                },
+            ),
+            (
+                DomainId::X,
+                GraphDelta {
+                    add_users: 0,
+                    add_items: 0,
+                    edges: vec![(new_user, 7), (0, 2)],
+                },
+            ),
+        ];
+        for (domain, delta) in &deltas {
+            rec.apply_delta(*domain, delta).unwrap();
+            // After every swap the int8 mirror equals a from-scratch
+            // quantisation of the served f32 table — exactly, not almost.
+            for d in [DomainId::X, DomainId::Y] {
+                let table = match d {
+                    DomainId::X => &rec.scorer().x_items,
+                    DomainId::Y => &rec.scorer().y_items,
+                };
+                assert_eq!(
+                    rec.quantized_items(d).unwrap(),
+                    &QuantizedTable::from_tensor(table),
+                    "domain {d:?} mirror drifted after a {domain:?} delta"
+                );
+            }
+        }
+        // And the delta-appended user is servable on the int8 path.
+        let recs = rec
+            .recommend_vec(&Request {
+                direction: Direction::X_TO_Y,
+                user: new_user,
+                k: 10,
+            })
+            .unwrap();
+        assert_eq!(recs.len(), 10);
+    }
+
+    #[test]
+    fn quant_artifact_round_trips_into_a_serving_engine() {
+        use cdrib_tensor::QuantizedTable;
+
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 47).unwrap();
+        let model = CdribModel::new(&CdribConfig::fast_test(), &scenario).unwrap();
+        let bytes = cdrib_core::freeze_quant_bytes(&model, &scenario).unwrap();
+        let mut rec = Recommender::from_quant_artifact_bytes(&bytes).unwrap();
+        assert_eq!(rec.precision(), ScoringPrecision::Int8);
+        assert_eq!(rec.shared_user_prefix(), scenario.n_overlap_total);
+        // The served quant tables are exactly the frozen ones, and the
+        // dequantised f32 tables requantise back to them (lossless mirror).
+        let embeddings = model.infer_embeddings().unwrap();
+        assert_eq!(
+            rec.quantized_items(DomainId::X).unwrap(),
+            &QuantizedTable::from_tensor(&embeddings.x_items)
+        );
+        assert_eq!(
+            rec.quantized_items(DomainId::Y).unwrap(),
+            &QuantizedTable::from_tensor(&rec.scorer().y_items)
+        );
+        let user = scenario.cold_x_to_y.test_users[0];
+        let request = Request {
+            direction: Direction::X_TO_Y,
+            user,
+            k: 10,
+        };
+        let recs = rec.recommend_vec(&request).unwrap();
+        assert_eq!(recs.len(), 10);
+        // A second engine loaded from the same bytes serves identical lists.
+        let mut rec2 = Recommender::from_quant_artifact_bytes(&bytes).unwrap();
+        assert_eq!(recs, rec2.recommend_vec(&request).unwrap());
     }
 
     #[test]

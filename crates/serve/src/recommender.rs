@@ -26,8 +26,11 @@ use crate::error::{Result, ServeError};
 use crate::topk::{ranks_above, Recommendation, TopK};
 use cdrib_core::{CdribEmbeddings, InferenceModel};
 use cdrib_data::{CdrScenario, Direction, DomainId};
-use cdrib_eval::EmbeddingScorer;
+use cdrib_eval::{EmbeddingScorer, ScoreKind};
 use cdrib_graph::{BipartiteGraph, GraphDelta};
+use cdrib_tensor::kernels::{self, QuantUser};
+use cdrib_tensor::quant::quantize_user_into;
+use cdrib_tensor::QuantizedTable;
 
 /// One top-K recommendation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +42,20 @@ pub struct Request {
     pub user: u32,
     /// How many items to return (fewer when the unseen catalogue is smaller).
     pub k: usize,
+}
+
+/// The numeric path candidate scoring runs through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringPrecision {
+    /// Full-precision f32 tables through the SIMD f32 kernels (the default).
+    #[default]
+    F32,
+    /// Int8-quantised item tables through the VNNI/AVX2/portable integer
+    /// kernels: the user row is quantised once per request, every candidate
+    /// row is read at ~1/4 the memory traffic. Scores approximate the f32
+    /// path (recall@10 >= 0.99 pinned by `tests/quant_parity.rs`) and are
+    /// bitwise deterministic across runs and ISA tiers.
+    Int8,
 }
 
 /// Number of candidate ids scored per kernel pass. At dim 64 a chunk reads
@@ -66,13 +83,21 @@ struct ServeCore {
     /// materialised so chunked scoring can slice it without rebuilding.
     catalogue_x: Vec<u32>,
     catalogue_y: Vec<u32>,
+    /// Int8 mirrors of the item tables, present whenever int8 scoring has
+    /// been enabled (and kept coherent by delta ingest from then on).
+    quant_x_items: Option<QuantizedTable>,
+    quant_y_items: Option<QuantizedTable>,
+    /// Which numeric path `recommend_into` scores through.
+    precision: ScoringPrecision,
 }
 
-/// Reusable per-worker buffers: one chunk of scores plus the bounded heap.
+/// Reusable per-worker buffers: one chunk of scores, the bounded heap, and
+/// the per-request quantised user codes of the int8 path.
 #[derive(Default)]
 struct RequestScratch {
     scores: Vec<f32>,
     topk: TopK,
+    user_q: Vec<u8>,
 }
 
 /// A warm, thread-capable top-K recommendation engine.
@@ -110,6 +135,13 @@ impl ServeCore {
         }
     }
 
+    fn quant_items(&self, domain: DomainId) -> Option<&QuantizedTable> {
+        match domain {
+            DomainId::X => self.quant_x_items.as_ref(),
+            DomainId::Y => self.quant_y_items.as_ref(),
+        }
+    }
+
     /// The target-domain items to filter for a *source-indexed* user: their
     /// own history when the index lies in the shared overlap prefix (same
     /// person in both domains), nothing otherwise — a source-only or
@@ -144,36 +176,104 @@ impl ServeCore {
         // overlap prefix identifies them in the target graph too.
         let seen: &[u32] = self.cross_domain_seen(direction.target, user);
 
-        if scratch.scores.len() < SCORE_CHUNK.min(catalogue.len()) {
-            scratch.scores.resize(SCORE_CHUNK.min(catalogue.len()), 0.0);
+        let RequestScratch { scores, topk, user_q } = scratch;
+        if scores.len() < SCORE_CHUNK.min(catalogue.len()) {
+            scores.resize(SCORE_CHUNK.min(catalogue.len()), 0.0);
         }
         // At most `catalogue.len()` candidates can be retained, so an
         // oversized `k` must not reserve beyond that.
-        scratch.topk.reset(k.min(catalogue.len()));
-        // The catalogue is ascending and the user's seen list is sorted, so
-        // one merge cursor filters seen items across all chunks.
+        topk.reset(k.min(catalogue.len()));
+        // Int8 precision: quantise the user row once per request into the
+        // scratch code buffer; every chunk then runs the integer kernels
+        // against the quantised item table.
+        let quant = match self.precision {
+            ScoringPrecision::F32 => None,
+            ScoringPrecision::Int8 => {
+                let table = self
+                    .quant_items(direction.target)
+                    .expect("int8 precision always carries quantised item tables");
+                let users = match direction.source {
+                    DomainId::X => &self.scorer.x_users,
+                    DomainId::Y => &self.scorer.y_users,
+                };
+                let u = users.row(user as usize);
+                if user_q.len() < u.len() {
+                    user_q.resize(u.len(), 0);
+                }
+                let (scale, norm) = quantize_user_into(u, &mut user_q[..u.len()]);
+                Some((table.view(), scale, norm))
+            }
+        };
+        // The catalogue is the ascending run 0..n and the user's seen list
+        // is sorted, so one merge cursor poisons seen slots across chunks.
         let mut seen_cursor = 0usize;
         for chunk in catalogue.chunks(SCORE_CHUNK) {
-            let scores = &mut scratch.scores[..chunk.len()];
-            self.scorer
-                .score_cross_into(direction.source, user, direction.target, chunk, scores);
-            for (&item, &score) in chunk.iter().zip(scores.iter()) {
-                while seen_cursor < seen.len() && seen[seen_cursor] < item {
-                    seen_cursor += 1;
+            let scores = &mut scores[..chunk.len()];
+            match quant {
+                None => self
+                    .scorer
+                    .score_cross_into(direction.source, user, direction.target, chunk, scores),
+                Some((view, scale, norm)) => {
+                    let qu = QuantUser {
+                        q: &user_q[..view.cols],
+                        scale,
+                        norm,
+                    };
+                    match self.scorer.kind {
+                        ScoreKind::Dot => kernels::score_candidates_quant_dot(view, qu, chunk, scores),
+                        ScoreKind::NegativeDistance => {
+                            kernels::score_candidates_quant_neg_sq_dist(view, qu, chunk, scores)
+                        }
+                    }
                 }
-                if seen_cursor < seen.len() && seen[seen_cursor] == item {
-                    continue;
+            }
+            // Seen items get their score slot poisoned to NaN: selection
+            // skips NaN (it cannot participate in the total order), which
+            // fuses the seen filter and the NaN guard into one test.
+            let first = chunk[0];
+            let last = chunk[chunk.len() - 1];
+            debug_assert_eq!(
+                (last - first) as usize,
+                chunk.len() - 1,
+                "catalogue chunks are consecutive"
+            );
+            while seen_cursor < seen.len() && seen[seen_cursor] <= last {
+                let s = seen[seen_cursor];
+                if s >= first {
+                    scores[(s - first) as usize] = f32::NAN;
                 }
-                // NaN scores cannot participate in the total order; frozen
-                // tables are validated finite at construction, so this only
-                // guards pathological inf-inf arithmetic.
-                if score.is_nan() {
-                    continue;
+                seen_cursor += 1;
+            }
+            // Selection: while the heap is filling, every non-NaN candidate
+            // is offered; once full, only a score strictly above the worst
+            // retained entry can displace anything (a later, larger id
+            // loses every tie), so one predictable branch per candidate
+            // rejects the bulk of the catalogue. `push` re-checks order, so
+            // a momentarily stale bar can only cost a push, never a result.
+            let mut i = 0usize;
+            while i < scores.len() {
+                match topk.full_threshold() {
+                    None => {
+                        let score = scores[i];
+                        if !score.is_nan() {
+                            topk.push(score, first + i as u32);
+                        }
+                        i += 1;
+                    }
+                    Some(mut bar) => {
+                        while i < scores.len() {
+                            let score = scores[i];
+                            if score > bar {
+                                topk.push(score, first + i as u32);
+                                bar = topk.full_threshold().unwrap_or(bar);
+                            }
+                            i += 1;
+                        }
+                    }
                 }
-                scratch.topk.push(score, item);
             }
         }
-        scratch.topk.drain_sorted_into(out);
+        topk.drain_sorted_into(out);
         Ok(())
     }
 
@@ -289,6 +389,9 @@ impl Recommender {
                 shared_user_prefix: usize::MAX,
                 catalogue_x,
                 catalogue_y,
+                quant_x_items: None,
+                quant_y_items: None,
+                precision: ScoringPrecision::F32,
             },
             scratches,
             updater: None,
@@ -373,6 +476,64 @@ impl Recommender {
         Recommender::from_inference(&mut inference, &scenario)
     }
 
+    /// Loads a quantised serving snapshot (`cdrib_core::artifact`, kind
+    /// `cdrib.quant`) and builds a recommender that scores through the int8
+    /// path by default. The f32 item tables are reconstructed by
+    /// dequantisation — requantising them reproduces the stored codes
+    /// exactly, so the engine stays coherent under later precision switches
+    /// and delta-free restarts.
+    pub fn from_quant_artifact_bytes(bytes: &[u8]) -> Result<Self> {
+        let artifact = cdrib_core::load_quant_bytes(bytes)?;
+        let cdrib_core::QuantArtifact {
+            x_users,
+            x_items,
+            y_users,
+            y_items,
+            scenario,
+        } = artifact;
+        let dequantize = |q: &QuantizedTable| {
+            let mut t = cdrib_tensor::Tensor::zeros(q.rows(), q.cols());
+            for r in 0..q.rows() {
+                q.dequantize_row_into(r, t.row_mut(r));
+            }
+            t
+        };
+        let scorer = EmbeddingScorer::dot(x_users, dequantize(&x_items), y_users, dequantize(&y_items));
+        let mut rec = Recommender::new(scorer, scenario.x.train.clone(), scenario.y.train.clone())?;
+        rec.set_shared_user_prefix(scenario.n_overlap_total);
+        rec.core.quant_x_items = Some(x_items);
+        rec.core.quant_y_items = Some(y_items);
+        rec.core.precision = ScoringPrecision::Int8;
+        Ok(rec)
+    }
+
+    /// The numeric path requests are currently scored through.
+    pub fn precision(&self) -> ScoringPrecision {
+        self.core.precision
+    }
+
+    /// Switches the scoring path. Selecting [`ScoringPrecision::Int8`]
+    /// quantises the item tables on first use (kept coherent by every later
+    /// delta ingest); switching back to f32 keeps them warm for a cheap
+    /// return trip.
+    pub fn set_precision(&mut self, precision: ScoringPrecision) {
+        if precision == ScoringPrecision::Int8 {
+            if self.core.quant_x_items.is_none() {
+                self.core.quant_x_items = Some(QuantizedTable::from_tensor(&self.core.scorer.x_items));
+            }
+            if self.core.quant_y_items.is_none() {
+                self.core.quant_y_items = Some(QuantizedTable::from_tensor(&self.core.scorer.y_items));
+            }
+        }
+        self.core.precision = precision;
+    }
+
+    /// The int8 mirror of a domain's item table, if int8 scoring has been
+    /// enabled (or the engine was loaded from a quantised artifact).
+    pub fn quantized_items(&self, domain: DomainId) -> Option<&QuantizedTable> {
+        self.core.quant_items(domain)
+    }
+
     /// The frozen scorer backing this recommender.
     pub fn scorer(&self) -> &EmbeddingScorer {
         &self.core.scorer
@@ -437,7 +598,11 @@ impl Recommender {
             DomainId::Y => &mut self.core.catalogue_y,
         };
         catalogue.extend(catalogue.len() as u32..seen.n_items() as u32);
-        updater.patch_tables(&mut self.core.scorer, domain)?;
+        let quant_items = match domain {
+            DomainId::X => self.core.quant_x_items.as_mut(),
+            DomainId::Y => self.core.quant_y_items.as_mut(),
+        };
+        updater.patch_tables(&mut self.core.scorer, quant_items, domain)?;
         self.epoch += 1;
         Ok(DeltaOutcome {
             epoch: self.epoch,
@@ -478,14 +643,29 @@ impl Recommender {
     /// resized to match and its per-request `Vec`s are reused across
     /// batches.
     pub fn recommend_batch(&mut self, requests: &[Request], responses: &mut Vec<Vec<Recommendation>>) -> Result<()> {
+        self.recommend_batch_with_workers(requests, responses, cdrib_tensor::kernels::parallelism())
+    }
+
+    /// [`Recommender::recommend_batch`] with an explicit worker-count cap —
+    /// the thread-scaling tuning hook `serve_perf --threads N` sweeps.
+    /// `workers` is clamped to the engine's warm scratch count (the
+    /// process-wide parallelism at construction) and to the batch size;
+    /// without the `parallel` feature the batch always runs serially.
+    /// Responses are identical at every worker count.
+    pub fn recommend_batch_with_workers(
+        &mut self,
+        requests: &[Request],
+        responses: &mut Vec<Vec<Recommendation>>,
+        workers: usize,
+    ) -> Result<()> {
         if responses.len() != requests.len() {
             responses.resize_with(requests.len(), Vec::new);
         }
+        #[cfg(not(feature = "parallel"))]
+        let _ = workers;
         #[cfg(feature = "parallel")]
         {
-            let workers = cdrib_tensor::kernels::parallelism()
-                .min(self.scratches.len())
-                .min(requests.len());
+            let workers = workers.min(self.scratches.len()).min(requests.len());
             if workers > 1 {
                 let per_worker = requests.len().div_ceil(workers);
                 let core = &self.core;

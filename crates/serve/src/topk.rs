@@ -62,6 +62,26 @@ impl TopK {
         self.entries.is_empty()
     }
 
+    /// Once the heap is full, the score of the worst retained candidate —
+    /// the bar a new entry must clear. `None` while room remains. Because
+    /// entries arrive in ascending item order, a later candidate scoring
+    /// *equal* to this bar always loses the `(score desc, item asc)`
+    /// tiebreak, so callers may reject on `score <= bar` without consulting
+    /// [`push`](TopK::push) (which re-checks regardless). NaN compares
+    /// false against any bar, matching the push-side NaN exclusion.
+    #[inline]
+    pub fn full_threshold(&self) -> Option<f32> {
+        if self.entries.len() < self.k {
+            None
+        } else if self.k == 0 {
+            // A zero-capacity heap rejects everything; +inf makes the
+            // strict comparison do the same.
+            Some(f32::INFINITY)
+        } else {
+            Some(self.entries[0].0)
+        }
+    }
+
     /// `a` is heap-smaller than `b` when `a` ranks below `b` (the heap keeps
     /// its minimum — the worst candidate — at the root).
     #[inline]

@@ -60,28 +60,77 @@ enum Isa {
     Avx2Fma,
     #[cfg(target_arch = "x86_64")]
     Avx512,
+    #[cfg(target_arch = "x86_64")]
+    Avx512Vnni,
+}
+
+/// Strictly increasing capability rank; a process may always be forced
+/// *down* this ladder (every lower tier's features are implied by the
+/// higher ones), never up.
+fn isa_rank(isa: Isa) -> u8 {
+    match isa {
+        Isa::Portable => 0,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => 1,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => 2,
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512Vnni => 3,
+    }
+}
+
+fn detect_isa() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Every feature named in the kernels' #[target_feature(enable)]
+        // lists must be verified here, or the unsafe calls are unsound.
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vl") {
+                if is_x86_feature_detected!("avx512vnni") {
+                    return Isa::Avx512Vnni;
+                }
+                return Isa::Avx512;
+            }
+            return Isa::Avx2Fma;
+        }
+    }
+    Isa::Portable
+}
+
+/// Parses a `CDRIB_FORCE_ISA` value into an ISA tier. Unknown strings are
+/// `None` (ignored, detection wins).
+fn parse_isa(name: &str) -> Option<Isa> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "portable" | "scalar" => Some(Isa::Portable),
+        #[cfg(target_arch = "x86_64")]
+        "avx2" | "avx2+fma" => Some(Isa::Avx2Fma),
+        #[cfg(target_arch = "x86_64")]
+        "avx512" => Some(Isa::Avx512),
+        #[cfg(target_arch = "x86_64")]
+        "vnni" | "avx512vnni" | "avx512+vnni" => Some(Isa::Avx512Vnni),
+        _ => None,
+    }
 }
 
 fn isa() -> Isa {
     static ISA: OnceLock<Isa> = OnceLock::new();
     *ISA.get_or_init(|| {
-        #[cfg(target_arch = "x86_64")]
-        {
-            // Every feature named in the kernels' #[target_feature(enable)]
-            // lists must be verified here, or the unsafe calls are unsound.
-            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
-                if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vl") {
-                    return Isa::Avx512;
-                }
-                return Isa::Avx2Fma;
-            }
+        let detected = detect_isa();
+        // `CDRIB_FORCE_ISA` pins the dispatch tier for the whole process so
+        // every SIMD body is testable/benchable on one box. Forcing *down*
+        // is always sound (the hardware still has the features detection
+        // found); requests above the detected tier — or garbage — are
+        // ignored rather than risking unsupported instructions.
+        match std::env::var("CDRIB_FORCE_ISA").ok().as_deref().and_then(parse_isa) {
+            Some(forced) if isa_rank(forced) <= isa_rank(detected) => forced,
+            _ => detected,
         }
-        Isa::Portable
     })
 }
 
 /// Human-readable name of the SIMD path the dense kernels dispatch to on
-/// this machine (`"avx512"`, `"avx2+fma"` or `"portable"`).
+/// this machine (`"avx512+vnni"`, `"avx512"`, `"avx2+fma"` or
+/// `"portable"`).
 pub fn active_isa() -> &'static str {
     match isa() {
         Isa::Portable => "portable",
@@ -89,6 +138,8 @@ pub fn active_isa() -> &'static str {
         Isa::Avx2Fma => "avx2+fma",
         #[cfg(target_arch = "x86_64")]
         Isa::Avx512 => "avx512",
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512Vnni => "avx512+vnni",
     }
 }
 
@@ -252,14 +303,41 @@ fn matmul_range(i0: usize, i1: usize, k: usize, n: usize, a: &[f32], b: &[f32], 
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { matmul_tile_avx2(i0, i1, k, n, a, b, out_rows) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { matmul_tile_avx512(i0, i1, k, n, a, b, out_rows) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { matmul_tile_avx512(i0, i1, k, n, a, b, out_rows) },
     }
 }
 
 /// Dense matmul `out (m x n) = A (m x k) * B (k x n)`. Every element of
 /// `out` is overwritten; entry contents are ignored (recycled buffers are
 /// fine — unlike [`matmul_serial`], which accumulates into a zeroed `out`).
+///
+/// On AVX-512 machines, problems past [`PACK_MIN_M`] rows route through the
+/// hand-packed micro-kernel ([`matmul_packed_avx512`]); everything else runs
+/// the register-tiled body. Both paths accumulate each output element with
+/// sequential-`k` FMA chains, so the result is bitwise identical between
+/// them — smaller gathered-row products (the delta re-encode path) stay
+/// bitwise consistent with full-table rebuilds.
 pub fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if matches!(isa(), Isa::Avx512 | Isa::Avx512Vnni) && m >= PACK_MIN_M && n >= NR_512 && k >= PACK_MIN_K {
+        matmul_packed_avx512(m, k, n, a, b, out);
+        return;
+    }
+    matmul_tiled(m, k, n, a, b, out);
+}
+
+/// The pre-packing register-tiled matmul driver ([`matmul_tile_body`] under
+/// the ISA dispatch + threaded row chunking). Public so benchmarks and parity
+/// tests can compare the packed micro-kernel against the path it replaced;
+/// library code should call [`matmul`].
+#[doc(hidden)]
+pub fn matmul_tiled(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -274,6 +352,188 @@ pub fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32
     #[cfg(feature = "parallel")]
     run_row_chunks(out, n, threads, |row0, chunk| {
         matmul_range(row0, row0 + chunk.len() / n, k, n, a, b, chunk);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Hand-packed AVX-512 matmul micro-kernel
+// ---------------------------------------------------------------------------
+//
+// The register-tiled body above reads `B` straight from the source matrix,
+// so every `MR x NR` tile re-streams `B` rows through L1 with an `n`-element
+// stride between vector loads. Packing `B` once into contiguous `NR_512`-wide
+// panels (strip-major: panel `jp` holds rows `p = 0..k` of columns
+// `[jp*32, jp*32+32)` back to back) turns the inner loop into two perfectly
+// sequential streams — `A` broadcast from L1, packed `B` from L1/L2 — which
+// is what pushes the kernel past the ~45-65 GFLOP/s plateau of the tiled
+// path on this machine class.
+//
+// The micro-kernel computes an 8x32 output block per iteration: 8 rows x two
+// zmm accumulators = 16 independent FMA chains, with the k-loop unrolled 2x
+// (two broadcast/FMA rounds per trip — still *one* chain per accumulator, in
+// ascending `p` order, so each output element's accumulation is exactly the
+// `fma(a[i,p], b[p,j], acc)` fold of the tiled body and results stay bitwise
+// identical to it).
+
+/// Minimum output rows before [`matmul`] switches to the packed micro-kernel
+/// (below this, packing `B` costs more than it saves).
+#[cfg(target_arch = "x86_64")]
+const PACK_MIN_M: usize = 16;
+/// Minimum depth for the packed path (the 2x-unrolled FMA loop needs a few
+/// iterations to amortise the pack).
+#[cfg(target_arch = "x86_64")]
+const PACK_MIN_K: usize = 8;
+/// Packed micro-tile height (output rows per micro-kernel iteration).
+#[cfg(target_arch = "x86_64")]
+const MR_512: usize = 8;
+/// Packed micro-tile width: two 16-lane zmm accumulators per row.
+#[cfg(target_arch = "x86_64")]
+const NR_512: usize = 32;
+
+/// Packs the full-width strips of `B` into panel-major storage:
+/// `packed[(jp * k + p) * NR_512 + l] = b[p * n + jp * NR_512 + l]`.
+/// Trailing columns (`n % NR_512`) are not packed — the micro-kernel handles
+/// them with scalar sequential-`k` loops.
+#[cfg(target_arch = "x86_64")]
+fn pack_b_panels(k: usize, n: usize, n_strips: usize, b: &[f32], packed: &mut [f32]) {
+    for jp in 0..n_strips {
+        let j = jp * NR_512;
+        let panel = &mut packed[jp * k * NR_512..(jp + 1) * k * NR_512];
+        for p in 0..k {
+            panel[p * NR_512..(p + 1) * NR_512].copy_from_slice(&b[p * n + j..p * n + j + NR_512]);
+        }
+    }
+}
+
+/// The 8x32 micro-kernel over output rows `[i0, i1)` against pre-packed `B`
+/// panels. `out_rows` holds exactly rows `[i0, i1)` of the full output.
+///
+/// # Safety
+/// Requires AVX-512F (verified by the caller via `isa()`); `packed` must
+/// hold `n_strips` panels of `k * NR_512` floats laid out by
+/// [`pack_b_panels`], and the slice lengths must match the `m/k/n` geometry
+/// (checked by the `matmul` entry asserts).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,avx2,fma")]
+unsafe fn matmul_packed_range_avx512(
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+    n_strips: usize,
+    packed: &[f32],
+    a: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let tail_j0 = n_strips * NR_512;
+    let a_ptr = a.as_ptr();
+    let o_ptr = out_rows.as_mut_ptr();
+    let mut i = i0;
+    while i < i1 {
+        let mr = MR_512.min(i1 - i);
+        for jp in 0..n_strips {
+            let panel = packed.as_ptr().add(jp * k * NR_512);
+            let j = jp * NR_512;
+            if mr == MR_512 {
+                let mut acc_lo = [_mm512_setzero_ps(); MR_512];
+                let mut acc_hi = [_mm512_setzero_ps(); MR_512];
+                let mut p = 0usize;
+                // 2x unrolled: two (broadcast, fma, fma) rounds per trip.
+                // Each accumulator still advances strictly in ascending `p`.
+                while p + 2 <= k {
+                    let b0_lo = _mm512_loadu_ps(panel.add(p * NR_512));
+                    let b0_hi = _mm512_loadu_ps(panel.add(p * NR_512 + 16));
+                    let b1_lo = _mm512_loadu_ps(panel.add((p + 1) * NR_512));
+                    let b1_hi = _mm512_loadu_ps(panel.add((p + 1) * NR_512 + 16));
+                    for r in 0..MR_512 {
+                        let row = a_ptr.add((i + r) * k + p);
+                        let av0 = _mm512_set1_ps(*row);
+                        acc_lo[r] = _mm512_fmadd_ps(av0, b0_lo, acc_lo[r]);
+                        acc_hi[r] = _mm512_fmadd_ps(av0, b0_hi, acc_hi[r]);
+                        let av1 = _mm512_set1_ps(*row.add(1));
+                        acc_lo[r] = _mm512_fmadd_ps(av1, b1_lo, acc_lo[r]);
+                        acc_hi[r] = _mm512_fmadd_ps(av1, b1_hi, acc_hi[r]);
+                    }
+                    p += 2;
+                }
+                if p < k {
+                    let b_lo = _mm512_loadu_ps(panel.add(p * NR_512));
+                    let b_hi = _mm512_loadu_ps(panel.add(p * NR_512 + 16));
+                    for r in 0..MR_512 {
+                        let av = _mm512_set1_ps(*a_ptr.add((i + r) * k + p));
+                        acc_lo[r] = _mm512_fmadd_ps(av, b_lo, acc_lo[r]);
+                        acc_hi[r] = _mm512_fmadd_ps(av, b_hi, acc_hi[r]);
+                    }
+                }
+                for r in 0..MR_512 {
+                    let dst = o_ptr.add((i - i0 + r) * n + j);
+                    _mm512_storeu_ps(dst, acc_lo[r]);
+                    _mm512_storeu_ps(dst.add(16), acc_hi[r]);
+                }
+            } else {
+                // Row remainder: one row at a time, same two chains.
+                for r in 0..mr {
+                    let mut acc_lo = _mm512_setzero_ps();
+                    let mut acc_hi = _mm512_setzero_ps();
+                    for p in 0..k {
+                        let av = _mm512_set1_ps(*a_ptr.add((i + r) * k + p));
+                        acc_lo = _mm512_fmadd_ps(av, _mm512_loadu_ps(panel.add(p * NR_512)), acc_lo);
+                        acc_hi = _mm512_fmadd_ps(av, _mm512_loadu_ps(panel.add(p * NR_512 + 16)), acc_hi);
+                    }
+                    let dst = o_ptr.add((i - i0 + r) * n + j);
+                    _mm512_storeu_ps(dst, acc_lo);
+                    _mm512_storeu_ps(dst.add(16), acc_hi);
+                }
+            }
+        }
+        // Column remainder (`n % 32`): scalar sequential-k FMA per element,
+        // the same accumulation fold as every other path.
+        for r in 0..mr {
+            for j in tail_j0..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s = a[(i + r) * k + p].mul_add(b[p * n + j], s);
+                }
+                out_rows[(i - i0 + r) * n + j] = s;
+            }
+        }
+        i += mr;
+    }
+}
+
+/// Driver of the packed micro-kernel: packs `B` once on the calling thread
+/// (into a thread-local buffer that is reused across calls, so steady-state
+/// serving stays allocation-free), then row-chunks the output across the
+/// threaded driver exactly like the tiled path.
+#[cfg(target_arch = "x86_64")]
+fn matmul_packed_avx512(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    use std::cell::RefCell;
+    thread_local! {
+        static PACK_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    }
+    let n_strips = n / NR_512;
+    let need = n_strips * k * NR_512;
+    PACK_BUF.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < need {
+            buf.resize(need, 0.0);
+        }
+        let packed = &mut buf[..need];
+        pack_b_panels(k, n, n_strips, b, packed);
+        let packed = &packed[..];
+        let threads = plan_threads(m, m * k * n);
+        if threads == 1 {
+            // SAFETY: `isa()` verified AVX-512 before routing here.
+            unsafe { matmul_packed_range_avx512(0, m, k, n, n_strips, packed, a, b, out) };
+            return;
+        }
+        #[cfg(feature = "parallel")]
+        run_row_chunks(out, n, threads, |row0, chunk| {
+            // SAFETY: `isa()` verified AVX-512 before routing here.
+            unsafe { matmul_packed_range_avx512(row0, row0 + chunk.len() / n, k, n, n_strips, packed, a, b, chunk) };
+        });
     });
 }
 
@@ -362,7 +622,7 @@ fn matmul_transpose_b_range(i0: usize, i1: usize, k: usize, n: usize, a: &[f32],
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { matmul_transpose_b_avx2(i0, i1, k, n, a, b, out_rows) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { matmul_transpose_b_avx512(i0, i1, k, n, a, b, out_rows) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { matmul_transpose_b_avx512(i0, i1, k, n, a, b, out_rows) },
     }
 }
 
@@ -522,7 +782,7 @@ fn transpose_matmul_range(
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { transpose_matmul_avx2(p0, p1, m, k, n, a, b, out_rows) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { transpose_matmul_avx512(p0, p1, m, k, n, a, b, out_rows) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { transpose_matmul_avx512(p0, p1, m, k, n, a, b, out_rows) },
     }
 }
 
@@ -618,7 +878,7 @@ fn spmm_range(r0: usize, r1: usize, s: CsrView<'_>, n: usize, dense: &[f32], out
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { spmm_avx2(r0, r1, s, n, dense, out_rows) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { spmm_avx512(r0, r1, s, n, dense, out_rows) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { spmm_avx512(r0, r1, s, n, dense, out_rows) },
     }
 }
 
@@ -724,7 +984,7 @@ fn spmm_transpose_range(s: CsrView<'_>, n: usize, dense: &[f32], out_cols: &mut 
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { spmm_transpose_avx2(s, n, dense, out_cols, j0, j1) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { spmm_transpose_avx512(s, n, dense, out_cols, j0, j1) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { spmm_transpose_avx512(s, n, dense, out_cols, j0, j1) },
     }
 }
 
@@ -869,7 +1129,7 @@ pub fn gather_rowwise_dot(cols: usize, a: &[f32], b: &[f32], a_idx: &[usize], b_
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { gather_rowwise_dot_avx2(cols, a, b, a_idx, b_idx, out) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { gather_rowwise_dot_avx512(cols, a, b, a_idx, b_idx, out) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { gather_rowwise_dot_avx512(cols, a, b, a_idx, b_idx, out) },
     }
 }
 
@@ -920,7 +1180,7 @@ pub fn scatter_scaled_rows(cols: usize, g: &[f32], src: &[f32], src_idx: &[usize
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { scatter_scaled_rows_avx2(cols, g, src, src_idx, dst, dst_idx) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { scatter_scaled_rows_avx512(cols, g, src, src_idx, dst, dst_idx) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { scatter_scaled_rows_avx512(cols, g, src, src_idx, dst, dst_idx) },
     }
 }
 
@@ -1178,7 +1438,7 @@ fn score_candidates_dispatch<const DOT: bool>(
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { score_candidates_avx2::<DOT>(cols, user, table, items, out) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { score_candidates_avx512::<DOT>(cols, user, table, items, out) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { score_candidates_avx512::<DOT>(cols, user, table, items, out) },
     }
 }
 
@@ -1193,6 +1453,413 @@ pub fn score_candidates_dot(cols: usize, user: &[f32], table: &[f32], items: &[u
 /// (CML-style metric scoring): `out[k] = -||user - table[items[k]]||^2`.
 pub fn score_candidates_neg_sq_dist(cols: usize, user: &[f32], table: &[f32], items: &[u32], out: &mut [f32]) {
     score_candidates_dispatch::<false>(cols, user, table, items, out)
+}
+
+// ---------------------------------------------------------------------------
+// Int8 quantised candidate scoring (the quantised serve hot path)
+// ---------------------------------------------------------------------------
+//
+// Frozen embedding tables quantise to one i8 per element with a per-row f32
+// scale (`value ~= scale * q`), cutting table traffic ~4x. The user vector
+// is quantised per request into *offset-binary* u8 (`stored = q + 128`), the
+// operand layout of AVX-512 VNNI's `vpdpbusd` (u8 x i8 dot-accumulate). The
+// kernels below compute the integer dot
+//
+//   dot = sum_p (user[p] - 128) * row[p]          (exact, i32)
+//
+// three ways — scalar, AVX2 widening `pmaddwd`, and VNNI `vpdpbusd` with the
+// `128 * sum(row)` bias folded out via the table's precomputed row sums —
+// and all three produce the *same* i32 (integer addition is associative and
+// the value ranges rule out overflow/saturation), so after the shared f32
+// combine the whole kernel is bitwise identical across ISA tiers: a stronger
+// determinism story than the f32 scorers, pinned by exact-equality tests.
+//
+// Score reconstruction from the integer dot:
+//   dot product:   su * sr * dot
+//   neg-sq-dist:  -(su^2 * |u|^2 - 2 su sr dot + sr^2 * |r|^2)
+// with |u|^2, |r|^2 the integer self-dots carried next to the tables.
+
+/// Borrowed view of a quantised embedding table — the int8 operand of the
+/// quantised scoring kernels (built by
+/// [`QuantizedTable::view`](crate::quant::QuantizedTable::view)).
+#[derive(Debug, Clone, Copy)]
+pub struct QuantView<'a> {
+    /// Embedding width (bytes per row).
+    pub cols: usize,
+    /// Row-major i8 codes, `rows * cols` long.
+    pub data: &'a [i8],
+    /// Per-row dequantisation scale, `rows` long.
+    pub scales: &'a [f32],
+    /// Per-row `sum(q)` (i32), used to fold the u8 offset bias out of the
+    /// VNNI dot.
+    pub row_sums: &'a [i32],
+    /// Per-row `sum(q^2)` (i32), used by the negative-distance score.
+    pub row_norms: &'a [i32],
+}
+
+/// A per-request quantised user vector in offset-binary u8 (`stored =
+/// q + 128`), with its scale and integer self-dot `sum(q^2)`.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantUser<'a> {
+    /// Offset-binary codes, `cols` long.
+    pub q: &'a [u8],
+    /// Dequantisation scale of the user vector.
+    pub scale: f32,
+    /// Integer self-dot `sum(q^2)` of the (un-offset) codes.
+    pub norm: i32,
+}
+
+/// Shared scalar reconstruction of a candidate's f32 score from its exact
+/// integer dot. Single implementation for every ISA body, so the quantised
+/// kernel's output is bitwise identical across dispatch tiers.
+#[inline(always)]
+fn quant_combine<const DOT: bool>(su: f32, sr: f32, dot: i32, u_norm: i32, r_norm: i32) -> f32 {
+    if DOT {
+        (su * sr) * dot as f32
+    } else {
+        let uu = (su * su) * u_norm as f32;
+        let rr = (sr * sr) * r_norm as f32;
+        let cross = 2.0 * (su * sr) * dot as f32;
+        -(uu - cross + rr)
+    }
+}
+
+/// Reference loop for [`score_candidates_quant_dot`]: plain i32 accumulation
+/// in index order. The SIMD bodies must match it *exactly* (integer
+/// equality of the dot, bitwise equality of the combined score).
+pub fn score_candidates_quant_dot_serial(table: QuantView<'_>, user: QuantUser<'_>, items: &[u32], out: &mut [f32]) {
+    score_candidates_quant_body::<true>(table, user, items, out)
+}
+
+/// Reference loop for [`score_candidates_quant_neg_sq_dist`].
+pub fn score_candidates_quant_neg_sq_dist_serial(
+    table: QuantView<'_>,
+    user: QuantUser<'_>,
+    items: &[u32],
+    out: &mut [f32],
+) {
+    score_candidates_quant_body::<false>(table, user, items, out)
+}
+
+/// Portable body: scalar i32 multiply-accumulate per candidate.
+#[inline(always)]
+fn score_candidates_quant_body<const DOT: bool>(
+    table: QuantView<'_>,
+    user: QuantUser<'_>,
+    items: &[u32],
+    out: &mut [f32],
+) {
+    let cols = table.cols;
+    for (o, &it) in out.iter_mut().zip(items.iter()) {
+        let it = it as usize;
+        let row = &table.data[it * cols..(it + 1) * cols];
+        let mut dot = 0i32;
+        for (&uq, &rq) in user.q.iter().zip(row.iter()) {
+            dot += (uq as i32 - 128) * rq as i32;
+        }
+        *o = quant_combine::<DOT>(user.scale, table.scales[it], dot, user.norm, table.row_norms[it]);
+    }
+}
+
+/// AVX2 widening body: 16 bytes per step through `cvtepu8/cvtepi8` to i16,
+/// subtract the 128 offset in 16-bit lanes, then `pmaddwd` pairs into i32.
+/// No saturation is possible (|products| <= 127^2, pair sums < 2^15.5), so
+/// the accumulated dot is exact.
+///
+/// # Safety
+/// Requires AVX2 (verified by the caller via `isa()`); argument geometry
+/// validated by [`validate_quant_args`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn score_candidates_quant_avx2<const DOT: bool>(
+    table: QuantView<'_>,
+    user: QuantUser<'_>,
+    items: &[u32],
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    const STEP: usize = 16;
+    let cols = table.cols;
+    let whole = cols - cols % STEP;
+    let u_ptr = user.q.as_ptr();
+    let t_ptr = table.data.as_ptr();
+    let offset = _mm256_set1_epi16(128);
+    for (o, &it) in out.iter_mut().zip(items.iter()) {
+        let it = it as usize;
+        let r_ptr = t_ptr.add(it * cols);
+        let mut acc = _mm256_setzero_si256();
+        let mut p = 0usize;
+        while p < whole {
+            let u16x = _mm256_sub_epi16(
+                _mm256_cvtepu8_epi16(_mm_loadu_si128(u_ptr.add(p) as *const __m128i)),
+                offset,
+            );
+            let r16x = _mm256_cvtepi8_epi16(_mm_loadu_si128(r_ptr.add(p) as *const __m128i));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(u16x, r16x));
+            p += STEP;
+        }
+        let mut dot = hsum_epi32(acc);
+        for q in whole..cols {
+            dot += (*u_ptr.add(q) as i32 - 128) * *r_ptr.add(q) as i32;
+        }
+        *o = quant_combine::<DOT>(user.scale, table.scales[it], dot, user.norm, table.row_norms[it]);
+    }
+}
+
+/// Horizontal sum of eight i32 lanes (exact — integer adds).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_epi32(v: std::arch::x86_64::__m256i) -> i32 {
+    use std::arch::x86_64::*;
+    let quad = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+    let pair = _mm_add_epi32(quad, _mm_shuffle_epi32(quad, 0b0100_1110));
+    _mm_cvtsi128_si32(_mm_add_epi32(pair, _mm_shuffle_epi32(pair, 0b0101_0101)))
+}
+
+/// AVX-512 VNNI body: `vpdpbusd` fuses the u8 x i8 multiply and the i32
+/// accumulate, 32 bytes per instruction. The raw product is the *biased*
+/// dot `sum(stored_u * row) = dot + 128 * sum(row)`; the precomputed row
+/// sum folds the bias back out exactly. Candidates run four at a time so
+/// each 32-byte user load feeds four accumulation chains (mirroring the f32
+/// scorer's block scheme).
+///
+/// Width 32 — the serving dim — gets a dedicated fast path for runs of
+/// *consecutive* candidate ids (the shape every serve chunk has): one
+/// 512-bit row load covers two adjacent 32-byte rows, so eight candidates
+/// cost four loads and four `vpdpbusd`s, and the per-candidate epilogue
+/// (bias fold + score reconstruction) runs 8-wide on contiguous metadata.
+/// The vector epilogue applies the *same* IEEE operations in the same
+/// order as [`quant_combine`], lane by lane, so the fast path stays
+/// bitwise identical to the scalar reference.
+///
+/// # Safety
+/// Requires AVX-512VNNI/VL (verified by the caller via `isa()`); argument
+/// geometry validated by [`validate_quant_args`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,avx512vnni,avx2,fma")]
+unsafe fn score_candidates_quant_vnni<const DOT: bool>(
+    table: QuantView<'_>,
+    user: QuantUser<'_>,
+    items: &[u32],
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    const STEP: usize = 32;
+    const CAND_BLOCK: usize = 4;
+    let cols = table.cols;
+    let whole = cols - cols % STEP;
+    let u_ptr = user.q.as_ptr();
+    let t_ptr = table.data.as_ptr();
+
+    let mut c = 0usize;
+    if cols == 32 {
+        let u256 = _mm256_loadu_si256(u_ptr as *const __m256i);
+        let u512 = _mm512_inserti64x4(_mm512_castsi256_si512(u256), u256, 1);
+        let zero = _mm512_setzero_si512();
+        let su = _mm256_set1_ps(user.scale);
+        let uu = _mm256_set1_ps((user.scale * user.scale) * user.norm as f32);
+        let two = _mm256_set1_ps(2.0);
+        let sign = _mm256_set1_ps(-0.0);
+        while c + 8 <= items.len() && (1..8).all(|b| items[c + b] == items[c] + b as u32) {
+            let it0 = items[c] as usize;
+            let base = t_ptr.add(it0 * 32);
+            // Four 64-byte loads, each one covering candidate rows
+            // (it0+2b, it0+2b+1); the user vector sits in both zmm halves,
+            // so one `vpdpbusd` accumulates both rows' lane partials.
+            let a0 = _mm512_dpbusd_epi32(zero, u512, _mm512_loadu_si512(base as *const __m512i));
+            let a1 = _mm512_dpbusd_epi32(zero, u512, _mm512_loadu_si512(base.add(64) as *const __m512i));
+            let a2 = _mm512_dpbusd_epi32(zero, u512, _mm512_loadu_si512(base.add(128) as *const __m512i));
+            let a3 = _mm512_dpbusd_epi32(zero, u512, _mm512_loadu_si512(base.add(192) as *const __m512i));
+            // hadd tree over the eight 8-lane halves -> [s0..s7] in id
+            // order (exact — integer adds only).
+            let lo = _mm256_hadd_epi32(
+                _mm256_hadd_epi32(_mm512_castsi512_si256(a0), _mm512_extracti64x4_epi64(a0, 1)),
+                _mm256_hadd_epi32(_mm512_castsi512_si256(a1), _mm512_extracti64x4_epi64(a1, 1)),
+            );
+            let hi = _mm256_hadd_epi32(
+                _mm256_hadd_epi32(_mm512_castsi512_si256(a2), _mm512_extracti64x4_epi64(a2, 1)),
+                _mm256_hadd_epi32(_mm512_castsi512_si256(a3), _mm512_extracti64x4_epi64(a3, 1)),
+            );
+            let four_lo = _mm_add_epi32(_mm256_castsi256_si128(lo), _mm256_extracti128_si256(lo, 1));
+            let four_hi = _mm_add_epi32(_mm256_castsi256_si128(hi), _mm256_extracti128_si256(hi, 1));
+            let biased = _mm256_set_m128i(four_hi, four_lo);
+            // Bias fold: dot = biased - 128 * row_sum, exact in i32.
+            let row_sums = _mm256_loadu_si256(table.row_sums.as_ptr().add(it0) as *const __m256i);
+            let dot = _mm256_cvtepi32_ps(_mm256_sub_epi32(biased, _mm256_slli_epi32(row_sums, 7)));
+            let scales = _mm256_loadu_ps(table.scales.as_ptr().add(it0));
+            // Lane-for-lane the same IEEE multiply/add/negate sequence as
+            // `quant_combine` — association preserved, so bitwise identical.
+            let su_sr = _mm256_mul_ps(su, scales);
+            let scores = if DOT {
+                _mm256_mul_ps(su_sr, dot)
+            } else {
+                let norms = _mm256_loadu_si256(table.row_norms.as_ptr().add(it0) as *const __m256i);
+                let rr = _mm256_mul_ps(_mm256_mul_ps(scales, scales), _mm256_cvtepi32_ps(norms));
+                let cross = _mm256_mul_ps(_mm256_mul_ps(two, su_sr), dot);
+                _mm256_xor_ps(_mm256_add_ps(_mm256_sub_ps(uu, cross), rr), sign)
+            };
+            _mm256_storeu_ps(out.as_mut_ptr().add(c), scores);
+            c += 8;
+        }
+    }
+    while c + CAND_BLOCK <= items.len() {
+        let rows: [*const i8; CAND_BLOCK] = std::array::from_fn(|b| t_ptr.add(items[c + b] as usize * cols));
+        let mut a0 = _mm256_setzero_si256();
+        let mut a1 = _mm256_setzero_si256();
+        let mut a2 = _mm256_setzero_si256();
+        let mut a3 = _mm256_setzero_si256();
+        let mut p = 0usize;
+        while p < whole {
+            let u = _mm256_loadu_si256(u_ptr.add(p) as *const __m256i);
+            a0 = _mm256_dpbusd_epi32(a0, u, _mm256_loadu_si256(rows[0].add(p) as *const __m256i));
+            a1 = _mm256_dpbusd_epi32(a1, u, _mm256_loadu_si256(rows[1].add(p) as *const __m256i));
+            a2 = _mm256_dpbusd_epi32(a2, u, _mm256_loadu_si256(rows[2].add(p) as *const __m256i));
+            a3 = _mm256_dpbusd_epi32(a3, u, _mm256_loadu_si256(rows[3].add(p) as *const __m256i));
+            p += STEP;
+        }
+        // hadd tree: collapses the four 8-lane accumulators into one
+        // `__m128i` holding [s0, s1, s2, s3] (exact — integer adds).
+        let t0 = _mm256_hadd_epi32(a0, a1);
+        let t1 = _mm256_hadd_epi32(a2, a3);
+        let t2 = _mm256_hadd_epi32(t0, t1);
+        let sums = _mm_add_epi32(_mm256_castsi256_si128(t2), _mm256_extracti128_si256(t2, 1));
+        let mut four = [0i32; CAND_BLOCK];
+        _mm_storeu_si128(four.as_mut_ptr() as *mut __m128i, sums);
+        for (b, &row) in rows.iter().enumerate() {
+            let it = items[c + b] as usize;
+            let mut biased = four[b];
+            for q in whole..cols {
+                biased += *u_ptr.add(q) as i32 * *row.add(q) as i32;
+            }
+            let dot = biased - 128 * table.row_sums[it];
+            out[c + b] = quant_combine::<DOT>(user.scale, table.scales[it], dot, user.norm, table.row_norms[it]);
+        }
+        c += CAND_BLOCK;
+    }
+    for (o, &itu) in out[c..].iter_mut().zip(items[c..].iter()) {
+        let it = itu as usize;
+        let r_ptr = t_ptr.add(it * cols);
+        let mut acc = _mm256_setzero_si256();
+        let mut p = 0usize;
+        while p < whole {
+            let u = _mm256_loadu_si256(u_ptr.add(p) as *const __m256i);
+            acc = _mm256_dpbusd_epi32(acc, u, _mm256_loadu_si256(r_ptr.add(p) as *const __m256i));
+            p += STEP;
+        }
+        let mut biased = hsum_epi32(acc);
+        for q in whole..cols {
+            biased += *u_ptr.add(q) as i32 * *r_ptr.add(q) as i32;
+        }
+        let dot = biased - 128 * table.row_sums[it];
+        *o = quant_combine::<DOT>(user.scale, table.scales[it], dot, user.norm, table.row_norms[it]);
+    }
+}
+
+/// Release-mode geometry validation shared by the quantised dispatch and the
+/// per-body test entry: the SIMD bodies read through raw pointers, so a bad
+/// candidate id or a short operand must fail loudly here.
+fn validate_quant_args(table: &QuantView<'_>, user: &QuantUser<'_>, items: &[u32], out: &[f32]) {
+    assert_eq!(user.q.len(), table.cols, "user row length must equal cols");
+    assert_eq!(out.len(), items.len(), "one output score per candidate");
+    let rows = table.data.len().checked_div(table.cols).unwrap_or(0);
+    assert!(
+        table.scales.len() >= rows && table.row_sums.len() >= rows && table.row_norms.len() >= rows,
+        "quantised table metadata shorter than its row count"
+    );
+    if let Some(&max_idx) = items.iter().max() {
+        assert!(
+            (max_idx as usize + 1) * table.cols <= table.data.len() && (max_idx as usize) < table.scales.len(),
+            "candidate id {max_idx} out of bounds for a table of {rows} rows"
+        );
+    }
+}
+
+fn score_candidates_quant_dispatch<const DOT: bool>(
+    table: QuantView<'_>,
+    user: QuantUser<'_>,
+    items: &[u32],
+    out: &mut [f32],
+) {
+    validate_quant_args(&table, &user, items, out);
+    match isa() {
+        Isa::Portable => score_candidates_quant_body::<DOT>(table, user, items, out),
+        // SAFETY: `isa()` verified the required CPU features at runtime.
+        // Plain AVX-512 (no VNNI) machines run the AVX2 widening body — the
+        // 256-bit `pmaddwd` loop is already load-bound at serving widths.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma | Isa::Avx512 => unsafe { score_candidates_quant_avx2::<DOT>(table, user, items, out) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512Vnni => unsafe { score_candidates_quant_vnni::<DOT>(table, user, items, out) },
+    }
+}
+
+/// Quantised candidate scoring by inner product:
+/// `out[k] ~= <user, table[items[k]]>` reconstructed from the exact integer
+/// dot as `user.scale * scales[items[k]] * dot`. Bitwise identical across
+/// ISA tiers (see the module notes above).
+pub fn score_candidates_quant_dot(table: QuantView<'_>, user: QuantUser<'_>, items: &[u32], out: &mut [f32]) {
+    score_candidates_quant_dispatch::<true>(table, user, items, out)
+}
+
+/// Quantised candidate scoring by negative squared Euclidean distance,
+/// reconstructed from the integer dot and the stored integer self-dots.
+pub fn score_candidates_quant_neg_sq_dist(table: QuantView<'_>, user: QuantUser<'_>, items: &[u32], out: &mut [f32]) {
+    score_candidates_quant_dispatch::<false>(table, user, items, out)
+}
+
+/// Runs one *specific* quantised-scoring ISA body, bypassing [`isa()`]
+/// dispatch, if this CPU supports it (returns `false` otherwise). Lets the
+/// exact-equality kernel tests pin every body against the scalar reference
+/// on a single machine. `body` is one of `"portable"`, `"avx2"`, `"vnni"`.
+#[doc(hidden)]
+pub fn score_candidates_quant_for_test(
+    body: &str,
+    dot: bool,
+    table: QuantView<'_>,
+    user: QuantUser<'_>,
+    items: &[u32],
+    out: &mut [f32],
+) -> bool {
+    validate_quant_args(&table, &user, items, out);
+    match body {
+        "portable" => {
+            if dot {
+                score_candidates_quant_body::<true>(table, user, items, out)
+            } else {
+                score_candidates_quant_body::<false>(table, user, items, out)
+            }
+            true
+        }
+        #[cfg(target_arch = "x86_64")]
+        "avx2" if is_x86_feature_detected!("avx2") => {
+            // SAFETY: feature presence checked on the line above.
+            unsafe {
+                if dot {
+                    score_candidates_quant_avx2::<true>(table, user, items, out)
+                } else {
+                    score_candidates_quant_avx2::<false>(table, user, items, out)
+                }
+            }
+            true
+        }
+        #[cfg(target_arch = "x86_64")]
+        "vnni"
+            if is_x86_feature_detected!("avx512f")
+                && is_x86_feature_detected!("avx512vl")
+                && is_x86_feature_detected!("avx512vnni") =>
+        {
+            // SAFETY: feature presence checked on the guard above.
+            unsafe {
+                if dot {
+                    score_candidates_quant_vnni::<true>(table, user, items, out)
+                } else {
+                    score_candidates_quant_vnni::<false>(table, user, items, out)
+                }
+            }
+            true
+        }
+        _ => false,
+    }
 }
 
 /// Scales each row of `src` by `factor * row_scales[r]`:
@@ -1269,7 +1936,7 @@ fn axpy_range(alpha: f32, dst: &mut [f32], src: &[f32]) {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { axpy_avx2(alpha, dst, src) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { axpy_avx512(alpha, dst, src) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { axpy_avx512(alpha, dst, src) },
     }
 }
 
@@ -1351,7 +2018,7 @@ fn scale_add_range(beta: f32, dst: &mut [f32], src: &[f32]) {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { scale_add_avx2(beta, dst, src) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { scale_add_avx512(beta, dst, src) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { scale_add_avx512(beta, dst, src) },
     }
 }
 
@@ -1408,7 +2075,7 @@ pub fn map(x: &[f32], out: &mut [f32], f: impl Fn(f32) -> f32) {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { map_avx2(x, out, &f) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { map_avx512(x, out, &f) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { map_avx512(x, out, &f) },
     }
 }
 
@@ -1442,7 +2109,7 @@ fn zip_dispatch<const ACC: bool, F: Fn(f32, f32) -> f32>(a: &[f32], b: &[f32], o
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { zip_avx2::<ACC, F>(a, b, out, f) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { zip_avx512::<ACC, F>(a, b, out, f) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { zip_avx512::<ACC, F>(a, b, out, f) },
     }
 }
 
@@ -1655,7 +2322,7 @@ pub fn box_muller(buf: &mut [f32], std: f32) {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { box_muller_avx2(buf, std) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { box_muller_avx512(buf, std) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { box_muller_avx512(buf, std) },
     }
 }
 
@@ -1731,7 +2398,7 @@ pub fn softplus_forward(x: &[f32], out: &mut [f32]) {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { softplus_forward_avx2(x, out) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { softplus_forward_avx512(x, out) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { softplus_forward_avx512(x, out) },
     }
 }
 
@@ -1763,7 +2430,7 @@ pub fn sigmoid_forward(x: &[f32], out: &mut [f32]) {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { sigmoid_forward_avx2(x, out) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { sigmoid_forward_avx512(x, out) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { sigmoid_forward_avx512(x, out) },
     }
 }
 
@@ -1795,7 +2462,7 @@ pub fn exp_forward(x: &[f32], out: &mut [f32]) {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { exp_forward_avx2(x, out) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { exp_forward_avx512(x, out) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { exp_forward_avx512(x, out) },
     }
 }
 
@@ -1827,7 +2494,7 @@ pub fn ln_forward(eps: f32, x: &[f32], out: &mut [f32]) {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { ln_forward_avx2(eps, x, out) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { ln_forward_avx512(eps, x, out) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { ln_forward_avx512(eps, x, out) },
     }
 }
 
@@ -1872,7 +2539,7 @@ pub fn bce_logits_forward(logits: &[f32], targets: &[f32]) -> f32 {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { bce_logits_forward_avx2(logits, targets) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { bce_logits_forward_avx512(logits, targets) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { bce_logits_forward_avx512(logits, targets) },
     }
 }
 
@@ -1918,7 +2585,7 @@ pub fn kl_std_normal_forward(eps: f32, mu: &[f32], sigma: &[f32]) -> f32 {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { kl_std_normal_forward_avx2(eps, mu, sigma) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { kl_std_normal_forward_avx512(eps, mu, sigma) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { kl_std_normal_forward_avx512(eps, mu, sigma) },
     }
 }
 
@@ -1953,7 +2620,7 @@ fn softplus_backward_dispatch<const ACC: bool>(x: &[f32], g: &[f32], out: &mut [
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { softplus_backward_avx2::<ACC>(x, g, out) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { softplus_backward_avx512::<ACC>(x, g, out) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { softplus_backward_avx512::<ACC>(x, g, out) },
     }
 }
 
@@ -2000,7 +2667,7 @@ fn leaky_relu_backward_dispatch<const ACC: bool>(slope: f32, x: &[f32], g: &[f32
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { leaky_relu_backward_avx2::<ACC>(slope, x, g, out) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { leaky_relu_backward_avx512::<ACC>(slope, x, g, out) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { leaky_relu_backward_avx512::<ACC>(slope, x, g, out) },
     }
 }
 
@@ -2050,7 +2717,7 @@ fn bce_logits_backward_dispatch<const ACC: bool>(scale: f32, logits: &[f32], tar
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { bce_logits_backward_avx2::<ACC>(scale, logits, targets, out) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { bce_logits_backward_avx512::<ACC>(scale, logits, targets, out) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { bce_logits_backward_avx512::<ACC>(scale, logits, targets, out) },
     }
 }
 
@@ -2098,7 +2765,7 @@ fn kl_sigma_backward_dispatch<const ACC: bool>(scale: f32, eps: f32, sigma: &[f3
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2Fma => unsafe { kl_sigma_backward_avx2::<ACC>(scale, eps, sigma, out) },
         #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe { kl_sigma_backward_avx512::<ACC>(scale, eps, sigma, out) },
+        Isa::Avx512 | Isa::Avx512Vnni => unsafe { kl_sigma_backward_avx512::<ACC>(scale, eps, sigma, out) },
     }
 }
 
@@ -2507,7 +3174,210 @@ mod tests {
 
     #[test]
     fn isa_reports_a_name() {
-        assert!(["portable", "avx2+fma", "avx512"].contains(&active_isa()));
+        assert!(["portable", "avx2+fma", "avx512", "avx512+vnni"].contains(&active_isa()));
         assert!(parallelism() >= 1);
+    }
+
+    #[test]
+    fn force_isa_parses_known_names_and_never_ranks_up() {
+        assert_eq!(parse_isa("portable"), Some(Isa::Portable));
+        assert_eq!(parse_isa(" Portable "), Some(Isa::Portable));
+        assert_eq!(parse_isa("garbage"), None);
+        assert_eq!(parse_isa(""), None);
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_eq!(parse_isa("avx2"), Some(Isa::Avx2Fma));
+            assert_eq!(parse_isa("avx512"), Some(Isa::Avx512));
+            assert_eq!(parse_isa("vnni"), Some(Isa::Avx512Vnni));
+            assert_eq!(parse_isa("AVX512+VNNI"), Some(Isa::Avx512Vnni));
+            assert!(isa_rank(Isa::Portable) < isa_rank(Isa::Avx2Fma));
+            assert!(isa_rank(Isa::Avx2Fma) < isa_rank(Isa::Avx512));
+            assert!(isa_rank(Isa::Avx512) < isa_rank(Isa::Avx512Vnni));
+        }
+        // Forcing below the detected tier is honoured; above (or garbage)
+        // falls back to detection — mirrored here without touching the
+        // process-wide OnceLock.
+        let detected = detect_isa();
+        let pick = |req: Option<Isa>| match req {
+            Some(forced) if isa_rank(forced) <= isa_rank(detected) => forced,
+            _ => detected,
+        };
+        assert_eq!(pick(Some(Isa::Portable)), Isa::Portable);
+        assert_eq!(pick(None), detected);
+        assert_eq!(pick(parse_isa("nonsense")), detected);
+    }
+
+    #[test]
+    fn packed_matmul_is_bitwise_equal_to_tiled_path() {
+        // Sizes chosen to clear the packed-path thresholds (m >= 16,
+        // n >= 32, k >= 8) with awkward remainders in every dimension. On
+        // AVX-512 machines `matmul` takes the packed micro-kernel while
+        // `matmul_tiled` takes the register-tiled body; both must agree
+        // bitwise because each output element is a sequential-k FMA fold in
+        // either path. On lesser machines both take the tiled body and the
+        // test degenerates to self-consistency.
+        for &(m, k, n) in &[
+            (16usize, 8usize, 32usize),
+            (23, 9, 33),
+            (40, 31, 95),
+            (64, 32, 64),
+            (17, 64, 100),
+        ] {
+            let a = pseudo(41, m * k);
+            let b = pseudo(42, k * n);
+            let mut packed = vec![f32::NAN; m * n];
+            let mut tiled = vec![f32::NAN; m * n];
+            matmul(m, k, n, &a, &b, &mut packed);
+            matmul_tiled(m, k, n, &a, &b, &mut tiled);
+            assert_eq!(packed, tiled, "packed vs tiled mismatch at ({m},{k},{n})");
+            let mut reference = vec![0.0; m * n];
+            matmul_serial(m, k, n, &a, &b, &mut reference);
+            assert_close(&packed, &reference, 1e-5);
+        }
+    }
+
+    #[test]
+    fn packed_matmul_rows_stay_bitwise_row_independent() {
+        // The delta re-encode path multiplies small gathered row sets (tiled
+        // path) and expects bitwise equality with full-table products
+        // (packed path past the thresholds) — the same invariant
+        // `matmul_row_subset_is_bitwise_row_independent` pins at small
+        // sizes, here across the packed/tiled routing boundary.
+        let (m, k, n) = (48usize, 24usize, 40usize);
+        let a = pseudo(51, m * k);
+        let b = pseudo(52, k * n);
+        let mut full = vec![0.0; m * n];
+        matmul(m, k, n, &a, &b, &mut full);
+        for subset in [vec![0usize], vec![31, 2, 17], (8..14).collect::<Vec<_>>()] {
+            let gathered: Vec<f32> = subset.iter().flat_map(|&r| a[r * k..(r + 1) * k].to_vec()).collect();
+            let mut out = vec![f32::NAN; subset.len() * n];
+            matmul(subset.len(), k, n, &gathered, &b, &mut out);
+            for (i, &r) in subset.iter().enumerate() {
+                assert_eq!(
+                    &out[i * n..(i + 1) * n],
+                    &full[r * n..(r + 1) * n],
+                    "row {r} must not depend on the packed/tiled routing of its batch"
+                );
+            }
+        }
+    }
+
+    /// Table codes, scales, row sums, row norms, user codes, user norm.
+    type QuantFixture = (Vec<i8>, Vec<f32>, Vec<i32>, Vec<i32>, Vec<u8>, i32);
+
+    /// Builds a deterministic quantised table + user for the int8 kernel
+    /// tests: i8 codes spanning the full [-127, 127] range and u8 user
+    /// codes spanning [1, 255].
+    fn quant_fixture(rows: usize, cols: usize) -> QuantFixture {
+        let raw = pseudo(61, rows * cols);
+        let data: Vec<i8> = raw
+            .iter()
+            .map(|v| (v * 254.0).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        let scales: Vec<f32> = (0..rows).map(|r| 0.001 + 0.0001 * r as f32).collect();
+        let row_sums: Vec<i32> = (0..rows)
+            .map(|r| data[r * cols..(r + 1) * cols].iter().map(|&q| q as i32).sum())
+            .collect();
+        let row_norms: Vec<i32> = (0..rows)
+            .map(|r| data[r * cols..(r + 1) * cols].iter().map(|&q| (q as i32).pow(2)).sum())
+            .collect();
+        let uraw = pseudo(62, cols);
+        let user_q: Vec<u8> = uraw
+            .iter()
+            .map(|v| ((v * 254.0).round().clamp(-127.0, 127.0) as i32 + 128) as u8)
+            .collect();
+        let u_norm: i32 = user_q.iter().map(|&q| (q as i32 - 128).pow(2)).sum();
+        (data, scales, row_sums, row_norms, user_q, u_norm)
+    }
+
+    #[test]
+    fn quant_score_bodies_are_exactly_equal_per_isa() {
+        // Each ISA body computes the same i32 dot and shares the scalar f32
+        // combine, so scores must be bitwise equal — not merely close —
+        // across portable, AVX2-widening and VNNI bodies, for both score
+        // kinds, including remainder-heavy widths.
+        for &(rows, cols, n_cand, consecutive) in &[
+            (5usize, 1usize, 3usize, false),
+            (9, 15, 7, false),
+            (16, 32, 33, false),
+            (11, 33, 5, false),
+            (8, 96, 13, false),
+            (6, 100, 0, false),
+            // Consecutive ids at width 32 drive the VNNI paired-row fast
+            // path, including its 8-block remainder hand-off.
+            (40, 32, 40, true),
+            (40, 32, 29, true),
+            (40, 32, 7, true),
+        ] {
+            let (data, scales, row_sums, row_norms, user_q, u_norm) = quant_fixture(rows, cols);
+            let table = QuantView {
+                cols,
+                data: &data,
+                scales: &scales,
+                row_sums: &row_sums,
+                row_norms: &row_norms,
+            };
+            let user = QuantUser {
+                q: &user_q,
+                scale: 0.0123,
+                norm: u_norm,
+            };
+            let items: Vec<u32> = if consecutive {
+                (0..n_cand as u32).collect()
+            } else {
+                (0..n_cand).map(|i| (i * 5 % rows) as u32).collect()
+            };
+            for dot in [true, false] {
+                let mut reference = vec![f32::NAN; n_cand];
+                if dot {
+                    score_candidates_quant_dot_serial(table, user, &items, &mut reference);
+                } else {
+                    score_candidates_quant_neg_sq_dist_serial(table, user, &items, &mut reference);
+                }
+                for body in ["portable", "avx2", "vnni"] {
+                    let mut got = vec![f32::NAN; n_cand];
+                    if !score_candidates_quant_for_test(body, dot, table, user, &items, &mut got) {
+                        continue; // body unsupported on this machine
+                    }
+                    assert_eq!(
+                        got, reference,
+                        "{body} body (dot={dot}) must match the scalar reference bitwise at ({rows},{cols},{n_cand})"
+                    );
+                }
+                // The dispatched entry agrees with the reference too.
+                let mut via_dispatch = vec![f32::NAN; n_cand];
+                if dot {
+                    score_candidates_quant_dot(table, user, &items, &mut via_dispatch);
+                } else {
+                    score_candidates_quant_neg_sq_dist(table, user, &items, &mut via_dispatch);
+                }
+                assert_eq!(via_dispatch, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn quant_neg_sq_dist_is_zero_against_itself() {
+        // A user quantised identically to a table row has distance exactly
+        // -(s^2 |q|^2 - 2 s^2 |q|^2 + s^2 |q|^2) = 0 when scales match.
+        let cols = 32usize;
+        let (data, _, row_sums, row_norms, _, _) = quant_fixture(3, cols);
+        let scales = vec![0.01f32; 3];
+        let table = QuantView {
+            cols,
+            data: &data,
+            scales: &scales,
+            row_sums: &row_sums,
+            row_norms: &row_norms,
+        };
+        let row1: Vec<u8> = data[cols..2 * cols].iter().map(|&q| (q as i32 + 128) as u8).collect();
+        let user = QuantUser {
+            q: &row1,
+            scale: 0.01,
+            norm: row_norms[1],
+        };
+        let mut out = vec![f32::NAN];
+        score_candidates_quant_neg_sq_dist(table, user, &[1u32], &mut out);
+        assert_eq!(out[0], 0.0, "self-distance must be exactly zero, got {}", out[0]);
     }
 }

@@ -46,6 +46,7 @@ pub mod nn;
 pub mod optim;
 pub mod params;
 pub mod pool;
+pub mod quant;
 pub mod rng;
 pub mod sparse;
 pub mod tape;
@@ -58,6 +59,7 @@ pub use nn::{Activation, Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamSet};
 pub use pool::{BufferPool, PoolStats};
+pub use quant::QuantizedTable;
 pub use sparse::CsrMatrix;
 pub use tape::{sigmoid_scalar, softplus_scalar, Tape, Var};
 pub use tensor::Tensor;

@@ -23,7 +23,7 @@
 use cdrib_core::{CdribConfig, CdribModel, InferenceModel};
 use cdrib_data::{build_preset, Direction, DomainId, EpochBatches, Scale, ScenarioKind};
 use cdrib_graph::GraphDelta;
-use cdrib_serve::{Recommendation, Recommender, Request};
+use cdrib_serve::{Recommendation, Recommender, Request, ScoringPrecision};
 use cdrib_tensor::alloc_track::{allocation_count, CountingAlloc};
 use cdrib_tensor::rng::{component_rng, normal_tensor};
 use cdrib_tensor::{Adam, Optimizer, ParamSet, Tape, Tensor};
@@ -171,6 +171,27 @@ fn inference_and_serving_steady_state() {
         requests.len()
     );
     assert!(!out.is_empty());
+
+    // The int8 path holds the same bar: quantising the item tables and the
+    // per-worker user-code buffers happens once (warm-up); after that a
+    // request quantises the user row into reused scratch and scores through
+    // the integer kernels without touching the allocator.
+    recommender.set_precision(ScoringPrecision::Int8);
+    for request in &requests {
+        recommender.recommend(request, &mut out).expect("warm int8 request");
+    }
+    let steady = min_allocs_over_windows(|| {
+        for request in &requests {
+            recommender.recommend(request, &mut out).expect("measured int8 request");
+        }
+    });
+    assert_eq!(
+        steady,
+        0,
+        "warm int8 top-K requests must not touch the allocator (got {steady} requests over {} recommendations)",
+        requests.len()
+    );
+    assert!(!out.is_empty());
 }
 
 /// The online-update path: warm delta ingestion — graph apply, dirty-set
@@ -195,6 +216,11 @@ fn delta_apply_steady_state() {
     let model = CdribModel::new(&config, &scenario).expect("model");
     let mut recommender =
         Recommender::from_inference_online(InferenceModel::from_model(&model), &scenario).expect("recommender");
+    // Int8 scoring stays on throughout: every measured delta must also
+    // re-quantise its dirty rows through the quant shadow swap, and every
+    // measured request runs the integer kernels — all allocation-free once
+    // the mirrors and their shadows are materialised.
+    recommender.set_precision(ScoringPrecision::Int8);
 
     // Structural warm-up: a new cold-start user with two interactions grows
     // every structure (tables, graphs, stamp arrays, shadows) once.

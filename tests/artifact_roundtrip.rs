@@ -4,11 +4,11 @@
 //! must fail with typed errors — never decode into a silently different
 //! model.
 
-use cdrib::core::artifact::{MODEL_KIND, MODEL_VERSION};
-use cdrib::core::{CdribConfig, CdribModel, InferenceModel};
+use cdrib::core::artifact::{MODEL_KIND, MODEL_VERSION, QUANT_KIND, QUANT_VERSION};
+use cdrib::core::{freeze_quant_bytes, load_quant_bytes, CdribConfig, CdribModel, InferenceModel};
 use cdrib::data::{build_preset, Scale, ScenarioKind};
 use cdrib::tensor::artifact as envelope;
-use cdrib::tensor::ArtifactError;
+use cdrib::tensor::{ArtifactError, QuantizedTable};
 use proptest::prelude::*;
 
 /// A small model-topology strategy: embedding width, stacking depth, mean
@@ -78,6 +78,57 @@ proptest! {
         bad_magic[0] ^= 0xff;
         prop_assert!(matches!(CdribModel::load_bytes(&bad_magic), Err(ArtifactError::BadMagic)));
         prop_assert!(CdribModel::load_bytes(&bytes[..payload_start / 2]).is_err());
+    }
+
+    #[test]
+    fn quant_artifact_roundtrips_reject_corruption_and_version_skew((dim, layers, nonlinear_mean, seed) in topology()) {
+        let (model, scenario) = build(dim, layers, nonlinear_mean, seed);
+        let bytes = freeze_quant_bytes(&model, &scenario).unwrap();
+
+        // Round trip: the decoded snapshot carries the exact f32 user tables
+        // and exactly the quantisation of the frozen item tables.
+        let artifact = load_quant_bytes(&bytes).unwrap();
+        let embeddings = model.infer_embeddings().unwrap();
+        prop_assert_eq!(&artifact.x_users, &embeddings.x_users);
+        prop_assert_eq!(&artifact.y_users, &embeddings.y_users);
+        prop_assert_eq!(&artifact.x_items, &QuantizedTable::from_tensor(&embeddings.x_items));
+        prop_assert_eq!(&artifact.y_items, &QuantizedTable::from_tensor(&embeddings.y_items));
+        prop_assert_eq!(artifact.scenario.x.n_items, scenario.x.n_items);
+
+        // Payload corruption at seed-derived offsets: the envelope checksum
+        // must catch every flip.
+        let payload_len = envelope::decode(&bytes, QUANT_KIND, QUANT_VERSION).unwrap().len();
+        let payload_start = bytes.len() - payload_len;
+        for salt in 0..4u64 {
+            let offset = payload_start + ((seed.wrapping_mul(0x9e37) + salt * 7919) as usize % payload_len);
+            let mut corrupted = bytes.clone();
+            corrupted[offset] ^= 1 << (salt % 8);
+            prop_assert!(
+                matches!(load_quant_bytes(&corrupted), Err(ArtifactError::ChecksumMismatch { .. })),
+                "payload flip at {} escaped the checksum", offset
+            );
+        }
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        prop_assert!(matches!(load_quant_bytes(&bad_magic), Err(ArtifactError::BadMagic)));
+        prop_assert!(load_quant_bytes(&bytes[..payload_start / 2]).is_err());
+
+        // Version skew and kind confusion are typed, in both directions.
+        let payload = envelope::decode(&bytes, QUANT_KIND, QUANT_VERSION).unwrap().to_vec();
+        let future = envelope::encode(QUANT_KIND, QUANT_VERSION + 1, &payload);
+        prop_assert!(matches!(
+            load_quant_bytes(&future),
+            Err(ArtifactError::UnsupportedVersion { found, supported, .. })
+                if found == QUANT_VERSION + 1 && supported == QUANT_VERSION
+        ));
+        prop_assert!(matches!(
+            load_quant_bytes(&model.save_bytes(&scenario)),
+            Err(ArtifactError::WrongKind { .. })
+        ));
+        prop_assert!(matches!(
+            CdribModel::load_bytes(&bytes),
+            Err(ArtifactError::WrongKind { .. })
+        ));
     }
 
     #[test]
