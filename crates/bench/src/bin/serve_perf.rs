@@ -499,6 +499,80 @@ fn main() {
         delta_allocs_per_batch, 0.0,
         "steady-state (duplicate) delta batches must not touch the allocator"
     );
+
+    // --- WAL-backed durable ingestion. --------------------------------------
+    // The same growth-batch workload through a recovered (durable) engine:
+    // every accepted batch is framed, checksummed and appended to the
+    // write-ahead log *before* its epoch swap commits. A fresh memory-only
+    // engine runs the identical workload shape to price the append, and the
+    // run is gated on `Recommender::recover` reproducing the live state
+    // bitwise from the base artifact + log alone.
+    let wal_dir = std::env::temp_dir().join(format!("cdrib_serve_perf_wal_{seed}"));
+    std::fs::create_dir_all(&wal_dir).expect("wal scratch dir");
+    let wal_base = wal_dir.join("base.cdrb");
+    let wal_log = wal_dir.join("deltas.wal");
+    std::fs::remove_file(&wal_log).ok();
+    std::fs::write(&wal_base, model.save_bytes(&loaded_scenario)).expect("write wal base artifact");
+    let (mut durable, recovery) = Recommender::recover(&wal_base, &wal_log).expect("open durable engine");
+    assert!(recovery.clean() && recovery.created_log, "first boot must be clean");
+    let mut plain = Recommender::from_inference_online(InferenceModel::from_model(&model), &loaded_scenario)
+        .expect("unlogged engine");
+    durable
+        .apply_delta(DomainId::X, &make_growth_delta(&durable))
+        .expect("warm durable delta");
+    plain
+        .apply_delta(DomainId::X, &make_growth_delta(&plain))
+        .expect("warm unlogged delta");
+    let wal_rounds = if quick { 8usize } else { 40 };
+    let mut wal_bps = [0.0f64; 2]; // [durable, unlogged]
+    for (slot, engine) in [(0usize, &mut durable), (1, &mut plain)] {
+        let started = Instant::now();
+        for _ in 0..wal_rounds {
+            let delta = make_growth_delta(engine);
+            engine.apply_delta(DomainId::X, &delta).expect("measured delta");
+        }
+        wal_bps[slot] = wal_rounds as f64 / started.elapsed().as_secs_f64();
+    }
+    let wal_overhead_pct = (wal_bps[1] / wal_bps[0] - 1.0) * 100.0;
+    durable.wal_sync().expect("wal sync");
+    let wal_records = durable.wal_applied_seq().expect("durable engine has a log");
+    let wal_log_bytes = std::fs::metadata(&wal_log).expect("log metadata").len();
+    let wal_bytes_per_record = wal_log_bytes as f64 / wal_records as f64;
+
+    // Recovery gate: base + log alone must reproduce the live engine —
+    // bitwise on all four tables, exactly-equal top-K for the newest user.
+    let (mut recovered, recovery) = Recommender::recover(&wal_base, &wal_log).expect("recover durable engine");
+    assert!(
+        recovery.clean(),
+        "recovery of an intact log must be clean: {recovery:?}"
+    );
+    assert_eq!(recovery.replayed as u64, wal_records);
+    assert_eq!(
+        recovered.scorer().x_users,
+        durable.scorer().x_users,
+        "recovered user table diverged from the live engine"
+    );
+    assert_eq!(recovered.scorer().x_items, durable.scorer().x_items);
+    assert_eq!(recovered.scorer().y_users, durable.scorer().y_users);
+    assert_eq!(recovered.scorer().y_items, durable.scorer().y_items);
+    let newest_durable = Request {
+        direction: Direction::X_TO_Y,
+        user: durable.seen_graph(DomainId::X).n_users() as u32 - 1,
+        k,
+    };
+    let mut recovered_out: Vec<Recommendation> = Vec::new();
+    durable.recommend(&newest_durable, &mut out).expect("live newest user");
+    recovered
+        .recommend(&newest_durable, &mut recovered_out)
+        .expect("recovered newest user");
+    assert_eq!(out, recovered_out, "recovered top-K diverged from the live engine");
+    drop(recovered);
+    std::fs::remove_dir_all(&wal_dir).ok();
+    eprintln!(
+        "wal        : {:.0} durable batches/s vs {:.0} unlogged ({wal_overhead_pct:.1}% append overhead), {wal_bytes_per_record:.0} B/record, {wal_records} records; recovery == live (bitwise)",
+        wal_bps[0],
+        wal_bps[1],
+    );
     eprintln!(
         "throughput : {recs_per_sec:.0} recommendations/s, {:.2}M candidate scores/s ({} requests/batch, {} threads)",
         scores_per_sec / 1e6,
@@ -578,7 +652,15 @@ fn main() {
             "  \"delta_batches_per_sec\": {delta_bps:.1},\n",
             "  \"delta_rows_reencoded_mean\": {delta_rows:.1},\n",
             "  \"delta_steady_state_allocs_per_batch\": {delta_allocs:.2},\n",
-            "  \"delta_incremental_matches_rebuild\": true\n",
+            "  \"delta_incremental_matches_rebuild\": true,\n",
+            "  \"wal\": {{\n",
+            "    \"durable_batches_per_sec\": {wal_durable_bps:.1},\n",
+            "    \"unlogged_batches_per_sec\": {wal_unlogged_bps:.1},\n",
+            "    \"append_overhead_pct\": {wal_overhead_pct:.2},\n",
+            "    \"log_bytes_per_record\": {wal_bytes_per_record:.1},\n",
+            "    \"records_appended\": {wal_records},\n",
+            "    \"recovery_matches_live\": true\n",
+            "  }}\n",
             "}}\n"
         ),
         scale = scale_name,
@@ -620,6 +702,11 @@ fn main() {
         delta_bps = delta_batches_per_sec,
         delta_rows = delta_rows_mean,
         delta_allocs = delta_allocs_per_batch,
+        wal_durable_bps = wal_bps[0],
+        wal_unlogged_bps = wal_bps[1],
+        wal_overhead_pct = wal_overhead_pct,
+        wal_bytes_per_record = wal_bytes_per_record,
+        wal_records = wal_records,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
     eprintln!("wrote {out_path}");

@@ -193,22 +193,9 @@ impl BipartiteGraph {
     /// run allocation-free; structural growth allocates amortised, like any
     /// `Vec` push.
     pub fn apply_delta_into(&mut self, delta: &GraphDelta, effect: &mut DeltaEffect) -> Result<()> {
+        delta.check_bounds(self.n_users, self.n_items)?;
         let new_users = self.n_users + delta.add_users;
         let new_items = self.n_items + delta.add_items;
-        for &(u, i) in &delta.edges {
-            if u as usize >= new_users {
-                return Err(GraphError::UserOutOfRange {
-                    user: u as usize,
-                    n_users: new_users,
-                });
-            }
-            if i as usize >= new_items {
-                return Err(GraphError::ItemOutOfRange {
-                    item: i as usize,
-                    n_items: new_items,
-                });
-            }
-        }
         effect.clear();
         effect.users_added = delta.add_users;
         effect.items_added = delta.add_items;

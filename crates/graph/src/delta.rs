@@ -12,6 +12,14 @@
 //! Deltas are additive: interactions are observations, and the paper's
 //! setting never retracts one. Removal would force dirty-set propagation
 //! through *shrinking* neighbourhoods and is out of scope here.
+//!
+//! Deltas also serialize (via the workspace serde stand-in): the serving
+//! layer's write-ahead log persists every accepted batch, so the encoded
+//! form is a durability format, pinned bitwise by
+//! `tests/artifact_roundtrip.rs`.
+
+use crate::error::{GraphError, Result};
+use serde::{Deserialize, Serialize};
 
 /// A batch of additive changes to one domain's bipartite interaction graph.
 ///
@@ -19,7 +27,7 @@
 /// introduces: with `add_users = 2` on a 10-user graph, users `10` and `11`
 /// are valid edge endpoints. Application is atomic — an out-of-range edge
 /// rejects the whole batch before anything is mutated.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GraphDelta {
     /// Number of new users appended after the current user range.
     pub add_users: usize,
@@ -39,6 +47,34 @@ impl GraphDelta {
     /// Whether the delta requests no change at all.
     pub fn is_empty(&self) -> bool {
         self.add_users == 0 && self.add_items == 0 && self.edges.is_empty()
+    }
+
+    /// Validates every edge against the *post-delta* entity ranges of a
+    /// graph currently holding `n_users` × `n_items`, without mutating
+    /// anything. This is the exact acceptance predicate of
+    /// [`apply_delta_into`](crate::BipartiteGraph::apply_delta_into) (whose
+    /// atomicity it implements), factored out so a durability layer can
+    /// establish *before* appending a delta to its write-ahead log that the
+    /// graph will accept it — a logged record must never be one the live
+    /// apply would then reject.
+    pub fn check_bounds(&self, n_users: usize, n_items: usize) -> Result<()> {
+        let new_users = n_users + self.add_users;
+        let new_items = n_items + self.add_items;
+        for &(u, i) in &self.edges {
+            if u as usize >= new_users {
+                return Err(GraphError::UserOutOfRange {
+                    user: u as usize,
+                    n_users: new_users,
+                });
+            }
+            if i as usize >= new_items {
+                return Err(GraphError::ItemOutOfRange {
+                    item: i as usize,
+                    n_items: new_items,
+                });
+            }
+        }
+        Ok(())
     }
 }
 

@@ -45,6 +45,10 @@ pub struct DeltaOutcome {
     pub users_reencoded: usize,
     /// Item embedding rows re-encoded and patched.
     pub items_reencoded: usize,
+    /// Sequence number the delta was durably logged under, when the engine
+    /// carries a write-ahead log (see [`crate::wal`]); `None` for
+    /// memory-only engines.
+    pub wal_seq: Option<u64>,
 }
 
 /// The updater a delta-capable recommender carries: the frozen encoder with

@@ -40,6 +40,12 @@ pub enum ServeError {
         /// Human readable detail.
         detail: String,
     },
+    /// The write-ahead log failed (append, recovery or compaction).
+    Wal(crate::wal::WalError),
+    /// The operation needs durable state, but the recommender was not built
+    /// through [`crate::Recommender::recover`], so it carries no write-ahead
+    /// log.
+    DurabilityMissing,
 }
 
 impl fmt::Display for ServeError {
@@ -60,6 +66,11 @@ impl fmt::Display for ServeError {
                 "this recommender has no frozen encoder attached; build it with from_inference_online to ingest deltas"
             ),
             ServeError::Update { detail } => write!(f, "incremental update failed: {detail}"),
+            ServeError::Wal(e) => write!(f, "write-ahead log failed: {e}"),
+            ServeError::DurabilityMissing => write!(
+                f,
+                "this recommender carries no write-ahead log; build it with Recommender::recover for durable ingest"
+            ),
         }
     }
 }
@@ -69,8 +80,15 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Artifact(e) => Some(e),
             ServeError::Graph(e) => Some(e),
+            ServeError::Wal(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::wal::WalError> for ServeError {
+    fn from(e: crate::wal::WalError) -> Self {
+        ServeError::Wal(e)
     }
 }
 

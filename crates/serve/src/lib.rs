@@ -26,6 +26,17 @@
 //! post-delta graph — pinned by the differential harness in
 //! `tests/delta_parity.rs`.
 //!
+//! ## Durability
+//!
+//! An engine opened with [`Recommender::recover`] additionally persists
+//! every accepted delta to a checksummed, sequence-numbered write-ahead log
+//! *before* the epoch swap commits (see [`wal`]). On restart, `recover`
+//! replays the log over the frozen base artifact and reconstructs the exact
+//! pre-crash state; damaged log tails are truncated and quarantined rather
+//! than refusing to start, and [`Recommender::compact`] folds the log into
+//! a checkpoint artifact via atomic renames. The fault-injection harness in
+//! `tests/wal_recovery.rs` drives a crash-point matrix over this path.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -52,11 +63,13 @@ pub mod delta;
 pub mod error;
 pub mod recommender;
 pub mod topk;
+pub mod wal;
 
 pub use delta::DeltaOutcome;
 pub use error::{Result, ServeError};
 pub use recommender::{Recommender, Request, ScoringPrecision};
 pub use topk::{ranks_above, Recommendation, TopK};
+pub use wal::{CompactionReport, DeltaWal, RecoveryReport, RetryPolicy, WalError};
 
 #[cfg(test)]
 mod tests {

@@ -24,13 +24,16 @@
 use crate::delta::{DeltaOutcome, OnlineUpdater};
 use crate::error::{Result, ServeError};
 use crate::topk::{ranks_above, Recommendation, TopK};
+use crate::wal::{self, CompactionReport, DeltaWal, DurableLog, RecoveryReport, WalError};
 use cdrib_core::{CdribEmbeddings, InferenceModel};
 use cdrib_data::{CdrScenario, Direction, DomainId};
 use cdrib_eval::{EmbeddingScorer, ScoreKind};
 use cdrib_graph::{BipartiteGraph, GraphDelta};
+use cdrib_tensor::artifact::ArtifactError;
 use cdrib_tensor::kernels::{self, QuantUser};
 use cdrib_tensor::quant::quantize_user_into;
 use cdrib_tensor::QuantizedTable;
+use std::path::Path;
 
 /// One top-K recommendation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +103,13 @@ struct RequestScratch {
     user_q: Vec<u8>,
 }
 
+/// Why log replay was abandoned: the typed reason, and whether replay had
+/// already mutated the engine (forcing a rebuild from the bare base).
+struct ReplayAbort {
+    error: WalError,
+    mutated: bool,
+}
+
 /// A warm, thread-capable top-K recommendation engine.
 pub struct Recommender {
     core: ServeCore,
@@ -108,6 +118,9 @@ pub struct Recommender {
     /// The frozen encoder plus shadow tables, when the engine was built for
     /// online updates ([`Recommender::from_inference_online`]).
     updater: Option<Box<OnlineUpdater>>,
+    /// The write-ahead log plus compaction state, when the engine was
+    /// opened durably ([`Recommender::recover`]).
+    durable: Option<Box<DurableLog>>,
     /// Monotone counter of published table states; bumped by every applied
     /// delta's shadow swap.
     epoch: u64,
@@ -395,6 +408,7 @@ impl Recommender {
             },
             scratches,
             updater: None,
+            durable: None,
             epoch: 0,
         })
     }
@@ -439,7 +453,25 @@ impl Recommender {
     /// engine can ingest [`GraphDelta`]s through
     /// [`Recommender::apply_delta`] — new cold-start users become
     /// recommendable without re-freezing or reloading the artifact.
-    pub fn from_inference_online(mut inference: InferenceModel, scenario: &CdrScenario) -> Result<Self> {
+    pub fn from_inference_online(inference: InferenceModel, scenario: &CdrScenario) -> Result<Self> {
+        Recommender::from_inference_online_parts(
+            inference,
+            scenario.n_overlap_total,
+            scenario.x.train.clone(),
+            scenario.y.train.clone(),
+        )
+    }
+
+    /// The shared tail of every delta-capable construction: enables the
+    /// incremental caches, serves from them, and attaches the updater. The
+    /// seen graphs are explicit because recovery rebuilds engines on
+    /// *post-delta* graphs, not the scenario's training graphs.
+    fn from_inference_online_parts(
+        mut inference: InferenceModel,
+        shared_user_prefix: usize,
+        seen_x: BipartiteGraph,
+        seen_y: BipartiteGraph,
+    ) -> Result<Self> {
         let to_serve = |e: cdrib_core::CoreError| ServeError::Update { detail: e.to_string() };
         inference.enable_incremental().map_err(to_serve)?;
         // The stage caches already hold the full forward's tables (bitwise
@@ -451,9 +483,30 @@ impl Recommender {
             y_users: inference.cached_user_table(DomainId::Y).map_err(to_serve)?.clone(),
             y_items: inference.cached_item_table(DomainId::Y).map_err(to_serve)?.clone(),
         };
-        let mut rec = Recommender::from_embeddings(embeddings, scenario)?;
+        let mut rec = Recommender::new(embeddings.into_scorer(), seen_x, seen_y)?;
+        rec.set_shared_user_prefix(shared_user_prefix);
         rec.updater = Some(Box::new(OnlineUpdater::new(inference)));
         Ok(rec)
+    }
+
+    /// Rebuilds a delta-capable engine from frozen model bytes on explicit
+    /// graphs (which may hold more entities than the model was frozen with
+    /// — the checkpoint case). The delta-parity guarantee makes this
+    /// bitwise identical to a live engine that reached the same graphs
+    /// incrementally.
+    fn rebuild_online_from_base(model_bytes: &[u8], graphs: Option<(BipartiteGraph, BipartiteGraph)>) -> Result<Self> {
+        let (mut inference, scenario) = InferenceModel::from_artifact_bytes(model_bytes)?;
+        let (gx, gy) = graphs.unwrap_or_else(|| (scenario.x.train.clone(), scenario.y.train.clone()));
+        let to_serve = |e: cdrib_core::CoreError| ServeError::Update { detail: e.to_string() };
+        inference
+            .extend_entities(DomainId::X, gx.n_users(), gx.n_items())
+            .map_err(to_serve)?;
+        inference
+            .extend_entities(DomainId::Y, gy.n_users(), gy.n_items())
+            .map_err(to_serve)?;
+        inference.rebind_graph(DomainId::X, &gx).map_err(to_serve)?;
+        inference.rebind_graph(DomainId::Y, &gy).map_err(to_serve)?;
+        Recommender::from_inference_online_parts(inference, scenario.n_overlap_total, gx, gy)
     }
 
     /// Loads a CDRIB model artifact and builds a delta-capable recommender
@@ -474,6 +527,195 @@ impl Recommender {
     pub fn from_artifact_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
         let (mut inference, scenario) = InferenceModel::from_artifact_file(path)?;
         Recommender::from_inference(&mut inference, &scenario)
+    }
+
+    /// Opens a **durable** delta-capable engine: loads the base artifact at
+    /// `base` (a plain frozen model, or the checkpoint a previous
+    /// [`Recommender::compact`] wrote over it), replays the write-ahead log
+    /// at `log` on top of it, and attaches the log so every subsequently
+    /// accepted delta is persisted before its epoch swap commits.
+    ///
+    /// Recovery reconstructs the exact pre-crash state — bitwise on all
+    /// four tables, exactly-equal top-K — for the longest valid log prefix,
+    /// and degrades gracefully instead of refusing to start (see
+    /// [`crate::wal`] for the failure taxonomy): damaged tails are
+    /// truncated into a `.quarantine` sidecar; a log that is unreadable or
+    /// provably foreign to the base is quarantined wholesale and the engine
+    /// starts from the bare base. The [`RecoveryReport`] states exactly
+    /// what was replayed, skipped and dropped. A missing log file is the
+    /// fresh-deployment case: one is created.
+    pub fn recover(base: impl AsRef<Path>, log: impl AsRef<Path>) -> Result<(Self, RecoveryReport)> {
+        let base_path = base.as_ref().to_path_buf();
+        let log_path = log.as_ref().to_path_buf();
+        let base_bytes = std::fs::read(&base_path).map_err(|e| ServeError::Artifact(ArtifactError::Io(e)))?;
+        // The base is either a compaction checkpoint (model bytes + folded
+        // graphs + fold point) or a plain frozen model artifact (fold
+        // point 0). Only a kind mismatch falls through to the model
+        // interpretation — a *corrupt* checkpoint must surface, not be
+        // misread as a model.
+        let (model_bytes, graphs, applied_seq) = match wal::decode_checkpoint(&base_bytes) {
+            Ok(cp) => (cp.model, Some((cp.gx, cp.gy)), cp.applied_seq),
+            Err(ArtifactError::WrongKind { .. }) => (base_bytes, None, 0),
+            Err(e) => return Err(ServeError::Artifact(e)),
+        };
+        let mut rec = Recommender::rebuild_online_from_base(&model_bytes, graphs.clone())?;
+        let mut report = RecoveryReport {
+            base_applied_seq: applied_seq,
+            last_seq: applied_seq,
+            ..RecoveryReport::default()
+        };
+
+        let wal = if log_path.exists() {
+            match rec.replay_log(&log_path, applied_seq, &mut report) {
+                Ok(wal) => wal,
+                Err(ReplayAbort { error, mutated }) => {
+                    // The log cannot be trusted at all: preserve it
+                    // wholesale, rebuild the engine from the bare base if
+                    // replay already mutated it, and start a fresh log.
+                    let side = wal::quarantine_whole(&log_path)?;
+                    report.dropped_bytes = std::fs::metadata(&side).map(|m| m.len()).unwrap_or(0);
+                    report.quarantine = Some(side);
+                    report.fallback = Some(error);
+                    report.replayed = 0;
+                    report.skipped = 0;
+                    report.last_seq = applied_seq;
+                    report.created_log = true;
+                    if mutated {
+                        rec = Recommender::rebuild_online_from_base(&model_bytes, graphs)?;
+                    }
+                    DeltaWal::create(&log_path, applied_seq + 1)?
+                }
+            }
+        } else {
+            report.created_log = true;
+            DeltaWal::create(&log_path, applied_seq + 1)?
+        };
+
+        rec.durable = Some(Box::new(DurableLog {
+            wal,
+            base_path,
+            log_path,
+            model_bytes,
+            applied_seq: report.last_seq,
+            wedged: false,
+        }));
+        Ok((rec, report))
+    }
+
+    /// Scans and replays an existing log over `self` (already at the base
+    /// state). Returns the opened log on success; on a log-level failure
+    /// returns [`ReplayAbort`] and the caller falls back to the bare base
+    /// (rebuilding the engine when replay already mutated it).
+    fn replay_log(
+        &mut self,
+        log_path: &Path,
+        applied_seq: u64,
+        report: &mut RecoveryReport,
+    ) -> std::result::Result<DeltaWal, ReplayAbort> {
+        let abort = |error: WalError| ReplayAbort { error, mutated: false };
+        let bytes = std::fs::read(log_path).map_err(|e| abort(WalError::Io(e)))?;
+        let scan = wal::scan_bytes(&bytes).map_err(abort)?;
+        // The log must connect to the base's fold point: start no later
+        // than the first un-folded record, and (even after tail damage)
+        // reach it. A log failing either check belongs to a different base
+        // — replaying it would fabricate state.
+        let connects = scan.first_seq <= applied_seq + 1 && scan.next_seq() > applied_seq;
+        if !connects {
+            return Err(abort(WalError::BaseLogMismatch {
+                applied_seq,
+                first_seq: scan.first_seq,
+                records: scan.records.len(),
+            }));
+        }
+        let tail_fault = scan.tail.map(|t| (t.offset, t.error));
+        let mut last = applied_seq;
+        for sr in &scan.records {
+            if sr.record.seq <= applied_seq {
+                report.skipped += 1;
+                continue;
+            }
+            match self.apply_delta_inner(sr.record.domain, &sr.record.delta) {
+                Ok(_) => {
+                    report.replayed += 1;
+                    last = sr.record.seq;
+                }
+                Err(e) => {
+                    // A structurally valid record the live path rejects:
+                    // the log and base disagree about the graph state. The
+                    // rejected apply may have mutated the seen graph before
+                    // the failure, so the engine cannot simply keep the
+                    // prefix — surface a wholesale fallback; the caller
+                    // rebuilds from the bare base with the log preserved.
+                    return Err(ReplayAbort {
+                        error: WalError::ReplayRejected {
+                            seq: sr.record.seq,
+                            detail: e.to_string(),
+                        },
+                        mutated: true,
+                    });
+                }
+            }
+        }
+        if let Some((offset, error)) = tail_fault {
+            let side = wal::quarantine_tail(log_path, &bytes, offset as usize).map_err(abort)?;
+            report.dropped_bytes = bytes.len() as u64 - offset;
+            report.quarantine = Some(side);
+            report.tail = Some(error);
+        }
+        report.last_seq = last;
+        DeltaWal::open_end(log_path, last + 1).map_err(abort)
+    }
+
+    /// Folds the write-ahead log into a fresh base artifact and replaces
+    /// the log with an empty one — both via atomic temp-file-then-rename,
+    /// crash-safe at every step:
+    ///
+    /// 1. a checkpoint artifact (frozen model bytes + both live graphs +
+    ///    the fold point) is written beside the base path and renamed over
+    ///    it — a crash before or during this leaves the old base + old log,
+    ///    a crash after leaves the new base + old log;
+    /// 2. a fresh log is written beside the log path and renamed over it.
+    ///
+    /// Sequence numbers are global and never reset, and recovery skips
+    /// records already folded into the base, so the new-base + old-log
+    /// crash window recovers exactly: the stale records are skipped, the
+    /// state is identical.
+    pub fn compact(&mut self) -> Result<CompactionReport> {
+        if self.updater.is_none() {
+            return Err(ServeError::UpdaterMissing);
+        }
+        let d = self.durable.as_mut().ok_or(ServeError::DurabilityMissing)?;
+        if d.wedged {
+            return Err(ServeError::Wal(WalError::Desynced));
+        }
+        let applied_seq = d.applied_seq;
+        let log_bytes_folded = std::fs::metadata(&d.log_path).map(|m| m.len()).unwrap_or(0);
+        let checkpoint = wal::encode_checkpoint(&d.model_bytes, &self.core.seen_x, &self.core.seen_y, applied_seq);
+        wal::atomic_write(&d.base_path, &checkpoint)?;
+        d.wal = DeltaWal::create_replacing(&d.log_path, applied_seq + 1)?;
+        Ok(CompactionReport {
+            applied_seq,
+            checkpoint_bytes: checkpoint.len() as u64,
+            log_bytes_folded,
+        })
+    }
+
+    /// Whether this engine persists accepted deltas to a write-ahead log.
+    pub fn durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Sequence number of the last delta both logged and applied, when the
+    /// engine is durable.
+    pub fn wal_applied_seq(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.applied_seq)
+    }
+
+    /// Flushes the write-ahead log to stable storage (`fdatasync`), so the
+    /// appended records also survive an OS crash, not just a process crash.
+    pub fn wal_sync(&self) -> Result<()> {
+        let d = self.durable.as_ref().ok_or(ServeError::DurabilityMissing)?;
+        Ok(d.wal.sync()?)
     }
 
     /// Loads a quantised serving snapshot (`cdrib_core::artifact`, kind
@@ -579,7 +821,57 @@ impl Recommender {
     /// domain's tables stay unpublished — validation runs across the whole
     /// patch before the first swap, so the served tables never straddle two
     /// epochs.
+    ///
+    /// On a durable engine ([`Recommender::recover`]) the delta is bounds-
+    /// validated, appended to the write-ahead log, and only then applied —
+    /// a crash at any point loses at most the in-flight record (whose torn
+    /// bytes recovery quarantines), never an acknowledged one. The log-
+    /// append failure mode leaves the engine untouched; the (practically
+    /// unreachable) apply-after-append failure mode wedges durable ingest
+    /// with a typed [`WalError::Desynced`] instead of letting the log and
+    /// the live state drift apart silently.
     pub fn apply_delta(&mut self, domain: DomainId, delta: &GraphDelta) -> Result<DeltaOutcome> {
+        if self.updater.is_none() {
+            return Err(ServeError::UpdaterMissing);
+        }
+        let wal_seq = match self.durable.as_mut() {
+            None => None,
+            Some(d) => {
+                if d.wedged {
+                    return Err(ServeError::Wal(WalError::Desynced));
+                }
+                // Pre-validate against the exact acceptance predicate of the
+                // graph apply, so the log only ever records deltas the graph
+                // will accept — append-then-apply must not be able to fail
+                // between the durable write and the graph mutation.
+                let seen = match domain {
+                    DomainId::X => &self.core.seen_x,
+                    DomainId::Y => &self.core.seen_y,
+                };
+                delta.check_bounds(seen.n_users(), seen.n_items())?;
+                Some(d.wal.append(domain, delta)?)
+            }
+        };
+        let outcome = self.apply_delta_inner(domain, delta);
+        if let Some(seq) = wal_seq {
+            let d = self.durable.as_mut().expect("durable state checked above");
+            match &outcome {
+                Ok(_) => d.applied_seq = seq,
+                // The record is durably logged but was not applied: the log
+                // is ahead of the live state. Refuse further durable work
+                // rather than desync silently.
+                Err(_) => d.wedged = true,
+            }
+        }
+        let mut outcome = outcome?;
+        outcome.wal_seq = wal_seq;
+        Ok(outcome)
+    }
+
+    /// The in-memory delta path: graph apply, incremental re-encode,
+    /// catalogue extension, epoch swap. Shared by live ingest and log
+    /// replay (which must mutate state *without* re-appending records).
+    fn apply_delta_inner(&mut self, domain: DomainId, delta: &GraphDelta) -> Result<DeltaOutcome> {
         let updater = self.updater.as_mut().ok_or(ServeError::UpdaterMissing)?;
         let seen = match domain {
             DomainId::X => &mut self.core.seen_x,
@@ -612,6 +904,7 @@ impl Recommender {
             duplicate_edges: updater.effect.duplicate_edges,
             users_reencoded: report.users_reencoded,
             items_reencoded: report.items_reencoded,
+            wal_seq: None,
         })
     }
 

@@ -274,6 +274,81 @@ fn delta_apply_steady_state() {
     assert_eq!(out.len(), 10);
 }
 
+/// The durability path: a warm **WAL-backed** delta ingest — bounds
+/// pre-check, record framing + checksum into the log's reused buffer, the
+/// retried file write, then the in-memory apply — must be allocation-free
+/// at steady state, same bar as the memory-only path above. The record
+/// buffer is pre-sized and recycled across appends, and the happy-path
+/// write never sleeps or allocates, so durability costs a syscall, not
+/// allocator traffic.
+fn wal_append_steady_state() {
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 42).expect("preset");
+    let config = CdribConfig {
+        dim: 16,
+        layers: 2,
+        eval_every: 0,
+        patience: 0,
+        seed: 42,
+        ..CdribConfig::default()
+    };
+    let model = CdribModel::new(&config, &scenario).expect("model");
+    let dir = std::path::Path::new("target").join("wal-fault-injection").join("alloc");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let base = dir.join("base.cdrb");
+    let log = dir.join("deltas.wal");
+    std::fs::remove_file(&log).ok();
+    std::fs::write(&base, model.save_bytes(&scenario)).expect("base artifact");
+    let (mut recommender, report) = Recommender::recover(&base, &log).expect("recover");
+    assert!(report.clean() && report.created_log);
+
+    // Structural warm-up (grows tables, graphs and the record buffer once),
+    // then replayed interactions: the same steady-state workload as the
+    // memory-only path, now flowing through the append-before-apply gate.
+    let user = recommender.seen_graph(DomainId::X).n_users() as u32;
+    recommender
+        .apply_delta(
+            DomainId::X,
+            &GraphDelta {
+                add_users: 1,
+                add_items: 0,
+                edges: vec![(user, 0), (user, 5)],
+            },
+        )
+        .expect("warm growth delta");
+    let replay = GraphDelta {
+        add_users: 0,
+        add_items: 0,
+        edges: vec![
+            (user, 0),
+            recommender.seen_graph(DomainId::X).edges()[0],
+            recommender.seen_graph(DomainId::X).edges()[1],
+        ],
+    };
+    for _ in 0..2 {
+        let outcome = recommender
+            .apply_delta(DomainId::X, &replay)
+            .expect("warm durable delta");
+        assert!(outcome.wal_seq.is_some(), "durable engines log every accepted delta");
+    }
+    let steady = min_allocs_over_windows(|| {
+        for _ in 0..3 {
+            recommender
+                .apply_delta(DomainId::X, &replay)
+                .expect("measured durable delta");
+        }
+    });
+    assert_eq!(
+        steady, 0,
+        "warm WAL-backed delta ingestion must not touch the allocator (got {steady} requests over 3 appends)"
+    );
+    recommender.wal_sync().expect("wal sync");
+    // 1 growth + 2 warm + 3 per measured window (the window count adapts).
+    assert!(
+        recommender.wal_applied_seq().unwrap() >= 6,
+        "every accepted delta must advance the log"
+    );
+}
+
 #[test]
 fn warm_training_steps_are_allocation_free() {
     // Pin the kernels to one thread before the first dispatch: scoped-thread
@@ -345,4 +420,5 @@ fn warm_training_steps_are_allocation_free() {
     full_model_steady_state();
     inference_and_serving_steady_state();
     delta_apply_steady_state();
+    wal_append_steady_state();
 }

@@ -7,6 +7,7 @@
 use cdrib::core::artifact::{MODEL_KIND, MODEL_VERSION, QUANT_KIND, QUANT_VERSION};
 use cdrib::core::{freeze_quant_bytes, load_quant_bytes, CdribConfig, CdribModel, InferenceModel};
 use cdrib::data::{build_preset, Scale, ScenarioKind};
+use cdrib::graph::GraphDelta;
 use cdrib::tensor::artifact as envelope;
 use cdrib::tensor::{ArtifactError, QuantizedTable};
 use proptest::prelude::*;
@@ -16,6 +17,12 @@ use proptest::prelude::*;
 /// builds in milliseconds.
 fn topology() -> impl Strategy<Value = (usize, usize, bool, u64)> {
     (4usize..20, 1usize..4, 0usize..2, 0u64..1000).prop_map(|(dim, layers, nl, seed)| (dim, layers, nl == 1, seed))
+}
+
+/// Ids across the whole `u32` space, with the maximum itself drawn often
+/// enough that the round trip provably survives max-id edges.
+fn wide_id() -> impl Strategy<Value = u32> {
+    (0u32..u32::MAX).prop_map(|v| if v % 13 == 0 { u32::MAX } else { v })
 }
 
 fn build(dim: usize, layers: usize, nonlinear_mean: bool, seed: u64) -> (CdribModel, cdrib::data::CdrScenario) {
@@ -149,5 +156,52 @@ proptest! {
             CdribModel::load_bytes(&wrong_kind),
             Err(ArtifactError::WrongKind { .. })
         ));
+    }
+
+    /// The `GraphDelta` serde round trip the write-ahead log depends on:
+    /// decode(encode(delta)) is the identity, and re-encoding the decoded
+    /// value reproduces the exact same bytes — so a logged delta replays
+    /// bitwise and a rewritten log is byte-stable.
+    #[test]
+    fn graph_delta_serde_roundtrip_is_bitwise_stable(
+        add_users in 0usize..6,
+        add_items in 0usize..6,
+        edges in proptest::collection::vec((wide_id(), wide_id()), 0..24),
+    ) {
+        let delta = GraphDelta { add_users, add_items, edges };
+        let bytes = serde::to_bytes(&delta);
+        let back: GraphDelta = serde::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &delta);
+        prop_assert_eq!(serde::to_bytes(&back), bytes, "re-encode must be byte-identical");
+    }
+}
+
+/// Deterministic edge cases of the delta round trip: the empty delta (a
+/// quiet tick in the log) and edges at the extreme of the id space.
+#[test]
+fn graph_delta_roundtrip_edge_cases() {
+    let cases = [
+        GraphDelta::empty(),
+        GraphDelta {
+            add_users: 0,
+            add_items: 0,
+            edges: vec![(u32::MAX, u32::MAX), (0, u32::MAX), (u32::MAX, 0)],
+        },
+        GraphDelta {
+            add_users: usize::MAX,
+            add_items: usize::MAX,
+            edges: vec![],
+        },
+    ];
+    for delta in cases {
+        let bytes = serde::to_bytes(&delta);
+        let back: GraphDelta = serde::from_bytes(&bytes).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(serde::to_bytes(&back), bytes);
+        // Truncated delta bytes never decode into a silently different
+        // delta — the same guarantee record replay relies on.
+        for cut in 0..bytes.len() {
+            assert!(serde::from_bytes::<GraphDelta>(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 }

@@ -1,0 +1,677 @@
+//! Fault-injection harness for the delta write-ahead log.
+//!
+//! The durability subsystem promises that [`Recommender::recover`] rebuilds
+//! the exact pre-crash engine — bitwise on all four embedding tables,
+//! exactly-equal top-K — for the longest valid prefix of the log, and that
+//! every way a log can be damaged degrades *gracefully*: the damaged bytes
+//! land in a `.quarantine` sidecar, the report says precisely what was
+//! dropped, and the engine never panics and never serves silently wrong
+//! state. This harness drives a deterministic crash-point matrix against a
+//! scripted cross-domain delta sequence:
+//!
+//! 1. **kill points** — the process dies before/after each append, i.e. the
+//!    log is every append-boundary prefix of the full file: recovery is
+//!    clean and matches the live engine's state at that boundary;
+//! 2. **torn tails** — the file is truncated at *every* byte boundary of
+//!    the final record: recovery keeps the longest valid prefix, the torn
+//!    bytes are quarantined verbatim;
+//! 3. **bit rot** — a bit flipped in the final record's length prefix,
+//!    body or checksum, in an interior record, and in the file header:
+//!    record damage ends the prefix there, header damage abandons the log
+//!    wholesale (falling back to the bare base);
+//! 4. **sequence skew** — duplicated, reordered and dropped records are
+//!    rejected structurally even though every byte checksums clean;
+//! 5. **foreign logs** — version skew, garbage, empty files and logs from
+//!    a different base all fall back to the base with a typed reason;
+//! 6. **compaction crash windows** — old-base+old-log, new-base+old-log
+//!    and new-base+new-log all recover to identical state, because
+//!    sequence numbers are global and recovery skips already-folded
+//!    records.
+//!
+//! The state comparison extends the differential pattern of
+//! `tests/delta_parity.rs`: bitwise table equality plus exact top-K probes.
+//! Scratch files live under `target/wal-fault-injection/` so CI can upload
+//! quarantine sidecars when a case fails.
+
+use cdrib_core::{CdribConfig, CdribModel};
+use cdrib_data::{build_preset, Direction, DomainId, Scale, ScenarioKind};
+use cdrib_graph::GraphDelta;
+use cdrib_serve::{wal, DeltaWal, Recommendation, Recommender, RecoveryReport, Request, WalError};
+use cdrib_tensor::Tensor;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Scripted deltas in the fixture log.
+const STEPS: usize = 6;
+
+/// A fresh scratch directory under `target/wal-fault-injection/`.
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new("target").join("wal-fault-injection").join(name);
+    if dir.exists() {
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The engine state a recovery must reproduce: the four embedding tables
+/// (compared bitwise) and top-K lists for a probe grid covering both
+/// directions, old/new users and the cold-start tail.
+struct Snapshot {
+    tables: [Tensor; 4],
+    topk: Vec<(Request, Vec<Recommendation>)>,
+}
+
+fn snapshot(rec: &mut Recommender) -> Snapshot {
+    let tables = [
+        rec.scorer().x_users.clone(),
+        rec.scorer().x_items.clone(),
+        rec.scorer().y_users.clone(),
+        rec.scorer().y_items.clone(),
+    ];
+    let mut topk = Vec::new();
+    let mut out = Vec::new();
+    for direction in [Direction::X_TO_Y, Direction::Y_TO_X] {
+        let n_source = rec.seen_graph(direction.source).n_users();
+        for user in [0, n_source / 2, n_source - 1] {
+            let request = Request {
+                direction,
+                user: user as u32,
+                k: 10,
+            };
+            rec.recommend(&request, &mut out).unwrap();
+            topk.push((request, out.clone()));
+        }
+    }
+    Snapshot { tables, topk }
+}
+
+fn assert_matches(rec: &mut Recommender, snap: &Snapshot, context: &str) {
+    assert_eq!(rec.scorer().x_users, snap.tables[0], "x_users differ: {context}");
+    assert_eq!(rec.scorer().x_items, snap.tables[1], "x_items differ: {context}");
+    assert_eq!(rec.scorer().y_users, snap.tables[2], "y_users differ: {context}");
+    assert_eq!(rec.scorer().y_items, snap.tables[3], "y_items differ: {context}");
+    let mut out = Vec::new();
+    for (request, want) in &snap.topk {
+        rec.recommend(request, &mut out).unwrap();
+        assert_eq!(&out, want, "top-K differs for {request:?}: {context}");
+    }
+}
+
+/// Step `step` of the scripted traffic, materialised against the engine's
+/// *current* graphs: cold users arriving with and without history, catalogue
+/// growth, duplicate interactions and quiet ticks, alternating domains.
+fn scripted_delta(step: usize, rec: &Recommender) -> (DomainId, GraphDelta) {
+    let gx = rec.seen_graph(DomainId::X);
+    let gy = rec.seen_graph(DomainId::Y);
+    let (xu, xi) = (gx.n_users() as u32, gx.n_items() as u32);
+    let (yu, yi) = (gy.n_users() as u32, gy.n_items() as u32);
+    match step % 6 {
+        // A cold user arrives in X with two interactions.
+        0 => (
+            DomainId::X,
+            GraphDelta {
+                add_users: 1,
+                add_items: 0,
+                edges: vec![(xu, 0), (xu, xi - 1)],
+            },
+        ),
+        // A cold user and a brand-new item in Y, plus a duplicate draw.
+        1 => (
+            DomainId::Y,
+            GraphDelta {
+                add_users: 1,
+                add_items: 1,
+                edges: vec![(yu, yi), (yu, 0), (0, 1)],
+            },
+        ),
+        // A quiet tick.
+        2 => (DomainId::X, GraphDelta::empty()),
+        // Replayed events only — no growth, duplicate inside the batch.
+        3 => (
+            DomainId::Y,
+            GraphDelta {
+                add_users: 0,
+                add_items: 0,
+                edges: vec![(1, 1), (1, 1)],
+            },
+        ),
+        // Two cold users in X, one silent, with a new item.
+        4 => (
+            DomainId::X,
+            GraphDelta {
+                add_users: 2,
+                add_items: 1,
+                edges: vec![(xu, xi), (xu + 1, 2)],
+            },
+        ),
+        // One more Y interaction.
+        _ => (
+            DomainId::Y,
+            GraphDelta {
+                add_users: 1,
+                add_items: 0,
+                edges: vec![(yu, 2)],
+            },
+        ),
+    }
+}
+
+/// A durable engine driven through the scripted sequence, with the state
+/// snapshot and log-file length captured at every append boundary.
+struct Fixture {
+    dir: PathBuf,
+    base: PathBuf,
+    log: PathBuf,
+    /// `snapshots[i]` is the live state after `i` deltas.
+    snapshots: Vec<Snapshot>,
+    /// `boundaries[i]` is the log length after `i` appends (`boundaries[0]`
+    /// is the header length).
+    boundaries: Vec<u64>,
+    /// The full final log image.
+    log_bytes: Vec<u8>,
+    /// The live engine, holding the log open at `log`.
+    live: Recommender,
+}
+
+fn build_fixture(name: &str) -> Fixture {
+    let dir = scratch(name);
+    let base = dir.join("base.cdrb");
+    let log = dir.join("deltas.wal");
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 4242).unwrap();
+    let config = CdribConfig {
+        layers: 2,
+        ..CdribConfig::fast_test()
+    };
+    let model = CdribModel::new(&config, &scenario).unwrap();
+    fs::write(&base, model.save_bytes(&scenario)).unwrap();
+
+    let (mut live, report) = Recommender::recover(&base, &log).unwrap();
+    assert!(report.created_log, "first boot must create the log");
+    assert!(report.clean(), "first boot must be clean: {report:?}");
+    let mut snapshots = vec![snapshot(&mut live)];
+    let mut boundaries = vec![fs::metadata(&log).unwrap().len()];
+    for step in 0..STEPS {
+        let (domain, delta) = scripted_delta(step, &live);
+        let outcome = live.apply_delta(domain, &delta).unwrap();
+        assert_eq!(outcome.wal_seq, Some(step as u64 + 1), "appends carry contiguous seqs");
+        live.wal_sync().unwrap();
+        snapshots.push(snapshot(&mut live));
+        boundaries.push(fs::metadata(&log).unwrap().len());
+    }
+    let log_bytes = fs::read(&log).unwrap();
+    assert_eq!(*boundaries.last().unwrap(), log_bytes.len() as u64);
+    Fixture {
+        dir,
+        base,
+        log,
+        snapshots,
+        boundaries,
+        log_bytes,
+        live,
+    }
+}
+
+impl Fixture {
+    /// A per-case subdirectory, so every case keeps its own log and
+    /// quarantine sidecar for post-mortem upload.
+    fn case_dir(&self, label: &str) -> PathBuf {
+        let d = self.dir.join(label);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// Writes `bytes` as a log image in its own case directory and recovers
+    /// against the shared base.
+    fn recover_image(&self, label: &str, bytes: &[u8]) -> (Recommender, RecoveryReport, PathBuf) {
+        let log = self.case_dir(label).join("deltas.wal");
+        fs::write(&log, bytes).unwrap();
+        let (rec, report) = Recommender::recover(&self.base, &log).unwrap();
+        (rec, report, log)
+    }
+
+    /// Byte range of record `i` (0-based) in the log image.
+    fn record_span(&self, i: usize) -> std::ops::Range<usize> {
+        self.boundaries[i] as usize..self.boundaries[i + 1] as usize
+    }
+}
+
+/// Kill points: the log is every append-boundary prefix of the full file
+/// (the crash happened between appends, or before/after the whole run).
+/// Recovery is clean, replays exactly the logged prefix, and reproduces the
+/// live state at that boundary bitwise.
+#[test]
+fn kill_point_matrix_replays_every_append_boundary() {
+    let fx = build_fixture("kill-points");
+    for (i, &end) in fx.boundaries.iter().enumerate() {
+        let label = format!("after-{i}");
+        let (mut rec, report, log) = fx.recover_image(&label, &fx.log_bytes[..end as usize]);
+        assert!(report.clean(), "prefix of {i} appends must recover clean: {report:?}");
+        assert_eq!(report.replayed, i);
+        assert_eq!(report.last_seq, i as u64);
+        assert_eq!(rec.wal_applied_seq(), Some(i as u64));
+        assert!(
+            !wal::quarantine_path(&log).exists(),
+            "clean recovery must not quarantine"
+        );
+        assert_matches(&mut rec, &fx.snapshots[i], &format!("kill point after {i} appends"));
+    }
+
+    // The recovered engine keeps ingesting durably where the log left off,
+    // staying in lockstep with the uninterrupted live engine.
+    let (mut rec, _, log) = fx.recover_image("continue", &fx.log_bytes);
+    let (domain, delta) = scripted_delta(STEPS, &rec);
+    let outcome = rec.apply_delta(domain, &delta).unwrap();
+    assert_eq!(outcome.wal_seq, Some(STEPS as u64 + 1));
+    rec.wal_sync().unwrap();
+    let Fixture { mut live, .. } = fx;
+    live.apply_delta(domain, &delta).unwrap();
+    let want = snapshot(&mut live);
+    assert_matches(&mut rec, &want, "continued ingest after recovery");
+    // And the extended log itself replays clean.
+    drop(rec);
+    let (mut again, report) =
+        Recommender::recover(log.parent().unwrap().parent().unwrap().join("base.cdrb"), &log).unwrap();
+    assert!(report.clean(), "{report:?}");
+    assert_eq!(report.replayed, STEPS + 1);
+    assert_matches(&mut again, &want, "re-recovery of the extended log");
+}
+
+/// Torn tails: the file is cut at every byte boundary inside the final
+/// record (a crash mid-append). Recovery keeps the longest valid prefix,
+/// truncates the log back to it, and preserves the torn bytes verbatim in
+/// the quarantine sidecar.
+#[test]
+fn torn_tail_truncation_matrix_keeps_longest_valid_prefix() {
+    let fx = build_fixture("torn-tail");
+    let last_start = fx.boundaries[STEPS - 1] as usize;
+    for cut in last_start + 1..fx.log_bytes.len() {
+        let label = format!("cut-{cut}");
+        let (mut rec, report, log) = fx.recover_image(&label, &fx.log_bytes[..cut]);
+        assert_eq!(report.replayed, STEPS - 1, "cut at byte {cut}");
+        assert!(
+            matches!(report.tail, Some(WalError::TornTail { .. })),
+            "cut at byte {cut} must read as a torn tail: {:?}",
+            report.tail
+        );
+        assert!(report.fallback.is_none(), "tail damage must not abandon the log");
+        assert_eq!(report.dropped_bytes, (cut - last_start) as u64);
+        let side = report.quarantine.as_ref().expect("torn bytes must be quarantined");
+        assert_eq!(
+            fs::read(side).unwrap(),
+            &fx.log_bytes[last_start..cut],
+            "quarantine must hold the torn bytes verbatim (cut {cut})"
+        );
+        assert_eq!(
+            fs::metadata(&log).unwrap().len(),
+            last_start as u64,
+            "log must be truncated to the valid prefix (cut {cut})"
+        );
+        assert_matches(
+            &mut rec,
+            &fx.snapshots[STEPS - 1],
+            &format!("torn tail, cut at byte {cut}"),
+        );
+    }
+}
+
+/// Bit rot: a single bit flipped at every byte of the final record (length
+/// prefix, sequence number, domain tag, delta payload, checksum), in an
+/// interior record, and in the file header. Record damage ends the prefix
+/// at the damaged record; header damage abandons the log wholesale.
+#[test]
+fn bit_flip_matrix_is_always_detected() {
+    let fx = build_fixture("bit-flips");
+    let last_start = fx.boundaries[STEPS - 1] as usize;
+
+    for pos in last_start..fx.log_bytes.len() {
+        let mut bytes = fx.log_bytes.clone();
+        bytes[pos] ^= 1 << (pos % 8);
+        let label = format!("flip-{pos}");
+        let (mut rec, report, _log) = fx.recover_image(&label, &bytes);
+        assert!(
+            report.fallback.is_none(),
+            "record damage must not abandon the log (flip {pos})"
+        );
+        let tail = report
+            .tail
+            .as_ref()
+            .unwrap_or_else(|| panic!("flip at byte {pos} went undetected"));
+        assert!(
+            matches!(
+                tail,
+                WalError::RecordChecksum { .. }
+                    | WalError::TornTail { .. }
+                    | WalError::BadRecord { .. }
+                    | WalError::SequenceSkew { .. }
+            ),
+            "flip at byte {pos}: unexpected verdict {tail:?}"
+        );
+        assert_eq!(report.replayed, STEPS - 1, "flip at byte {pos}");
+        assert_eq!(
+            fs::read(report.quarantine.as_ref().unwrap()).unwrap(),
+            &bytes[last_start..],
+            "flip at byte {pos}"
+        );
+        assert_matches(&mut rec, &fx.snapshots[STEPS - 1], &format!("bit flip at byte {pos}"));
+    }
+
+    // A flip inside an interior record ends the prefix there: the later
+    // (intact) records are unreachable past the damage and are quarantined
+    // with it, never replayed out of order.
+    let interior = 2;
+    let span = fx.record_span(interior);
+    for pos in [span.start, span.start + 6, span.end - 1] {
+        let mut bytes = fx.log_bytes.clone();
+        bytes[pos] ^= 0x10;
+        let label = format!("interior-flip-{pos}");
+        let (mut rec, report, _log) = fx.recover_image(&label, &bytes);
+        assert_eq!(report.replayed, interior, "interior flip at byte {pos}");
+        assert!(report.tail.is_some() && report.fallback.is_none());
+        assert_eq!(report.dropped_bytes, (fx.log_bytes.len() - span.start) as u64);
+        assert_matches(
+            &mut rec,
+            &fx.snapshots[interior],
+            &format!("interior flip at byte {pos}"),
+        );
+    }
+
+    // A flip inside the file header: the envelope checksum catches it, the
+    // whole log is quarantined, and the engine starts from the bare base
+    // with a fresh log — still able to ingest.
+    let header_len = fx.boundaries[0] as usize;
+    for pos in [1, 5, header_len / 2, header_len - 1] {
+        let mut bytes = fx.log_bytes.clone();
+        bytes[pos] ^= 1 << (pos % 8);
+        let label = format!("header-flip-{pos}");
+        let (mut rec, report, log) = fx.recover_image(&label, &bytes);
+        assert!(
+            matches!(report.fallback, Some(WalError::Header(_))),
+            "header flip at byte {pos}: {:?}",
+            report.fallback
+        );
+        assert_eq!(report.replayed, 0);
+        assert!(report.created_log, "fallback must start a fresh log");
+        assert_eq!(report.dropped_bytes, bytes.len() as u64);
+        assert_eq!(fs::read(report.quarantine.as_ref().unwrap()).unwrap(), bytes);
+        assert_matches(&mut rec, &fx.snapshots[0], &format!("header flip at byte {pos}"));
+        let (domain, delta) = scripted_delta(0, &rec);
+        assert_eq!(rec.apply_delta(domain, &delta).unwrap().wal_seq, Some(1));
+        drop(rec);
+        let scan = wal::scan_bytes(&fs::read(&log).unwrap()).unwrap();
+        assert_eq!(scan.records.len(), 1, "the fresh log holds the new record");
+    }
+}
+
+/// Sequence skew: duplicated, reordered and dropped records checksum clean
+/// but are rejected structurally by the monotone sequence numbers.
+#[test]
+fn duplicated_reordered_and_dropped_records_are_rejected() {
+    let fx = build_fixture("sequence-skew");
+
+    // Duplicate the final record: byte-identical, so only the sequence
+    // number betrays it. The first copy replays, the duplicate is dropped.
+    let final_span = fx.record_span(STEPS - 1);
+    let mut dup = fx.log_bytes.clone();
+    dup.extend_from_slice(&fx.log_bytes[final_span.clone()]);
+    let (mut rec, report, _) = fx.recover_image("duplicate", &dup);
+    assert_eq!(report.replayed, STEPS);
+    assert!(
+        matches!(
+            report.tail,
+            Some(WalError::SequenceSkew { expected, found, .. })
+                if expected == STEPS as u64 + 1 && found == STEPS as u64
+        ),
+        "{:?}",
+        report.tail
+    );
+    assert_eq!(report.dropped_bytes, final_span.len() as u64);
+    assert_matches(&mut rec, &fx.snapshots[STEPS], "duplicated final record");
+
+    // Swap the last two records: the prefix ends where order breaks.
+    let prev_span = fx.record_span(STEPS - 2);
+    let mut swapped = fx.log_bytes[..prev_span.start].to_vec();
+    swapped.extend_from_slice(&fx.log_bytes[final_span.clone()]);
+    swapped.extend_from_slice(&fx.log_bytes[prev_span.clone()]);
+    let (mut rec, report, _) = fx.recover_image("reordered", &swapped);
+    assert_eq!(report.replayed, STEPS - 2);
+    assert!(
+        matches!(
+            report.tail,
+            Some(WalError::SequenceSkew { expected, found, .. })
+                if expected == STEPS as u64 - 1 && found == STEPS as u64
+        ),
+        "{:?}",
+        report.tail
+    );
+    assert_matches(&mut rec, &fx.snapshots[STEPS - 2], "reordered records");
+
+    // Drop an interior record: the gap is detected at the splice point and
+    // nothing after it is replayed (replaying across a hole would fabricate
+    // state).
+    let hole = fx.record_span(3);
+    let mut gapped = fx.log_bytes[..hole.start].to_vec();
+    gapped.extend_from_slice(&fx.log_bytes[hole.end..]);
+    let (mut rec, report, _) = fx.recover_image("gap", &gapped);
+    assert_eq!(report.replayed, 3);
+    assert!(
+        matches!(
+            report.tail,
+            Some(WalError::SequenceSkew {
+                expected: 4,
+                found: 5,
+                ..
+            })
+        ),
+        "{:?}",
+        report.tail
+    );
+    assert_matches(&mut rec, &fx.snapshots[3], "dropped interior record");
+}
+
+/// Unreadable or foreign logs: version skew, garbage bytes, empty and
+/// header-truncated files, and a log whose sequence range cannot connect to
+/// the base. All fall back to the bare base with a typed reason, preserve
+/// the rejected file wholesale, and leave a working fresh log behind.
+#[test]
+fn unreadable_or_foreign_logs_fall_back_to_the_base() {
+    let fx = build_fixture("fallback");
+    let records = &fx.log_bytes[fx.boundaries[0] as usize..];
+
+    let expect_fallback = |label: &str, bytes: &[u8], rec: &mut Recommender, report: &RecoveryReport| {
+        assert_eq!(report.replayed, 0, "{label}");
+        assert_eq!(report.skipped, 0, "{label}");
+        assert!(report.created_log, "{label}: fallback must start a fresh log");
+        assert_eq!(report.dropped_bytes, bytes.len() as u64, "{label}");
+        assert_eq!(
+            fs::read(report.quarantine.as_ref().unwrap()).unwrap(),
+            bytes,
+            "{label}: the whole file must be preserved"
+        );
+        assert_matches(rec, &fx.snapshots[0], label);
+    };
+
+    // Version skew: valid records under a future-format header.
+    let mut skewed = cdrib_tensor::artifact::encode(wal::WAL_KIND, wal::WAL_VERSION + 1, &1u64.to_le_bytes());
+    skewed.extend_from_slice(records);
+    let (mut rec, report, _) = fx.recover_image("version-skew", &skewed);
+    assert!(
+        matches!(
+            report.fallback,
+            Some(WalError::Header(cdrib_tensor::ArtifactError::UnsupportedVersion { .. }))
+        ),
+        "{:?}",
+        report.fallback
+    );
+    expect_fallback("version skew", &skewed, &mut rec, &report);
+
+    // Garbage bytes.
+    let garbage = b"this is not a write-ahead log".to_vec();
+    let (mut rec, report, _) = fx.recover_image("garbage", &garbage);
+    assert!(
+        matches!(report.fallback, Some(WalError::Header(_))),
+        "{:?}",
+        report.fallback
+    );
+    expect_fallback("garbage", &garbage, &mut rec, &report);
+
+    // An empty file and a file cut inside the header.
+    for cut in [0usize, fx.boundaries[0] as usize / 2] {
+        let bytes = fx.log_bytes[..cut].to_vec();
+        let (mut rec, report, _) = fx.recover_image(&format!("header-cut-{cut}"), &bytes);
+        assert!(
+            matches!(report.fallback, Some(WalError::Header(_))),
+            "cut at {cut}: {:?}",
+            report.fallback
+        );
+        expect_fallback(&format!("header cut at {cut}"), &bytes, &mut rec, &report);
+    }
+
+    // A log that provably belongs to a different base: it starts at seq 5,
+    // but the plain-model base has folded nothing.
+    let foreign_log = fx.case_dir("foreign").join("deltas.wal");
+    drop(DeltaWal::create(&foreign_log, 5).unwrap());
+    let foreign_bytes = fs::read(&foreign_log).unwrap();
+    let (mut rec, report) = Recommender::recover(&fx.base, &foreign_log).unwrap();
+    assert!(
+        matches!(
+            report.fallback,
+            Some(WalError::BaseLogMismatch {
+                applied_seq: 0,
+                first_seq: 5,
+                records: 0
+            })
+        ),
+        "{:?}",
+        report.fallback
+    );
+    expect_fallback("foreign log", &foreign_bytes, &mut rec, &report);
+
+    // After any fallback the engine ingests durably again.
+    let (domain, delta) = scripted_delta(0, &rec);
+    assert_eq!(rec.apply_delta(domain, &delta).unwrap().wal_seq, Some(1));
+}
+
+/// Compaction folds the log into a checkpoint base + fresh log via two
+/// atomic renames. Every crash window between them recovers to the same
+/// state: sequence numbers are global, so records the checkpoint already
+/// folded are recognised and skipped, never double-applied.
+#[test]
+fn compaction_is_crash_safe_in_every_window() {
+    let fx = build_fixture("compaction");
+    let Fixture {
+        dir,
+        base,
+        log,
+        snapshots,
+        log_bytes,
+        mut live,
+        ..
+    } = fx;
+    let stage = |label: &str, base_from: &Path, log_image: &[u8]| -> (PathBuf, PathBuf) {
+        let d = dir.join(label);
+        fs::create_dir_all(&d).unwrap();
+        let b = d.join("base.cdrb");
+        let l = d.join("deltas.wal");
+        fs::copy(base_from, &b).unwrap();
+        fs::write(&l, log_image).unwrap();
+        (b, l)
+    };
+
+    // Window A staged before compaction runs: old base + old log.
+    let (base_a, log_a) = stage("old-base-old-log", &base, &log_bytes);
+
+    let report = live.compact().unwrap();
+    assert_eq!(report.applied_seq, STEPS as u64);
+    assert_eq!(report.log_bytes_folded, log_bytes.len() as u64);
+    assert!(report.checkpoint_bytes > 0);
+    assert!(
+        !dir.join("base.cdrb.tmp").exists(),
+        "compaction must clean up its temp files"
+    );
+    assert!(!dir.join("deltas.wal.tmp").exists());
+    assert!(
+        fs::metadata(&log).unwrap().len() < log_bytes.len() as u64,
+        "compaction must shrink the log"
+    );
+    assert_matches(&mut live, &snapshots[STEPS], "live state must survive compaction");
+
+    // Window B: crash between the two renames — new base + old log.
+    let (base_b, log_b) = stage("new-base-old-log", &base, &log_bytes);
+    // Window C: crash after both renames — new base + new (empty) log. A
+    // stray temp file from a crash mid-atomic-write must be ignored.
+    let (base_c, log_c) = stage("new-base-new-log", &base, &fs::read(&log).unwrap());
+    fs::write(dir.join("new-base-new-log").join("base.cdrb.tmp"), b"torn checkpoint").unwrap();
+
+    let cases = [
+        ("old base + old log", &base_a, &log_a, STEPS, 0),
+        ("new base + old log", &base_b, &log_b, 0, STEPS),
+        ("new base + new log", &base_c, &log_c, 0, 0),
+    ];
+    for (label, b, l, replayed, skipped) in cases {
+        let (mut rec, report) = Recommender::recover(b, l).unwrap();
+        assert!(report.clean(), "{label}: {report:?}");
+        assert_eq!(report.replayed, replayed, "{label}");
+        assert_eq!(report.skipped, skipped, "{label}");
+        assert_eq!(report.last_seq, STEPS as u64, "{label}");
+        assert_matches(&mut rec, &snapshots[STEPS], label);
+    }
+
+    // Life continues after compaction: sequence numbers never reset, more
+    // deltas land in the fresh log, and a second fold stays recoverable.
+    for step in STEPS..STEPS + 2 {
+        let (domain, delta) = scripted_delta(step, &live);
+        let outcome = live.apply_delta(domain, &delta).unwrap();
+        assert_eq!(outcome.wal_seq, Some(step as u64 + 1));
+    }
+    live.wal_sync().unwrap();
+    let want = snapshot(&mut live);
+    let (base_d, log_d) = stage("post-compaction", &base, &fs::read(&log).unwrap());
+    let (mut rec, report) = Recommender::recover(&base_d, &log_d).unwrap();
+    assert!(report.clean(), "{report:?}");
+    assert_eq!(report.base_applied_seq, STEPS as u64);
+    assert_eq!(report.replayed, 2);
+    assert_matches(&mut rec, &want, "recovery from checkpoint + post-compaction deltas");
+
+    let second = live.compact().unwrap();
+    assert_eq!(second.applied_seq, STEPS as u64 + 2);
+    let (base_e, log_e) = stage("second-fold", &base, &fs::read(&log).unwrap());
+    let (mut rec, report) = Recommender::recover(&base_e, &log_e).unwrap();
+    assert!(report.clean(), "{report:?}");
+    assert_eq!(report.base_applied_seq, STEPS as u64 + 2);
+    assert_eq!(report.replayed, 0);
+    assert_matches(&mut rec, &want, "recovery after the second fold");
+}
+
+/// After a torn-tail recovery the engine resumes durable ingest: the
+/// quarantined record's sequence number is re-issued (it was never
+/// applied), the repaired log extends cleanly, and a second recovery of
+/// the resumed log reproduces the resumed state.
+#[test]
+fn recovery_after_tail_damage_resumes_durable_ingest() {
+    let fx = build_fixture("resume");
+    let last_start = fx.boundaries[STEPS - 1] as usize;
+    let cut = last_start + (fx.log_bytes.len() - last_start) / 2;
+    let (mut rec, report, log) = fx.recover_image("torn", &fx.log_bytes[..cut]);
+    assert_eq!(report.replayed, STEPS - 1);
+    assert_eq!(report.last_seq, STEPS as u64 - 1);
+
+    // The torn record carried seq STEPS but never applied; the next append
+    // re-issues it, keeping the log gapless.
+    let (domain, delta) = scripted_delta(1, &rec);
+    let outcome = rec.apply_delta(domain, &delta).unwrap();
+    assert_eq!(outcome.wal_seq, Some(STEPS as u64));
+    rec.wal_sync().unwrap();
+    let want = snapshot(&mut rec);
+
+    // The repaired-and-extended log is clean end to end…
+    let scan = wal::scan_bytes(&fs::read(&log).unwrap()).unwrap();
+    assert!(scan.tail.is_none());
+    assert_eq!(scan.records.len(), STEPS);
+    // …and recovering it (into a copy — the first engine still holds the
+    // file open) reproduces the resumed state exactly.
+    let (mut again, report, _) = fx.recover_image("torn-again", &fs::read(&log).unwrap());
+    assert!(report.clean(), "{report:?}");
+    assert_eq!(report.replayed, STEPS);
+    assert_matches(&mut again, &want, "re-recovery of the resumed log");
+}
