@@ -20,7 +20,9 @@
 use crate::config::CdribConfig;
 use crate::model::{CdribEmbeddings, CdribModel};
 use cdrib_data::CdrScenario;
+use cdrib_graph::BipartiteGraph;
 use cdrib_tensor::artifact as envelope;
+use cdrib_tensor::artifact::v2;
 use cdrib_tensor::{ArtifactError, ParamSet, QuantizedTable, Tensor};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -35,6 +37,25 @@ pub const MODEL_VERSION: u32 = 1;
 pub const QUANT_KIND: &str = "cdrib.quant";
 /// Payload format version of [`QuantArtifact`]; bump on any layout change.
 pub const QUANT_VERSION: u32 = 1;
+
+/// Kind tag of the zero-copy serving container (artifact **v2**,
+/// [`cdrib_tensor::artifact::v2`]). Unlike the serde-payload kinds above,
+/// this is a fixed-layout sectioned file whose tables are served straight
+/// from a memory map.
+pub const SERVE_KIND: &str = "cdrib.serve";
+/// Kind version of the serve container; bump on any section layout change.
+pub const SERVE_VERSION: u32 = 1;
+
+/// `meta` flag bit: the container carries int8 quantised item tables.
+pub const SERVE_FLAG_QUANT: u64 = 1;
+/// `meta` flag bit: the container embeds the full v1 model artifact (needed
+/// to serve online deltas / durable logging from a mapped base).
+pub const SERVE_FLAG_MODEL: u64 = 1 << 1;
+
+/// Number of u64 fields in the serve container's `meta` section:
+/// `[dim, xu_rows, xi_rows, yu_rows, yi_rows, sx_edges, sy_edges,
+///   shared_user_prefix, score_kind, flags]`.
+pub const SERVE_META_FIELDS: usize = 10;
 
 /// The serialized payload of a model artifact.
 #[derive(Serialize, Deserialize)]
@@ -168,6 +189,143 @@ pub fn freeze_quant_bytes(model: &CdribModel, scenario: &CdrScenario) -> Result<
         detail: format!("inference forward failed: {e}"),
     })?;
     Ok(save_quant_bytes(&embeddings, scenario))
+}
+
+fn le_f32(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn le_u32(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn le_i32(values: &[i32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn le_u64(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn le_i8(values: &[i8]) -> Vec<u8> {
+    values.iter().map(|&v| v as u8).collect()
+}
+
+/// Appends a seen graph's CSR form: an offsets section (`u64[n_users + 1]`)
+/// and a concatenated sorted-items section (`u32[n_edges]`). This is the
+/// exact shape the serve path's seen-filter cursor walks, so a mapped
+/// container serves filtering with zero decoding.
+fn push_graph_csr(w: &mut v2::Writer, off_name: &str, items_name: &str, graph: &BipartiteGraph) {
+    let mut offsets = Vec::with_capacity(graph.n_users() + 1);
+    let mut items = Vec::with_capacity(graph.n_edges());
+    offsets.push(0u64);
+    for u in 0..graph.n_users() {
+        items.extend_from_slice(graph.items_of(u));
+        offsets.push(items.len() as u64);
+    }
+    w.push(off_name, 8, &le_u64(&offsets));
+    w.push(items_name, 4, &le_u32(&items));
+}
+
+fn push_quant(w: &mut v2::Writer, prefix: &str, table: &QuantizedTable) {
+    let view = table.view();
+    w.push(&format!("{prefix}_d"), 1, &le_i8(view.data));
+    w.push(&format!("{prefix}_s"), 4, &le_f32(view.scales));
+    w.push(&format!("{prefix}_u"), 4, &le_i32(view.row_sums));
+    w.push(&format!("{prefix}_n"), 4, &le_i32(view.row_norms));
+}
+
+/// Freezes a trained model into the zero-copy **serve v2** container.
+///
+/// Sections (all 64-byte aligned, little-endian):
+/// `meta` (see [`SERVE_META_FIELDS`]), the four f32 embedding tables
+/// `xu`/`xi`/`yu`/`yi`, both training graphs in CSR form
+/// (`sx_off`/`sx_itm`, `sy_off`/`sy_itm`), the serving catalogues
+/// `cx`/`cy`, and optionally the int8 quantised item tables
+/// (`qx_*`/`qy_*`, [`SERVE_FLAG_QUANT`]) and the embedded v1 model
+/// artifact (`model`, [`SERVE_FLAG_MODEL`]) that lets a mapped engine
+/// ingest online deltas and recover through the WAL.
+pub fn save_serve_v2_bytes(
+    model: &CdribModel,
+    scenario: &CdrScenario,
+    include_quant: bool,
+    include_model: bool,
+) -> Result<Vec<u8>, ArtifactError> {
+    let embeddings = model.infer_embeddings().map_err(|e| ArtifactError::Mismatch {
+        detail: format!("inference forward failed: {e}"),
+    })?;
+    let dim = embeddings.x_users.cols() as u64;
+    let mut flags = 0u64;
+    if include_quant {
+        flags |= SERVE_FLAG_QUANT;
+    }
+    if include_model {
+        flags |= SERVE_FLAG_MODEL;
+    }
+    let meta = [
+        dim,
+        embeddings.x_users.rows() as u64,
+        embeddings.x_items.rows() as u64,
+        embeddings.y_users.rows() as u64,
+        embeddings.y_items.rows() as u64,
+        scenario.x.train.n_edges() as u64,
+        scenario.y.train.n_edges() as u64,
+        scenario.n_overlap_total as u64,
+        0, // score kind: dot
+        flags,
+    ];
+    debug_assert_eq!(meta.len(), SERVE_META_FIELDS);
+
+    let mut w = v2::Writer::new(SERVE_KIND, SERVE_VERSION);
+    w.push("meta", 8, &le_u64(&meta));
+    w.push("xu", 4, &le_f32(embeddings.x_users.as_slice()));
+    w.push("xi", 4, &le_f32(embeddings.x_items.as_slice()));
+    w.push("yu", 4, &le_f32(embeddings.y_users.as_slice()));
+    w.push("yi", 4, &le_f32(embeddings.y_items.as_slice()));
+    push_graph_csr(&mut w, "sx_off", "sx_itm", &scenario.x.train);
+    push_graph_csr(&mut w, "sy_off", "sy_itm", &scenario.y.train);
+    let cx: Vec<u32> = (0..scenario.x.train.n_items() as u32).collect();
+    let cy: Vec<u32> = (0..scenario.y.train.n_items() as u32).collect();
+    w.push("cx", 4, &le_u32(&cx));
+    w.push("cy", 4, &le_u32(&cy));
+    if include_quant {
+        push_quant(&mut w, "qx", &QuantizedTable::from_tensor(&embeddings.x_items));
+        push_quant(&mut w, "qy", &QuantizedTable::from_tensor(&embeddings.y_items));
+    }
+    if include_model {
+        w.push("model", 1, &save_model_bytes(model, scenario));
+    }
+    Ok(w.finish())
+}
+
+/// Writes a serve v2 container to a file.
+pub fn save_serve_v2_file(
+    model: &CdribModel,
+    scenario: &CdrScenario,
+    include_quant: bool,
+    include_model: bool,
+    path: impl AsRef<Path>,
+) -> Result<(), ArtifactError> {
+    Ok(std::fs::write(
+        path,
+        save_serve_v2_bytes(model, scenario, include_quant, include_model)?,
+    )?)
 }
 
 /// Writes a model artifact to a file.

@@ -36,7 +36,8 @@ pub mod vbge;
 
 pub use artifact::{
     freeze_quant_bytes, load_model_bytes, load_model_file, load_quant_bytes, save_model_bytes, save_model_file,
-    save_quant_bytes, QuantArtifact,
+    save_quant_bytes, save_serve_v2_bytes, save_serve_v2_file, QuantArtifact, SERVE_FLAG_MODEL, SERVE_FLAG_QUANT,
+    SERVE_KIND, SERVE_META_FIELDS, SERVE_VERSION,
 };
 pub use config::{CdribConfig, CdribVariant};
 pub use error::{CoreError, Result};

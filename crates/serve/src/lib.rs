@@ -62,6 +62,7 @@
 pub mod delta;
 pub mod error;
 pub mod recommender;
+mod seen;
 pub mod topk;
 pub mod wal;
 

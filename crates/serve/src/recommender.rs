@@ -23,17 +23,20 @@
 
 use crate::delta::{DeltaOutcome, OnlineUpdater};
 use crate::error::{Result, ServeError};
+use crate::seen::SeenFilter;
 use crate::topk::{ranks_above, Recommendation, TopK};
 use crate::wal::{self, CompactionReport, DeltaWal, DurableLog, RecoveryReport, WalError};
 use cdrib_core::{CdribEmbeddings, InferenceModel};
 use cdrib_data::{CdrScenario, Direction, DomainId};
 use cdrib_eval::{EmbeddingScorer, ScoreKind};
 use cdrib_graph::{BipartiteGraph, GraphDelta};
-use cdrib_tensor::artifact::ArtifactError;
+use cdrib_tensor::artifact::{v2, ArtifactError};
 use cdrib_tensor::kernels::{self, QuantUser};
+use cdrib_tensor::mmap::{self, MappedRegion};
 use cdrib_tensor::quant::quantize_user_into;
-use cdrib_tensor::QuantizedTable;
+use cdrib_tensor::{QuantizedTable, TableStorage, Tensor};
 use std::path::Path;
+use std::sync::Arc;
 
 /// One top-K recommendation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,9 +74,10 @@ struct ServeCore {
     scorer: EmbeddingScorer,
     /// Known (training-time) interactions per domain, used to filter items
     /// the user already has. Cold-start users have none in their target
-    /// domain by construction.
-    seen_x: BipartiteGraph,
-    seen_y: BipartiteGraph,
+    /// domain by construction. Backed by a materialised graph or, on a
+    /// zero-copy v2 load, by mapped CSR sections (see [`crate::seen`]).
+    seen_x: SeenFilter,
+    seen_y: SeenFilter,
     /// User indices below this bound name the *same person* in both
     /// domains (the scenario's shared overlap prefix); at or above it, the
     /// same index in the two user tables refers to unrelated domain-only
@@ -83,9 +87,11 @@ struct ServeCore {
     /// user would alias whichever target user shares their index).
     shared_user_prefix: usize,
     /// The full candidate id range `0..n_items` per domain, kept
-    /// materialised so chunked scoring can slice it without rebuilding.
-    catalogue_x: Vec<u32>,
-    catalogue_y: Vec<u32>,
+    /// materialised so chunked scoring can slice it without rebuilding;
+    /// served straight from the container's `cx`/`cy` sections on a mapped
+    /// engine, copied owned when deltas grow the catalogue.
+    catalogue_x: TableStorage<u32>,
+    catalogue_y: TableStorage<u32>,
     /// Int8 mirrors of the item tables, present whenever int8 scoring has
     /// been enabled (and kept coherent by delta ingest from then on).
     quant_x_items: Option<QuantizedTable>,
@@ -110,6 +116,50 @@ struct ReplayAbort {
     mutated: bool,
 }
 
+/// The decoded interpretation of a recovery base file, kept around so the
+/// fallback path can rebuild the exact same engine after a poisoned replay.
+enum RecoveryBase {
+    /// A compaction checkpoint: model bytes + folded graphs + fold point.
+    Checkpoint {
+        model: Vec<u8>,
+        gx: BipartiteGraph,
+        gy: BipartiteGraph,
+        applied_seq: u64,
+    },
+    /// A plain frozen model artifact (v1 envelope).
+    Model(Vec<u8>),
+    /// A serve v2 container, served zero-copy off the map; `model` is its
+    /// embedded v1 model artifact (what later checkpoints re-freeze from).
+    ServeV2 { model: Vec<u8> },
+}
+
+impl RecoveryBase {
+    fn applied_seq(&self) -> u64 {
+        match self {
+            RecoveryBase::Checkpoint { applied_seq, .. } => *applied_seq,
+            RecoveryBase::Model(_) | RecoveryBase::ServeV2 { .. } => 0,
+        }
+    }
+
+    fn build(&self, base_path: &Path) -> Result<Recommender> {
+        match self {
+            RecoveryBase::Checkpoint { model, gx, gy, .. } => {
+                Recommender::rebuild_online_from_base(model, Some((gx.clone(), gy.clone())))
+            }
+            RecoveryBase::Model(bytes) => Recommender::rebuild_online_from_base(bytes, None),
+            RecoveryBase::ServeV2 { .. } => Recommender::from_serve_v2_file_online(base_path),
+        }
+    }
+
+    fn into_model_bytes(self) -> Vec<u8> {
+        match self {
+            RecoveryBase::Checkpoint { model, .. } => model,
+            RecoveryBase::Model(bytes) => bytes,
+            RecoveryBase::ServeV2 { model } => model,
+        }
+    }
+}
+
 /// A warm, thread-capable top-K recommendation engine.
 pub struct Recommender {
     core: ServeCore,
@@ -127,7 +177,7 @@ pub struct Recommender {
 }
 
 impl ServeCore {
-    fn seen(&self, domain: DomainId) -> &BipartiteGraph {
+    fn seen(&self, domain: DomainId) -> &SeenFilter {
         match domain {
             DomainId::X => &self.seen_x,
             DomainId::Y => &self.seen_y,
@@ -161,9 +211,9 @@ impl ServeCore {
     /// delta-appended user has no target history, and whatever target user
     /// happens to share their index is a stranger.
     fn cross_domain_seen(&self, target: DomainId, user: u32) -> &[u32] {
-        let graph = self.seen(target);
-        if (user as usize) < self.shared_user_prefix && (user as usize) < graph.n_users() {
-            graph.items_of(user as usize)
+        let seen = self.seen(target);
+        if (user as usize) < self.shared_user_prefix && (user as usize) < seen.n_users() {
+            seen.items_of(user as usize)
         } else {
             &[]
         }
@@ -385,32 +435,38 @@ impl Recommender {
                 return Err(ServeError::NonFiniteEmbeddings { table: name });
             }
         }
-        let catalogue_x: Vec<u32> = (0..seen_x.n_items() as u32).collect();
-        let catalogue_y: Vec<u32> = (0..seen_y.n_items() as u32).collect();
+        let catalogue_x: TableStorage<u32> = (0..seen_x.n_items() as u32).collect();
+        let catalogue_y: TableStorage<u32> = (0..seen_y.n_items() as u32).collect();
+        Ok(Recommender::with_core(ServeCore {
+            scorer,
+            seen_x: SeenFilter::from_graph(seen_x),
+            seen_y: SeenFilter::from_graph(seen_y),
+            // Bare-table construction has no scenario to name the
+            // overlap prefix; default to "every common index is the
+            // same person" (single-id-space deployments). Scenario
+            // constructors narrow it to `n_overlap_total`.
+            shared_user_prefix: usize::MAX,
+            catalogue_x,
+            catalogue_y,
+            quant_x_items: None,
+            quant_y_items: None,
+            precision: ScoringPrecision::F32,
+        }))
+    }
+
+    /// Wraps a finished core with warm per-worker scratches — the shared
+    /// tail of every construction path.
+    fn with_core(core: ServeCore) -> Self {
         let workers = cdrib_tensor::kernels::parallelism().max(1);
         let mut scratches = Vec::with_capacity(workers);
         scratches.resize_with(workers, RequestScratch::default);
-        Ok(Recommender {
-            core: ServeCore {
-                scorer,
-                seen_x,
-                seen_y,
-                // Bare-table construction has no scenario to name the
-                // overlap prefix; default to "every common index is the
-                // same person" (single-id-space deployments). Scenario
-                // constructors narrow it to `n_overlap_total`.
-                shared_user_prefix: usize::MAX,
-                catalogue_x,
-                catalogue_y,
-                quant_x_items: None,
-                quant_y_items: None,
-                precision: ScoringPrecision::F32,
-            },
+        Recommender {
+            core,
             scratches,
             updater: None,
             durable: None,
             epoch: 0,
-        })
+        }
     }
 
     /// The bound below which user indices are treated as the same person in
@@ -529,6 +585,187 @@ impl Recommender {
         Recommender::from_inference(&mut inference, &scenario)
     }
 
+    /// Opens a serve v2 container ([`cdrib_core::save_serve_v2_file`]) and
+    /// serves **zero-copy**: the four embedding tables, the seen-item CSRs,
+    /// the catalogues and the optional int8 mirrors are borrowed views into
+    /// one memory-mapped region. Load cost is header + checksum validation,
+    /// not a decode, and N processes mapping the same artifact share one
+    /// page cache. With `CDRIB_NO_MMAP=1` (or on non-unix targets) the file
+    /// is read into one aligned heap buffer of the same layout instead;
+    /// serving behaviour is identical either way.
+    pub fn from_serve_v2_file(path: impl AsRef<Path>) -> Result<Self> {
+        let region = mmap::map_file(path.as_ref()).map_err(|e| ServeError::Artifact(ArtifactError::Io(e)))?;
+        Recommender::from_serve_v2_reader(&Recommender::open_serve_v2(region)?)
+    }
+
+    /// [`Recommender::from_serve_v2_file`] over an in-memory image: the
+    /// bytes are copied once into an aligned region, then every table
+    /// borrows from it exactly as the mapped path does.
+    pub fn from_serve_v2_bytes(bytes: &[u8]) -> Result<Self> {
+        Recommender::from_serve_v2_reader(&Recommender::open_serve_v2(mmap::from_bytes(bytes))?)
+    }
+
+    /// Opens a serve v2 container zero-copy **and** delta-capable: the
+    /// embedded model artifact ([`cdrib_core::SERVE_FLAG_MODEL`]) rebuilds
+    /// the frozen encoder so the engine can ingest [`GraphDelta`]s. Clean
+    /// tables keep serving straight from the map; tables a delta touches
+    /// materialise their dirty rows into owned storage behind the usual
+    /// copy-on-write epoch swap.
+    pub fn from_serve_v2_file_online(path: impl AsRef<Path>) -> Result<Self> {
+        let region = mmap::map_file(path.as_ref()).map_err(|e| ServeError::Artifact(ArtifactError::Io(e)))?;
+        let reader = Recommender::open_serve_v2(region)?;
+        let mut rec = Recommender::from_serve_v2_reader(&reader)?;
+        let model_bytes = reader.section_bytes("model").map_err(ServeError::Artifact)?;
+        let (mut inference, _scenario) = InferenceModel::from_artifact_bytes(model_bytes)?;
+        let to_serve = |e: cdrib_core::CoreError| ServeError::Update { detail: e.to_string() };
+        inference.enable_incremental().map_err(to_serve)?;
+        // The encoder's stage caches and the mapped tables come from the
+        // same frozen forward (bitwise deterministic), so the mapped tables
+        // can keep serving while the encoder re-encodes delta-dirty rows —
+        // but only if container and embedded model actually agree on shape.
+        for domain in [DomainId::X, DomainId::Y] {
+            let (users, items) = match domain {
+                DomainId::X => (&rec.core.scorer.x_users, &rec.core.scorer.x_items),
+                DomainId::Y => (&rec.core.scorer.y_users, &rec.core.scorer.y_items),
+            };
+            let cached_users = inference.cached_user_table(domain).map_err(to_serve)?;
+            let cached_items = inference.cached_item_table(domain).map_err(to_serve)?;
+            if cached_users.rows() != users.rows()
+                || cached_users.cols() != users.cols()
+                || cached_items.rows() != items.rows()
+                || cached_items.cols() != items.cols()
+            {
+                return Err(ServeError::ShapeMismatch {
+                    detail: format!(
+                        "embedded model tables ({}x{} users, {}x{} items) disagree with the container's domain {domain:?} sections ({}x{} users, {}x{} items)",
+                        cached_users.rows(),
+                        cached_users.cols(),
+                        cached_items.rows(),
+                        cached_items.cols(),
+                        users.rows(),
+                        users.cols(),
+                        items.rows(),
+                        items.cols(),
+                    ),
+                });
+            }
+        }
+        rec.updater = Some(Box::new(OnlineUpdater::new(inference)));
+        Ok(rec)
+    }
+
+    fn open_serve_v2(region: Arc<MappedRegion>) -> Result<v2::Reader> {
+        v2::Reader::open(region, cdrib_core::SERVE_KIND, cdrib_core::SERVE_VERSION).map_err(ServeError::Artifact)
+    }
+
+    /// Validates a serve v2 container against its `meta` section and
+    /// assembles a serving core whose tables borrow the region. O(1)
+    /// allocations regardless of table sizes (`tests/alloc_regression.rs`).
+    fn from_serve_v2_reader(reader: &v2::Reader) -> Result<Self> {
+        let shape_err = |detail: String| ServeError::ShapeMismatch { detail };
+        let meta: TableStorage<u64> = reader.storage("meta").map_err(ServeError::Artifact)?;
+        if meta.len() != cdrib_core::SERVE_META_FIELDS {
+            return Err(shape_err(format!(
+                "serve meta holds {} fields, expected {}",
+                meta.len(),
+                cdrib_core::SERVE_META_FIELDS
+            )));
+        }
+        let dim = meta[0] as usize;
+        let (xu_rows, xi_rows) = (meta[1] as usize, meta[2] as usize);
+        let (yu_rows, yi_rows) = (meta[3] as usize, meta[4] as usize);
+        let (sx_edges, sy_edges) = (meta[5] as usize, meta[6] as usize);
+        let shared_user_prefix = meta[7] as usize;
+        if meta[8] != 0 {
+            return Err(shape_err(format!(
+                "unknown score kind {} (only dot = 0 is defined)",
+                meta[8]
+            )));
+        }
+        let flags = meta[9];
+
+        let table = |name: &str, label: &'static str, rows: usize| -> Result<Tensor> {
+            let storage: TableStorage<f32> = reader.storage(name).map_err(ServeError::Artifact)?;
+            let tensor =
+                Tensor::from_storage(rows, dim, storage).map_err(|e| shape_err(format!("section `{name}`: {e}")))?;
+            if !tensor.all_finite() {
+                return Err(ServeError::NonFiniteEmbeddings { table: label });
+            }
+            Ok(tensor)
+        };
+        let x_users = table("xu", "x_users", xu_rows)?;
+        let x_items = table("xi", "x_items", xi_rows)?;
+        let y_users = table("yu", "y_users", yu_rows)?;
+        let y_items = table("yi", "y_items", yi_rows)?;
+
+        let seen = |off: &str, itm: &str, n_users: usize, n_items: usize, edges: usize| -> Result<SeenFilter> {
+            let filter = SeenFilter::from_csr(
+                reader.storage(off).map_err(ServeError::Artifact)?,
+                reader.storage(itm).map_err(ServeError::Artifact)?,
+                n_items,
+            )?;
+            if filter.n_users() != n_users || filter.n_edges() != edges {
+                return Err(shape_err(format!(
+                    "seen CSR `{off}`/`{itm}` holds {} users / {} edges, meta says {n_users} / {edges}",
+                    filter.n_users(),
+                    filter.n_edges()
+                )));
+            }
+            Ok(filter)
+        };
+        let seen_x = seen("sx_off", "sx_itm", xu_rows, xi_rows, sx_edges)?;
+        let seen_y = seen("sy_off", "sy_itm", yu_rows, yi_rows, sy_edges)?;
+
+        let catalogue = |name: &str, n_items: usize| -> Result<TableStorage<u32>> {
+            let cat: TableStorage<u32> = reader.storage(name).map_err(ServeError::Artifact)?;
+            if cat.len() != n_items {
+                return Err(shape_err(format!(
+                    "catalogue `{name}` holds {} ids, the domain has {n_items} items",
+                    cat.len()
+                )));
+            }
+            // Chunked scoring relies on the catalogue being the consecutive
+            // ascending run 0..n (seen-slot poisoning indexes into chunks).
+            if cat.iter().enumerate().any(|(i, &id)| id as usize != i) {
+                return Err(shape_err(format!(
+                    "catalogue `{name}` is not the consecutive run 0..{n_items}"
+                )));
+            }
+            Ok(cat)
+        };
+        let catalogue_x = catalogue("cx", xi_rows)?;
+        let catalogue_y = catalogue("cy", yi_rows)?;
+
+        let (quant_x_items, quant_y_items) = if flags & cdrib_core::SERVE_FLAG_QUANT != 0 {
+            let quant = |prefix: &str, rows: usize| -> Result<QuantizedTable> {
+                QuantizedTable::from_storage_parts(
+                    rows,
+                    dim,
+                    reader.storage(&format!("{prefix}_d")).map_err(ServeError::Artifact)?,
+                    reader.storage(&format!("{prefix}_s")).map_err(ServeError::Artifact)?,
+                    reader.storage(&format!("{prefix}_u")).map_err(ServeError::Artifact)?,
+                    reader.storage(&format!("{prefix}_n")).map_err(ServeError::Artifact)?,
+                )
+                .map_err(shape_err)
+            };
+            (Some(quant("qx", xi_rows)?), Some(quant("qy", yi_rows)?))
+        } else {
+            (None, None)
+        };
+
+        Ok(Recommender::with_core(ServeCore {
+            scorer: EmbeddingScorer::dot(x_users, x_items, y_users, y_items),
+            seen_x,
+            seen_y,
+            shared_user_prefix,
+            catalogue_x,
+            catalogue_y,
+            quant_x_items,
+            quant_y_items,
+            precision: ScoringPrecision::F32,
+        }))
+    }
+
     /// Opens a **durable** delta-capable engine: loads the base artifact at
     /// `base` (a plain frozen model, or the checkpoint a previous
     /// [`Recommender::compact`] wrote over it), replays the write-ahead log
@@ -548,17 +785,37 @@ impl Recommender {
         let base_path = base.as_ref().to_path_buf();
         let log_path = log.as_ref().to_path_buf();
         let base_bytes = std::fs::read(&base_path).map_err(|e| ServeError::Artifact(ArtifactError::Io(e)))?;
-        // The base is either a compaction checkpoint (model bytes + folded
-        // graphs + fold point) or a plain frozen model artifact (fold
-        // point 0). Only a kind mismatch falls through to the model
-        // interpretation — a *corrupt* checkpoint must surface, not be
-        // misread as a model.
-        let (model_bytes, graphs, applied_seq) = match wal::decode_checkpoint(&base_bytes) {
-            Ok(cp) => (cp.model, Some((cp.gx, cp.gy)), cp.applied_seq),
-            Err(ArtifactError::WrongKind { .. }) => (base_bytes, None, 0),
+        // The base is a compaction checkpoint (v1 envelope or v2 container:
+        // model bytes + folded graphs + fold point), a serve v2 container
+        // (fold point 0, served zero-copy off the map with its embedded
+        // model as the delta encoder), or a plain frozen model artifact
+        // (fold point 0). Only a kind mismatch falls through to the next
+        // interpretation — a *corrupt* base must surface, not be misread.
+        let base = match wal::decode_checkpoint(&base_bytes) {
+            Ok(cp) => RecoveryBase::Checkpoint {
+                model: cp.model,
+                gx: cp.gx,
+                gy: cp.gy,
+                applied_seq: cp.applied_seq,
+            },
+            Err(ArtifactError::WrongKind { .. }) => {
+                if v2::is_v2(&base_bytes) {
+                    let reader = v2::Reader::open(
+                        mmap::from_bytes(&base_bytes),
+                        cdrib_core::SERVE_KIND,
+                        cdrib_core::SERVE_VERSION,
+                    )
+                    .map_err(ServeError::Artifact)?;
+                    let model = reader.section_bytes("model").map_err(ServeError::Artifact)?.to_vec();
+                    RecoveryBase::ServeV2 { model }
+                } else {
+                    RecoveryBase::Model(base_bytes)
+                }
+            }
             Err(e) => return Err(ServeError::Artifact(e)),
         };
-        let mut rec = Recommender::rebuild_online_from_base(&model_bytes, graphs.clone())?;
+        let applied_seq = base.applied_seq();
+        let mut rec = base.build(&base_path)?;
         let mut report = RecoveryReport {
             base_applied_seq: applied_seq,
             last_seq: applied_seq,
@@ -581,7 +838,7 @@ impl Recommender {
                     report.last_seq = applied_seq;
                     report.created_log = true;
                     if mutated {
-                        rec = Recommender::rebuild_online_from_base(&model_bytes, graphs)?;
+                        rec = base.build(&base_path)?;
                     }
                     DeltaWal::create(&log_path, applied_seq + 1)?
                 }
@@ -595,7 +852,7 @@ impl Recommender {
             wal,
             base_path,
             log_path,
-            model_bytes,
+            model_bytes: base.into_model_bytes(),
             applied_seq: report.last_seq,
             wedged: false,
         }));
@@ -690,7 +947,15 @@ impl Recommender {
         }
         let applied_seq = d.applied_seq;
         let log_bytes_folded = std::fs::metadata(&d.log_path).map(|m| m.len()).unwrap_or(0);
-        let checkpoint = wal::encode_checkpoint(&d.model_bytes, &self.core.seen_x, &self.core.seen_y, applied_seq);
+        // Checkpoints are written in the v2 container format since PR 8;
+        // recovery still reads the v1 envelope ones older deployments left
+        // behind, so a v1 base + v1 checkpoint + log trio keeps recovering.
+        let checkpoint = wal::encode_checkpoint_v2(
+            &d.model_bytes,
+            self.core.seen_x.graph(),
+            self.core.seen_y.graph(),
+            applied_seq,
+        );
         wal::atomic_write(&d.base_path, &checkpoint)?;
         d.wal = DeltaWal::create_replacing(&d.log_path, applied_seq + 1)?;
         Ok(CompactionReport {
@@ -787,8 +1052,23 @@ impl Recommender {
     }
 
     /// The interaction graph used to filter a domain's already-seen items.
+    /// On a zero-copy engine the filter serves from mapped CSR sections and
+    /// the graph is materialised (once) by this call.
     pub fn seen_graph(&self, domain: DomainId) -> &BipartiteGraph {
-        self.core.seen(domain)
+        self.core.seen(domain).graph()
+    }
+
+    /// Whether the engine still serves from a mapped artifact region: true
+    /// right after a [`Recommender::from_serve_v2_file`] load, false for
+    /// decoded loads; individual tables migrate to owned storage as deltas
+    /// touch them (copy-on-write).
+    pub fn is_mapped(&self) -> bool {
+        self.core.scorer.x_users.is_mapped()
+            || self.core.scorer.x_items.is_mapped()
+            || self.core.scorer.y_users.is_mapped()
+            || self.core.scorer.y_items.is_mapped()
+            || self.core.seen_x.is_mapped()
+            || self.core.seen_y.is_mapped()
     }
 
     /// Whether this engine can ingest deltas (it owns a frozen encoder).
@@ -873,9 +1153,12 @@ impl Recommender {
     /// replay (which must mutate state *without* re-appending records).
     fn apply_delta_inner(&mut self, domain: DomainId, delta: &GraphDelta) -> Result<DeltaOutcome> {
         let updater = self.updater.as_mut().ok_or(ServeError::UpdaterMissing)?;
+        // `graph_mut` is the seen-filter's copy-on-write trigger: a mapped
+        // CSR filter materialises its graph here and the graph is
+        // authoritative from this delta on.
         let seen = match domain {
-            DomainId::X => &mut self.core.seen_x,
-            DomainId::Y => &mut self.core.seen_y,
+            DomainId::X => self.core.seen_x.graph_mut(),
+            DomainId::Y => self.core.seen_y.graph_mut(),
         };
         seen.apply_delta_into(delta, &mut updater.effect)?;
         let report = updater
@@ -885,11 +1168,15 @@ impl Recommender {
         // New items join the catalogue immediately; without this, the k
         // clamp against the stale (shorter) catalogue would silently
         // truncate full-list requests and fresh items would never be scored.
+        // A mapped catalogue goes owned on the first actual growth.
         let catalogue = match domain {
             DomainId::X => &mut self.core.catalogue_x,
             DomainId::Y => &mut self.core.catalogue_y,
         };
-        catalogue.extend(catalogue.len() as u32..seen.n_items() as u32);
+        if catalogue.len() < seen.n_items() {
+            let grown = catalogue.make_owned();
+            grown.extend(grown.len() as u32..seen.n_items() as u32);
+        }
         let quant_items = match domain {
             DomainId::X => self.core.quant_x_items.as_mut(),
             DomainId::Y => self.core.quant_y_items.as_mut(),

@@ -51,7 +51,8 @@
 
 use cdrib_data::DomainId;
 use cdrib_graph::{BipartiteGraph, GraphDelta};
-use cdrib_tensor::artifact::{self, ArtifactError};
+use cdrib_tensor::artifact::{self, v2, ArtifactError};
+use cdrib_tensor::mmap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
@@ -64,8 +65,11 @@ pub const WAL_KIND: &str = "cdrib.wal";
 pub const WAL_VERSION: u32 = 1;
 /// Artifact kind of a compaction checkpoint (base artifact after folding).
 pub const CHECKPOINT_KIND: &str = "cdrib.checkpoint";
-/// Format version of the checkpoint payload.
+/// Format version of the legacy v1-envelope checkpoint payload.
 pub const CHECKPOINT_VERSION: u32 = 1;
+/// Kind version of checkpoints written in the v2 section container (what
+/// compaction produces since PR 8; recovery reads both).
+pub const CHECKPOINT_VERSION_V2: u32 = 2;
 
 /// Bytes of record framing around the body: the `u32` length prefix plus the
 /// trailing `u64` checksum.
@@ -601,14 +605,12 @@ pub(crate) struct Checkpoint {
     pub applied_seq: u64,
 }
 
-/// Encodes a checkpoint artifact (fields in a fixed order; the envelope
-/// supplies kind/version/checksums).
-pub(crate) fn encode_checkpoint(
-    model: &Vec<u8>,
-    gx: &BipartiteGraph,
-    gy: &BipartiteGraph,
-    applied_seq: u64,
-) -> Vec<u8> {
+/// Encodes a **legacy v1-envelope** checkpoint (fields serde-packed in a
+/// fixed order; the envelope supplies kind/version/checksums). Compaction
+/// writes [`encode_checkpoint_v2`] since PR 8 — this encoder is kept public
+/// so back-compat tests (and tooling for old deployments) can still produce
+/// the format recovery must keep reading.
+pub fn encode_checkpoint(model: &Vec<u8>, gx: &BipartiteGraph, gy: &BipartiteGraph, applied_seq: u64) -> Vec<u8> {
     let mut payload = Vec::with_capacity(model.len() + 1024);
     serde::Serialize::serialize(model, &mut payload);
     serde::Serialize::serialize(gx, &mut payload);
@@ -617,10 +619,33 @@ pub(crate) fn encode_checkpoint(
     artifact::encode(CHECKPOINT_KIND, CHECKPOINT_VERSION, &payload)
 }
 
-/// Decodes a checkpoint artifact. A non-checkpoint artifact surfaces as
-/// [`ArtifactError::WrongKind`], which recovery uses to fall through to the
-/// plain-model interpretation of the base file.
+/// Encodes a checkpoint in the v2 section container: the model artifact
+/// bytes verbatim (`model`), both graphs serde-packed (`gx`/`gy`), and the
+/// fold point as a single little-endian u64 (`meta`) — every section
+/// individually checksummed and 64-byte aligned like any other v2 artifact.
+pub(crate) fn encode_checkpoint_v2(
+    model: &[u8],
+    gx: &BipartiteGraph,
+    gy: &BipartiteGraph,
+    applied_seq: u64,
+) -> Vec<u8> {
+    let mut w = v2::Writer::new(CHECKPOINT_KIND, CHECKPOINT_VERSION_V2);
+    w.push("model", 1, model);
+    w.push("gx", 1, &serde::to_bytes(gx));
+    w.push("gy", 1, &serde::to_bytes(gy));
+    w.push("meta", 8, &applied_seq.to_le_bytes());
+    w.finish()
+}
+
+/// Decodes a checkpoint artifact in either format (v1 envelope or v2
+/// container, dispatched on the leading magic). A non-checkpoint artifact
+/// surfaces as [`ArtifactError::WrongKind`], which recovery uses to fall
+/// through to the plain-model / serve-container interpretations of the
+/// base file.
 pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, ArtifactError> {
+    if v2::is_v2(bytes) {
+        return decode_checkpoint_v2(bytes);
+    }
     let payload = artifact::decode(bytes, CHECKPOINT_KIND, CHECKPOINT_VERSION)?;
     let mut input = payload;
     let model: Vec<u8> = serde::Deserialize::deserialize(&mut input)?;
@@ -632,6 +657,26 @@ pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, ArtifactErro
             detail: format!("checkpoint payload has {} trailing bytes", input.len()),
         });
     }
+    Ok(Checkpoint {
+        model,
+        gx,
+        gy,
+        applied_seq,
+    })
+}
+
+fn decode_checkpoint_v2(bytes: &[u8]) -> Result<Checkpoint, ArtifactError> {
+    let reader = v2::Reader::open(mmap::from_bytes(bytes), CHECKPOINT_KIND, CHECKPOINT_VERSION_V2)?;
+    let model = reader.section_bytes("model")?.to_vec();
+    let gx: BipartiteGraph = serde::from_bytes(reader.section_bytes("gx")?).map_err(ArtifactError::Decode)?;
+    let gy: BipartiteGraph = serde::from_bytes(reader.section_bytes("gy")?).map_err(ArtifactError::Decode)?;
+    let meta = reader.section_bytes("meta")?;
+    if meta.len() != 8 {
+        return Err(ArtifactError::Mismatch {
+            detail: format!("checkpoint meta section holds {} bytes, expected 8", meta.len()),
+        });
+    }
+    let applied_seq = u64::from_le_bytes(meta.try_into().expect("length checked"));
     Ok(Checkpoint {
         model,
         gx,
@@ -857,6 +902,28 @@ mod tests {
         let other = artifact::encode("cdrib.model", 1, b"whatever");
         assert!(matches!(
             decode_checkpoint(&other),
+            Err(ArtifactError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_v2_roundtrip() {
+        let gx = BipartiteGraph::new(3, 4, &[(0, 1), (2, 3)]).unwrap();
+        let gy = BipartiteGraph::new(2, 2, &[(1, 0)]).unwrap();
+        let model = vec![9u8, 8, 7];
+        let bytes = encode_checkpoint_v2(&model, &gx, &gy, 99);
+        assert!(v2::is_v2(&bytes));
+        let cp = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(cp.model, model);
+        assert_eq!(cp.applied_seq, 99);
+        assert_eq!(cp.gx.items_of(0), gx.items_of(0));
+        assert_eq!(cp.gy.n_edges(), 1);
+        // A v2 container of a different kind is "not a checkpoint" — the
+        // hook that lets recovery fall through to the serve interpretation.
+        let mut w = v2::Writer::new("cdrib.serve", 1);
+        w.push("meta", 8, &[0u8; 8]);
+        assert!(matches!(
+            decode_checkpoint(&w.finish()),
             Err(ArtifactError::WrongKind { .. })
         ));
     }

@@ -37,6 +37,8 @@
 use std::fmt;
 use std::path::Path;
 
+pub mod v2;
+
 /// Leading magic bytes of every artifact file.
 pub const MAGIC: [u8; 4] = *b"CDRB";
 
@@ -93,6 +95,51 @@ pub enum ArtifactError {
     },
     /// Reading or writing the artifact file failed.
     Io(std::io::Error),
+    /// A v2 section's offset violates the container's 64-byte grid or the
+    /// section's own recorded element alignment — serving it in place from
+    /// a map would fault or silently misread, so the whole load is refused.
+    SectionMisaligned {
+        /// Section name.
+        name: String,
+        /// Offset recorded in the section table.
+        offset: u64,
+        /// Alignment recorded in the section table.
+        align: u32,
+    },
+    /// A v2 section's recorded range leaves the container (or overlaps the
+    /// header/section table).
+    SectionOutOfBounds {
+        /// Section name.
+        name: String,
+        /// Offset recorded in the section table.
+        offset: u64,
+        /// Length recorded in the section table.
+        len: u64,
+        /// Total container length recorded in the header.
+        total: u64,
+    },
+    /// Two v2 sections' recorded ranges intersect; a write through one view
+    /// of such a file could corrupt the other, so the layout is rejected.
+    SectionOverlap {
+        /// First section (lower offset).
+        a: String,
+        /// Second section.
+        b: String,
+    },
+    /// A v2 section's bytes fail their recorded FNV-1a checksum.
+    SectionChecksum {
+        /// Section name.
+        name: String,
+        /// Checksum recorded in the section table.
+        expected: u64,
+        /// Checksum of the actual section bytes.
+        actual: u64,
+    },
+    /// A v2 container is missing a section the reader requires.
+    MissingSection {
+        /// Section name the reader asked for.
+        name: String,
+    },
 }
 
 impl fmt::Display for ArtifactError {
@@ -118,6 +165,29 @@ impl fmt::Display for ArtifactError {
             ArtifactError::Decode(e) => write!(f, "artifact payload failed to decode: {e}"),
             ArtifactError::Mismatch { detail } => write!(f, "artifact payload inconsistent: {detail}"),
             ArtifactError::Io(e) => write!(f, "artifact i/o failed: {e}"),
+            ArtifactError::SectionMisaligned { name, offset, align } => write!(
+                f,
+                "artifact section `{name}` misaligned: offset {offset} with recorded alignment {align}"
+            ),
+            ArtifactError::SectionOutOfBounds {
+                name,
+                offset,
+                len,
+                total,
+            } => write!(
+                f,
+                "artifact section `{name}` out of bounds: {offset}+{len} exceeds container of {total} bytes"
+            ),
+            ArtifactError::SectionOverlap { a, b } => {
+                write!(f, "artifact sections `{a}` and `{b}` overlap")
+            }
+            ArtifactError::SectionChecksum { name, expected, actual } => write!(
+                f,
+                "artifact section `{name}` corrupted: checksum {actual:#018x} != recorded {expected:#018x}"
+            ),
+            ArtifactError::MissingSection { name } => {
+                write!(f, "artifact is missing required section `{name}`")
+            }
         }
     }
 }

@@ -42,6 +42,7 @@ pub mod error;
 pub mod func;
 pub mod init;
 pub mod kernels;
+pub mod mmap;
 pub mod nn;
 pub mod optim;
 pub mod params;
@@ -49,6 +50,7 @@ pub mod pool;
 pub mod quant;
 pub mod rng;
 pub mod sparse;
+pub mod storage;
 pub mod tape;
 pub mod tensor;
 
@@ -61,5 +63,6 @@ pub use params::{ParamId, ParamSet};
 pub use pool::{BufferPool, PoolStats};
 pub use quant::QuantizedTable;
 pub use sparse::CsrMatrix;
+pub use storage::TableStorage;
 pub use tape::{sigmoid_scalar, softplus_scalar, Tape, Var};
 pub use tensor::Tensor;

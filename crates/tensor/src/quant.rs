@@ -23,6 +23,7 @@
 //! AVX-512 VNNI's `vpdpbusd`.
 
 use crate::kernels::QuantView;
+use crate::storage::TableStorage;
 use serde::{Deserialize, Serialize};
 
 /// An int8-quantised embedding table: row-major i8 codes with per-row f32
@@ -31,10 +32,10 @@ use serde::{Deserialize, Serialize};
 pub struct QuantizedTable {
     rows: usize,
     cols: usize,
-    data: Vec<i8>,
-    scales: Vec<f32>,
-    row_sums: Vec<i32>,
-    row_norms: Vec<i32>,
+    data: TableStorage<i8>,
+    scales: TableStorage<f32>,
+    row_sums: TableStorage<i32>,
+    row_norms: TableStorage<i32>,
 }
 
 /// `round(v * inv)` clamped to `[-127, 127]`, with ties away from zero.
@@ -80,10 +81,10 @@ impl QuantizedTable {
         let mut table = QuantizedTable {
             rows,
             cols,
-            data: vec![0i8; rows * cols],
-            scales: vec![0.0; rows],
-            row_sums: vec![0; rows],
-            row_norms: vec![0; rows],
+            data: vec![0i8; rows * cols].into(),
+            scales: vec![0.0; rows].into(),
+            row_sums: vec![0; rows].into(),
+            row_norms: vec![0; rows].into(),
         };
         for r in 0..rows {
             table.requantize_row(r, &data[r * cols..(r + 1) * cols]);
@@ -94,6 +95,47 @@ impl QuantizedTable {
     /// Quantises a [`Tensor`](crate::tensor::Tensor).
     pub fn from_tensor(t: &crate::tensor::Tensor) -> Self {
         Self::from_rows(t.rows(), t.cols(), t.as_slice())
+    }
+
+    /// Assembles a table from pre-built storage parts (the zero-copy v2
+    /// artifact load: every part is a borrowed view into the mapped
+    /// region). Lengths are validated against the geometry; the statistics
+    /// themselves can be audited with [`QuantizedTable::validate`].
+    pub fn from_storage_parts(
+        rows: usize,
+        cols: usize,
+        data: TableStorage<i8>,
+        scales: TableStorage<f32>,
+        row_sums: TableStorage<i32>,
+        row_norms: TableStorage<i32>,
+    ) -> Result<Self, String> {
+        let table = QuantizedTable {
+            rows,
+            cols,
+            data,
+            scales,
+            row_sums,
+            row_norms,
+        };
+        if table.data.len() != rows * cols
+            || table.scales.len() != rows
+            || table.row_sums.len() != rows
+            || table.row_norms.len() != rows
+        {
+            return Err(format!(
+                "storage parts disagree with a {rows}x{cols} table: {} codes, {} scales, {} sums, {} norms",
+                table.data.len(),
+                table.scales.len(),
+                table.row_sums.len(),
+                table.row_norms.len()
+            ));
+        }
+        Ok(table)
+    }
+
+    /// Whether the codes are still a borrowed view into a mapped region.
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 
     /// Number of rows.
@@ -374,7 +416,7 @@ mod tests {
         q2.scales[0] = f32::NAN;
         assert!(q2.validate().is_err());
         let mut q3 = QuantizedTable::from_rows(2, 4, &pseudo(9, 8));
-        q3.data.pop();
+        q3.data.make_owned().pop();
         assert!(q3.validate().is_err());
     }
 

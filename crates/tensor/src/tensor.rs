@@ -7,14 +7,20 @@
 
 use crate::error::{Result, TensorError};
 use crate::kernels;
+use crate::storage::TableStorage;
 use serde::{Deserialize, Serialize};
 
 /// A dense row-major matrix of `f32` values.
+///
+/// The buffer behind a tensor is a [`TableStorage`]: owned during training
+/// and for v1 artifact loads, a borrowed view into a mapped v2 artifact for
+/// frozen serving tables. Reads are free on both; the first mutation of a
+/// mapped tensor copies it out of the map (copy-on-write).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: TableStorage<f32>,
 }
 
 impl Tensor {
@@ -23,7 +29,7 @@ impl Tensor {
         Tensor {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![0.0; rows * cols].into(),
         }
     }
 
@@ -37,7 +43,7 @@ impl Tensor {
         Tensor {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: vec![value; rows * cols].into(),
         }
     }
 
@@ -46,7 +52,7 @@ impl Tensor {
         Tensor {
             rows: 1,
             cols: 1,
-            data: vec![value],
+            data: vec![value].into(),
         }
     }
 
@@ -58,14 +64,40 @@ impl Tensor {
                 got: data.len(),
             });
         }
-        Ok(Tensor { rows, cols, data })
+        Ok(Tensor {
+            rows,
+            cols,
+            data: data.into(),
+        })
     }
 
     /// Crate-internal constructor from storage whose length is already known
     /// to match (used by the [`BufferPool`](crate::pool::BufferPool)).
     pub(crate) fn from_raw(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         debug_assert_eq!(data.len(), rows * cols);
-        Tensor { rows, cols, data }
+        Tensor {
+            rows,
+            cols,
+            data: data.into(),
+        }
+    }
+
+    /// A tensor whose rows are served directly from table storage (owned or
+    /// a zero-copy view into a mapped artifact region). The storage length
+    /// must equal `rows * cols`.
+    pub fn from_storage(rows: usize, cols: usize, data: TableStorage<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::LengthMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Tensor { rows, cols, data })
+    }
+
+    /// Whether the buffer is still a borrowed view into a mapped region.
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 
     /// Creates a tensor from a slice of rows. All rows must have equal length.
@@ -87,7 +119,7 @@ impl Tensor {
         Ok(Tensor {
             rows: rows.len(),
             cols,
-            data,
+            data: data.into(),
         })
     }
 
@@ -142,9 +174,9 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor and returns its buffer.
+    /// Consumes the tensor and returns its buffer (copying if mapped).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Element at `(r, c)`. Panics if out of bounds (internal invariant use).
@@ -261,7 +293,7 @@ impl Tensor {
 
     /// In-place scaling.
     pub fn scale_in_place(&mut self, alpha: f32) {
-        for v in &mut self.data {
+        for v in self.data.iter_mut() {
             *v *= alpha;
         }
     }
@@ -282,7 +314,7 @@ impl Tensor {
 
     /// Applies `f` to every element in place.
     pub fn map_in_place<F: Fn(f32) -> f32>(&mut self, f: F) {
-        for v in &mut self.data {
+        for v in self.data.iter_mut() {
             *v = f(*v);
         }
     }
@@ -353,7 +385,7 @@ impl Tensor {
         Ok(Tensor {
             rows: m,
             cols: n,
-            data: out,
+            data: out.into(),
         })
     }
 
@@ -374,7 +406,7 @@ impl Tensor {
         Ok(Tensor {
             rows: m,
             cols: n,
-            data: out,
+            data: out.into(),
         })
     }
 
@@ -394,7 +426,7 @@ impl Tensor {
         Ok(Tensor {
             rows: m,
             cols: n,
-            data: out,
+            data: out.into(),
         })
     }
 
@@ -414,7 +446,7 @@ impl Tensor {
         Ok(Tensor {
             rows: k,
             cols: n,
-            data: out,
+            data: out.into(),
         })
     }
 
@@ -447,7 +479,7 @@ impl Tensor {
         Ok(Tensor {
             rows: self.rows,
             cols,
-            data,
+            data: data.into(),
         })
     }
 
@@ -466,7 +498,7 @@ impl Tensor {
         Ok(Tensor {
             rows: self.rows + other.rows,
             cols: self.cols,
-            data,
+            data: data.into(),
         })
     }
 
@@ -485,7 +517,7 @@ impl Tensor {
         Ok(Tensor {
             rows: indices.len(),
             cols: self.cols,
-            data,
+            data: data.into(),
         })
     }
 
@@ -526,7 +558,7 @@ impl Tensor {
         Ok(Tensor {
             rows: end - start,
             cols: self.cols,
-            data: self.data[start * self.cols..end * self.cols].to_vec(),
+            data: self.data[start * self.cols..end * self.cols].to_vec().into(),
         })
     }
 
@@ -653,7 +685,7 @@ impl Tensor {
 
     /// Fills the tensor with zeros, keeping its allocation.
     pub fn fill_zero(&mut self) {
-        for v in &mut self.data {
+        for v in self.data.iter_mut() {
             *v = 0.0;
         }
     }

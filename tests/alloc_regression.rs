@@ -20,11 +20,11 @@
 //! The tests run serially in one `#[test]` so no concurrent test thread can
 //! allocate while a steady-state window is being measured.
 
-use cdrib_core::{CdribConfig, CdribModel, InferenceModel};
+use cdrib_core::{save_serve_v2_bytes, CdribConfig, CdribModel, InferenceModel};
 use cdrib_data::{build_preset, Direction, DomainId, EpochBatches, Scale, ScenarioKind};
 use cdrib_graph::GraphDelta;
 use cdrib_serve::{Recommendation, Recommender, Request, ScoringPrecision};
-use cdrib_tensor::alloc_track::{allocation_count, CountingAlloc};
+use cdrib_tensor::alloc_track::{allocated_bytes, allocation_count, CountingAlloc};
 use cdrib_tensor::rng::{component_rng, normal_tensor};
 use cdrib_tensor::{Adam, Optimizer, ParamSet, Tape, Tensor};
 
@@ -349,6 +349,125 @@ fn wal_append_steady_state() {
     );
 }
 
+/// The zero-copy load path: opening a serve v2 container must validate and
+/// map, not decode. The allocation *count* is O(1) in the table sizes
+/// (doubling the embedding width leaves it unchanged — no per-table copies,
+/// no per-element work) and the allocated *bytes* stay far below the image
+/// size; the heap-image loader, which copies the whole region once, is the
+/// contrast that proves the mapped path borrows. Warm serving from the
+/// mapped engine then holds the same zero-allocation bar as the owned
+/// engines above, in f32 and int8, without migrating any table off the map.
+fn mapped_load_and_serving_steady_state() {
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 42).expect("preset");
+    let dir = std::path::Path::new("target")
+        .join("wal-fault-injection")
+        .join("alloc-v2");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let image_for = |dim: usize| {
+        let config = CdribConfig {
+            dim,
+            layers: 2,
+            eval_every: 0,
+            patience: 0,
+            seed: 42,
+            ..CdribConfig::default()
+        };
+        let model = CdribModel::new(&config, &scenario).expect("model");
+        save_serve_v2_bytes(&model, &scenario, true, false).expect("serve v2 image")
+    };
+    let load_cost = |image: &[u8], name: &str| {
+        let path = dir.join(name);
+        std::fs::write(&path, image).expect("write image");
+        let (count_before, bytes_before) = (allocation_count(), allocated_bytes());
+        let engine = Recommender::from_serve_v2_file(&path).expect("mapped load");
+        let cost = (allocation_count() - count_before, allocated_bytes() - bytes_before);
+        assert!(engine.is_mapped());
+        cost
+    };
+
+    let small = image_for(16);
+    let big = image_for(32);
+    let (small_count, small_bytes) = load_cost(&small, "dim16.cdr2");
+    let (big_count, big_bytes) = load_cost(&big, "dim32.cdr2");
+    assert_eq!(
+        small_count, big_count,
+        "v2 mapped-load allocation count must not scale with the table sizes"
+    );
+    assert!(
+        big_bytes < big.len() as u64 / 4,
+        "mapped load must not copy the image: allocated {big_bytes} bytes of a {}-byte container",
+        big.len()
+    );
+    assert!(small_bytes < small.len() as u64 / 4);
+
+    // The heap-image loader pays at least one full-image aligned copy.
+    let before = allocated_bytes();
+    let heap = Recommender::from_serve_v2_bytes(&big).expect("heap load");
+    assert!(
+        allocated_bytes() - before >= big.len() as u64,
+        "the heap fallback copies the region; the delta above shows the mapped path does not"
+    );
+    drop(heap);
+
+    // Warm top-K serving straight off the map: zero allocator requests.
+    let path = dir.join("dim16.cdr2");
+    let mut recommender = Recommender::from_serve_v2_file(&path).expect("mapped engine");
+    let mut requests: Vec<Request> = Vec::new();
+    for &user in scenario.cold_x_to_y.test_users.iter().take(8) {
+        requests.push(Request {
+            direction: Direction::X_TO_Y,
+            user,
+            k: 10,
+        });
+    }
+    for &user in scenario.cold_y_to_x.test_users.iter().take(8) {
+        requests.push(Request {
+            direction: Direction::Y_TO_X,
+            user,
+            k: 10,
+        });
+    }
+    let mut out: Vec<Recommendation> = Vec::new();
+    for request in &requests {
+        recommender.recommend(request, &mut out).expect("warm mapped request");
+    }
+    let steady = min_allocs_over_windows(|| {
+        for request in &requests {
+            recommender
+                .recommend(request, &mut out)
+                .expect("measured mapped request");
+        }
+    });
+    assert_eq!(
+        steady, 0,
+        "warm requests against a mapped engine must not touch the allocator (got {steady} requests)"
+    );
+
+    // Int8 over the container's frozen quant mirrors: same bar.
+    recommender.set_precision(ScoringPrecision::Int8);
+    for request in &requests {
+        recommender
+            .recommend(request, &mut out)
+            .expect("warm mapped int8 request");
+    }
+    let steady = min_allocs_over_windows(|| {
+        for request in &requests {
+            recommender
+                .recommend(request, &mut out)
+                .expect("measured mapped int8 request");
+        }
+    });
+    assert_eq!(
+        steady, 0,
+        "warm int8 requests against a mapped engine must not touch the allocator (got {steady} requests)"
+    );
+    assert!(
+        recommender.is_mapped(),
+        "read-only serving must never migrate tables off the map"
+    );
+}
+
 #[test]
 fn warm_training_steps_are_allocation_free() {
     // Pin the kernels to one thread before the first dispatch: scoped-thread
@@ -421,4 +540,5 @@ fn warm_training_steps_are_allocation_free() {
     inference_and_serving_steady_state();
     delta_apply_steady_state();
     wal_append_steady_state();
+    mapped_load_and_serving_steady_state();
 }

@@ -9,7 +9,8 @@ use cdrib::core::{freeze_quant_bytes, load_quant_bytes, CdribConfig, CdribModel,
 use cdrib::data::{build_preset, Scale, ScenarioKind};
 use cdrib::graph::GraphDelta;
 use cdrib::tensor::artifact as envelope;
-use cdrib::tensor::{ArtifactError, QuantizedTable};
+use cdrib::tensor::artifact::{fnv1a, v2};
+use cdrib::tensor::{mmap, ArtifactError, QuantizedTable};
 use proptest::prelude::*;
 
 /// A small model-topology strategy: embedding width, stacking depth, mean
@@ -173,6 +174,174 @@ proptest! {
         let back: GraphDelta = serde::from_bytes(&bytes).unwrap();
         prop_assert_eq!(&back, &delta);
         prop_assert_eq!(serde::to_bytes(&back), bytes, "re-encode must be byte-identical");
+    }
+}
+
+/// Section-name pool for generated v2 containers.
+const V2_NAMES: [&str; 6] = ["alpha", "beta", "gamma", "delta", "meta", "xu"];
+const V2_KIND: &str = "test.prop";
+const V2_KIND_VERSION: u32 = 7;
+
+/// A random v2 layout: up to five sections drawn from a fixed name pool
+/// (first occurrence wins), each with a random power-of-two alignment and a
+/// random payload, including empty ones.
+fn v2_layout() -> impl Strategy<Value = Vec<(usize, u32, Vec<u8>)>> {
+    proptest::collection::vec(
+        (
+            0usize..V2_NAMES.len(),
+            0u32..4,
+            proptest::collection::vec(0u8..255, 0..96),
+        ),
+        1..6,
+    )
+}
+
+/// The section-table entries of a v2 image: `(entry_pos, offset, len)`.
+fn v2_entries(bytes: &[u8]) -> Vec<(usize, usize, usize)> {
+    let count = u32::from_le_bytes(bytes[28..32].try_into().unwrap()) as usize;
+    (0..count)
+        .map(|i| {
+            let e = v2::HEADER_BYTES + i * v2::ENTRY_BYTES;
+            let offset = u64::from_le_bytes(bytes[e + 16..e + 24].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[e + 24..e + 32].try_into().unwrap()) as usize;
+            (e, offset, len)
+        })
+        .collect()
+}
+
+/// Recomputes the header checksum after deliberate section-table surgery,
+/// so the *section-level* validation (alignment, bounds, overlap) is what
+/// rejects the tampered container — not the header checksum.
+fn reseal_v2_header(bytes: &mut [u8]) {
+    let count = u32::from_le_bytes(bytes[28..32].try_into().unwrap()) as usize;
+    let table_end = v2::HEADER_BYTES + count * v2::ENTRY_BYTES;
+    // The checksum covers the first 40 header bytes (everything before the
+    // checksum field itself) plus the whole section table.
+    let mut checksummed = Vec::with_capacity(40 + count * v2::ENTRY_BYTES);
+    checksummed.extend_from_slice(&bytes[..40]);
+    checksummed.extend_from_slice(&bytes[v2::HEADER_BYTES..table_end]);
+    let sum = fnv1a(&checksummed);
+    bytes[40..48].copy_from_slice(&sum.to_le_bytes());
+}
+
+fn open_v2(bytes: &[u8]) -> Result<v2::Reader, ArtifactError> {
+    v2::Reader::open(mmap::from_bytes(bytes), V2_KIND, V2_KIND_VERSION)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The v2 container round-trips arbitrary section layouts, and every
+    /// way the fixed layout can be damaged — truncation at every section
+    /// boundary, payload bit rot, section-table tampering that misaligns,
+    /// escapes the bounds or overlaps sections — fails with the matching
+    /// typed [`ArtifactError`], never a panic or a silent misread.
+    #[test]
+    fn v2_containers_reject_damage_with_typed_errors(layout in v2_layout()) {
+        let mut writer = v2::Writer::new(V2_KIND, V2_KIND_VERSION);
+        let mut sections: Vec<(&str, Vec<u8>)> = Vec::new();
+        for (name_idx, align_exp, data) in layout {
+            let name = V2_NAMES[name_idx];
+            if sections.iter().any(|(n, _)| *n == name) {
+                continue;
+            }
+            writer.push(name, 1 << align_exp, &data);
+            sections.push((name, data));
+        }
+        let bytes = writer.finish();
+
+        // The intact container round-trips every section verbatim.
+        let reader = open_v2(&bytes).unwrap();
+        for (name, data) in &sections {
+            prop_assert_eq!(reader.section_bytes(name).unwrap(), &data[..]);
+        }
+        prop_assert!(matches!(
+            reader.section_bytes("absent"),
+            Err(ArtifactError::MissingSection { .. })
+        ));
+        prop_assert!(matches!(
+            v2::Reader::open(mmap::from_bytes(&bytes), "other.kind", V2_KIND_VERSION),
+            Err(ArtifactError::WrongKind { .. })
+        ));
+        prop_assert!(matches!(
+            v2::Reader::open(mmap::from_bytes(&bytes), V2_KIND, V2_KIND_VERSION + 1),
+            Err(ArtifactError::UnsupportedVersion { .. })
+        ));
+
+        // Truncation at every section boundary (plus the header edges and
+        // the final byte) is always `Truncated` — the recorded total length
+        // makes any shortened image typed-invalid.
+        let entries = v2_entries(&bytes);
+        let mut cuts = vec![0, 1, v2::HEADER_BYTES - 1, v2::HEADER_BYTES, bytes.len() - 1];
+        for &(_, offset, len) in &entries {
+            cuts.push(offset);
+            cuts.push(offset + len);
+        }
+        for cut in cuts {
+            if cut < bytes.len() {
+                prop_assert!(
+                    matches!(open_v2(&bytes[..cut]), Err(ArtifactError::Truncated)),
+                    "cut at {} escaped the length check", cut
+                );
+            }
+        }
+
+        // A flipped payload bit in any non-empty section: the per-section
+        // checksum names the damaged section.
+        for &(_, offset, len) in &entries {
+            if len == 0 {
+                continue;
+            }
+            let mut corrupted = bytes.clone();
+            corrupted[offset + len / 2] ^= 0x10;
+            prop_assert!(matches!(open_v2(&corrupted), Err(ArtifactError::SectionChecksum { .. })));
+        }
+
+        // Section-table damage without resealing: the header checksum.
+        let mut corrupted = bytes.clone();
+        corrupted[v2::HEADER_BYTES + 17] ^= 0x01;
+        prop_assert!(matches!(open_v2(&corrupted), Err(ArtifactError::HeaderCorrupted { .. })));
+
+        // Resealed tampering reaches the section-level validators.
+        let (entry, offset, _len) = entries[0];
+        // A section offset off the 64-byte grid.
+        let mut tampered = bytes.clone();
+        tampered[entry + 16..entry + 24].copy_from_slice(&(offset as u64 + 1).to_le_bytes());
+        reseal_v2_header(&mut tampered);
+        prop_assert!(matches!(open_v2(&tampered), Err(ArtifactError::SectionMisaligned { .. })));
+        // A non-power-of-two recorded alignment.
+        let mut tampered = bytes.clone();
+        tampered[entry + 32..entry + 36].copy_from_slice(&3u32.to_le_bytes());
+        reseal_v2_header(&mut tampered);
+        prop_assert!(matches!(open_v2(&tampered), Err(ArtifactError::SectionMisaligned { .. })));
+        // A length escaping the recorded total.
+        let mut tampered = bytes.clone();
+        tampered[entry + 24..entry + 32].copy_from_slice(&(bytes.len() as u64 + 64).to_le_bytes());
+        reseal_v2_header(&mut tampered);
+        prop_assert!(matches!(open_v2(&tampered), Err(ArtifactError::SectionOutOfBounds { .. })));
+        // An offset pointing into the header/section table.
+        let mut tampered = bytes.clone();
+        tampered[entry + 16..entry + 24].copy_from_slice(&0u64.to_le_bytes());
+        reseal_v2_header(&mut tampered);
+        prop_assert!(matches!(open_v2(&tampered), Err(ArtifactError::SectionOutOfBounds { .. })));
+        // Two entries claiming intersecting byte ranges (clone a non-empty
+        // entry's placement+checksum onto another entry so both checksum
+        // clean and only the overlap check can object).
+        if sections.len() >= 2 {
+            if let Some(&(src, _, _)) = entries.iter().find(|&&(_, _, len)| len > 0) {
+                let (dst, _, _) = *entries.iter().find(|&&(e, _, _)| e != src).unwrap();
+                let mut tampered = bytes.clone();
+                let placement: Vec<u8> = bytes[src + 16..src + 48].to_vec();
+                tampered[dst + 16..dst + 48].copy_from_slice(&placement);
+                reseal_v2_header(&mut tampered);
+                prop_assert!(matches!(open_v2(&tampered), Err(ArtifactError::SectionOverlap { .. })));
+            }
+        }
+
+        // Trailing garbage past the recorded total length is typed too.
+        let mut oversized = bytes.clone();
+        oversized.extend_from_slice(&[0u8; 64]);
+        prop_assert!(matches!(open_v2(&oversized), Err(ArtifactError::Mismatch { .. })));
     }
 }
 
