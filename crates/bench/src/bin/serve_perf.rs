@@ -27,6 +27,15 @@
 //!   counts (`Recommender::recommend_batch_with_workers`), so multi-core
 //!   serve is measured whenever a multi-core runner shows up.
 //!
+//! Every number here is **closed-loop**: the measuring thread calls the
+//! engine and waits, so offered load adapts to service rate and queueing
+//! delay never appears. The network front-end's **open-loop** numbers —
+//! Poisson arrivals at fixed offered rates, p50/p99/p999 from scheduled
+//! arrival time, load shedding beyond capacity — come from the `load_gen`
+//! binary and land in the `server` section of the same `BENCH_serve.json`
+//! (run `load_gen` after this binary; it preserves every section written
+//! here and replaces only `server`).
+//!
 //! Results are written to `BENCH_serve.json` (override with `--out`). Usage:
 //!
 //! ```text
@@ -653,6 +662,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"serve_perf\",\n",
+            "  \"methodology\": \"closed_loop\",\n",
             "  \"scenario\": \"game_video\",\n",
             "  \"scale\": \"{scale}\",\n",
             "  \"dim\": {dim},\n",

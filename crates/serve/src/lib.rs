@@ -61,6 +61,8 @@
 
 pub mod delta;
 pub mod error;
+pub mod net;
+pub mod proto;
 pub mod recommender;
 mod seen;
 pub mod topk;
@@ -68,6 +70,8 @@ pub mod wal;
 
 pub use delta::DeltaOutcome;
 pub use error::{Result, ServeError};
+pub use net::{Client, Server, ServerConfig, StatsSnapshot};
+pub use proto::{ClientMsg, FrameReader, ProtoError, ServerMsg, MAX_FRAME_BODY, PROTO_VERSION};
 pub use recommender::{Recommender, Request, ScoringPrecision};
 pub use topk::{ranks_above, Recommendation, TopK};
 pub use wal::{CompactionReport, DeltaWal, RecoveryReport, RetryPolicy, WalError};

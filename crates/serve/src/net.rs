@@ -1,0 +1,777 @@
+//! The batched TCP serving front-end: cross-connection request coalescing,
+//! admission control, and epoch-swapped hot reload over the wire.
+//!
+//! ## Architecture
+//!
+//! The offline environment has no async runtime, so the server is plain
+//! `std::net` + threads, shaped like the kernel fan-out rather than an
+//! event loop:
+//!
+//! * an **acceptor** thread owns the non-blocking [`TcpListener`] and
+//!   spawns one reader thread per connection;
+//! * each **reader** thread decodes frames ([`crate::proto`]) off its
+//!   socket. Handshakes and stats are answered inline; `Recommend` and
+//!   `IngestDelta` jobs go into the connection's **bounded** queue. A full
+//!   queue sheds the job with a typed [`ServerMsg::Overloaded`] response
+//!   instead of buffering without bound — under overload the server's
+//!   memory and the p99 of *accepted* requests stay flat while the shed
+//!   counter grows (the load generator's overload gate);
+//! * one **coalescer** thread owns the [`Recommender`]. Per tick it waits
+//!   for work, lets the batch build for at most
+//!   [`ServerConfig::max_wait`], then drains the per-connection queues
+//!   **round-robin** (one job per connection per pass, so a single
+//!   firehose connection cannot starve the others) into one
+//!   [`Recommender::recommend_batch_outcomes`] call of up to
+//!   [`ServerConfig::max_batch`] requests — the SIMD batch path amortises
+//!   per-request overhead across connections, which is where the ≥5×
+//!   saturation throughput over single-request-per-connection serving
+//!   comes from (`BENCH_serve.json`, `server` section). Deltas drained in
+//!   the same tick are applied *before* the batch runs: a hot reload is an
+//!   epoch swap between batches, never a dropped in-flight request.
+//!   Responses are encoded into one pooled buffer per connection and
+//!   flushed with a single write per connection per tick.
+//!
+//! Within a connection, queued responses come back in request order;
+//! inline replies (hello, stats, sheds, protocol errors) may interleave —
+//! clients match on `req_id`, not arrival order.
+//!
+//! The warm pipeline — frame decode, queue, coalesced batch, pooled
+//! response encode — allocates nothing (`tests/alloc_regression.rs` drives
+//! it sans-IO); parity with direct engine calls is bitwise
+//! (`tests/net_serving.rs` and the `load_gen` parity gate).
+
+use crate::error::ServeError;
+use crate::proto::{self, ClientMsg, DeltaOk, HelloOk, ProtoError, ServerMsg, StatsOk, PROTO_VERSION};
+use crate::recommender::{Recommender, Request};
+use crate::topk::Recommendation;
+use cdrib_data::DomainId;
+use cdrib_graph::GraphDelta;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Coalescing and admission-control knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Most requests drained into one coalesced batch per tick.
+    pub max_batch: usize,
+    /// How long a tick lets the batch build after the first pending job —
+    /// the latency the slowest-arriving request in a tick pays for the
+    /// batch's amortisation.
+    pub max_wait: Duration,
+    /// Per-connection queue bound; a job arriving at a full queue is shed
+    /// with a typed [`ServerMsg::Overloaded`] response.
+    pub queue_capacity: usize,
+    /// Worker threads the coalesced batch fans out over
+    /// ([`Recommender::recommend_batch_with_workers`] semantics; clamped to
+    /// the engine's scratch count).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_batch: 256,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 512,
+            workers: cdrib_tensor::kernels::parallelism().max(1),
+        }
+    }
+}
+
+/// Monotone server counters, readable locally ([`Server::stats`]) and over
+/// the wire ([`ClientMsg::Stats`]).
+#[derive(Debug, Default)]
+struct Stats {
+    accepted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    deltas_applied: AtomicU64,
+    batches: AtomicU64,
+    epoch: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests admitted into a queue.
+    pub accepted: u64,
+    /// Requests answered with recommendations.
+    pub served: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Deltas applied over the wire.
+    pub deltas_applied: u64,
+    /// Coalesced batches executed.
+    pub batches: u64,
+    /// Current engine epoch.
+    pub epoch: u64,
+    /// Currently open connections.
+    pub connections: u64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A queued unit of work, preserving per-connection FIFO order between
+/// requests and deltas.
+enum Job {
+    Recommend {
+        req_id: u64,
+        request: Request,
+    },
+    Delta {
+        req_id: u64,
+        domain: DomainId,
+        delta: GraphDelta,
+    },
+}
+
+/// The socket's write half plus its pooled encode buffer. Readers (inline
+/// replies) and the coalescer (batch flushes) both write under this lock.
+struct ConnWriter {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl ConnWriter {
+    /// Encodes and writes one message immediately (inline-reply path).
+    fn send(&mut self, msg: &ServerMsg) -> io::Result<()> {
+        self.buf.clear();
+        proto::write_frame(&mut self.buf, msg);
+        self.stream.write_all(&self.buf)
+    }
+}
+
+/// Per-connection shared state between its reader thread and the coalescer.
+struct Conn {
+    queue: Mutex<VecDeque<Job>>,
+    writer: Mutex<ConnWriter>,
+    closed: AtomicBool,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    config: ServerConfig,
+    conns: Mutex<Vec<Arc<Conn>>>,
+    /// Jobs queued but not yet drained by the coalescer; guarded by its own
+    /// mutex so readers can wake the coalescer without touching the
+    /// connection list.
+    pending: Mutex<usize>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    stats: Stats,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.wake.notify_all();
+    }
+}
+
+/// A running serving front-end. Dropping (or calling [`Server::shutdown`])
+/// stops the acceptor and coalescer and joins them; reader threads exit on
+/// their own within one read-timeout tick.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    coalescer: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port) and starts serving
+    /// `rec` with the given knobs.
+    pub fn spawn(rec: Recommender, addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            conns: Mutex::new(Vec::new()),
+            pending: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+        });
+        shared.stats.epoch.store(rec.epoch(), Ordering::Relaxed);
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cdrib-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared))?
+        };
+        let coalescer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cdrib-coalescer".into())
+                .spawn(move || coalescer_loop(&shared, rec))?
+        };
+        Ok(Server {
+            addr: local,
+            shared,
+            acceptor: Some(acceptor),
+            coalescer: Some(coalescer),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Whether the server is still accepting work (no shutdown requested).
+    pub fn running(&self) -> bool {
+        !self.shared.shutting_down()
+    }
+
+    /// Blocks until a shutdown is requested — over the wire
+    /// ([`ClientMsg::Shutdown`]) or locally — then returns. The binary's
+    /// main thread parks here.
+    pub fn wait(&self) {
+        while !self.shared.shutting_down() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Requests shutdown, drains queued work, and joins the server threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.coalescer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Batch responses are single buffered writes; Nagle would
+                // only add latency on the small inline replies.
+                stream.set_nodelay(true).ok();
+                let write_half = match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                let conn = Arc::new(Conn {
+                    queue: Mutex::new(VecDeque::with_capacity(shared.config.queue_capacity)),
+                    writer: Mutex::new(ConnWriter {
+                        stream: write_half,
+                        buf: Vec::new(),
+                    }),
+                    closed: AtomicBool::new(false),
+                });
+                shared.conns.lock().expect("conns lock").push(Arc::clone(&conn));
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                // Readers are detached: they exit on EOF, on error, or
+                // within one read-timeout tick of a shutdown.
+                let _ = std::thread::Builder::new()
+                    .name("cdrib-reader".into())
+                    .spawn(move || reader_loop(&shared, &conn, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, mut stream: TcpStream) {
+    // The timeout bounds how long a quiet connection keeps its reader from
+    // noticing a shutdown.
+    stream.set_read_timeout(Some(Duration::from_millis(20))).ok();
+    let mut frames = proto::FrameReader::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    'read: loop {
+        if shared.shutting_down() {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                frames.push_bytes(&chunk[..n]);
+                loop {
+                    match frames.next_frame() {
+                        Ok(None) => break,
+                        Ok(Some(body)) => match proto::decode_client(body) {
+                            Ok(msg) => {
+                                if !handle_client_msg(shared, conn, msg) {
+                                    break 'read;
+                                }
+                            }
+                            Err(e) => {
+                                send_protocol_error(conn, &e);
+                                break 'read;
+                            }
+                        },
+                        Err(e) => {
+                            send_protocol_error(conn, &e);
+                            break 'read;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => continue,
+            Err(_) => break,
+        }
+    }
+    conn.closed.store(true, Ordering::Release);
+    shared.stats.connections.fetch_sub(1, Ordering::Relaxed);
+    // The coalescer prunes closed connections on its next tick.
+    shared.wake.notify_all();
+}
+
+/// Framing/decoding is unrecoverable mid-stream: answer with a typed error
+/// (best effort) and let the caller close the connection.
+fn send_protocol_error(conn: &Conn, e: &ProtoError) {
+    let msg = ServerMsg::Error(proto::ErrorMsg {
+        req_id: 0,
+        code: proto::ErrorCode::BadRequest,
+        detail: e.to_string(),
+    });
+    if let Ok(mut w) = conn.writer.lock() {
+        let _ = w.send(&msg);
+    }
+}
+
+/// Dispatches one decoded message. Returns `false` when the connection (or
+/// the whole server, for `Shutdown`) should stop reading.
+fn handle_client_msg(shared: &Arc<Shared>, conn: &Arc<Conn>, msg: ClientMsg) -> bool {
+    match msg {
+        ClientMsg::Hello(h) => {
+            let reply = if h.version == PROTO_VERSION {
+                ServerMsg::HelloOk(HelloOk {
+                    version: PROTO_VERSION,
+                    epoch: shared.stats.epoch.load(Ordering::Relaxed),
+                })
+            } else {
+                ServerMsg::Error(proto::ErrorMsg {
+                    req_id: 0,
+                    code: proto::ErrorCode::UnsupportedVersion,
+                    detail: format!("server speaks protocol {PROTO_VERSION}, client sent {}", h.version),
+                })
+            };
+            send_inline(conn, &reply)
+        }
+        ClientMsg::Stats(req_id) => {
+            let s = shared.stats.snapshot();
+            send_inline(
+                conn,
+                &ServerMsg::Stats(StatsOk {
+                    req_id,
+                    epoch: s.epoch,
+                    accepted: s.accepted,
+                    served: s.served,
+                    shed: s.shed,
+                    deltas_applied: s.deltas_applied,
+                    batches: s.batches,
+                    connections: s.connections,
+                }),
+            )
+        }
+        ClientMsg::Recommend(r) => enqueue(
+            shared,
+            conn,
+            r.req_id,
+            Job::Recommend {
+                req_id: r.req_id,
+                request: r.request(),
+            },
+        ),
+        ClientMsg::IngestDelta(i) => {
+            let req_id = i.req_id;
+            enqueue(
+                shared,
+                conn,
+                req_id,
+                Job::Delta {
+                    req_id,
+                    domain: i.domain,
+                    delta: i.delta,
+                },
+            )
+        }
+        ClientMsg::Shutdown => {
+            send_inline(conn, &ServerMsg::ShuttingDown);
+            shared.begin_shutdown();
+            false
+        }
+    }
+}
+
+fn send_inline(conn: &Conn, msg: &ServerMsg) -> bool {
+    match conn.writer.lock() {
+        Ok(mut w) => w.send(msg).is_ok(),
+        Err(_) => false,
+    }
+}
+
+/// Admission control: a job either joins its connection's bounded queue or
+/// is shed *now* with a typed `Overloaded` response — the server never
+/// buffers beyond `queue_capacity` per connection, so offered load beyond
+/// capacity turns into sheds, not queue growth.
+fn enqueue(shared: &Arc<Shared>, conn: &Arc<Conn>, req_id: u64, job: Job) -> bool {
+    let accepted = {
+        let mut queue = conn.queue.lock().expect("queue lock");
+        if queue.len() >= shared.config.queue_capacity {
+            false
+        } else {
+            queue.push_back(job);
+            true
+        }
+    };
+    if accepted {
+        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        let mut pending = shared.pending.lock().expect("pending lock");
+        *pending += 1;
+        shared.wake.notify_all();
+        true
+    } else {
+        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        send_inline(conn, &ServerMsg::Overloaded(req_id))
+    }
+}
+
+fn coalescer_loop(shared: &Arc<Shared>, mut rec: Recommender) {
+    // Tick-local pools, all reused: the warm pipeline allocates nothing.
+    let mut tick_conns: Vec<Arc<Conn>> = Vec::new();
+    let mut requests: Vec<Request> = Vec::new();
+    let mut origins: Vec<(usize, u64)> = Vec::new();
+    let mut responses: Vec<Vec<Recommendation>> = Vec::new();
+    let mut outcomes: Vec<crate::error::Result<()>> = Vec::new();
+    let mut rr_offset = 0usize;
+    loop {
+        // Wait for work (or shutdown). The timeout bounds shutdown latency.
+        {
+            let mut pending = shared.pending.lock().expect("pending lock");
+            while *pending == 0 {
+                if shared.shutting_down() {
+                    return;
+                }
+                let (p, _) = shared
+                    .wake
+                    .wait_timeout(pending, Duration::from_millis(20))
+                    .expect("pending wait");
+                pending = p;
+            }
+        }
+        // Let the batch build — the coalescing window. Skipped during
+        // shutdown so draining finishes promptly.
+        if !shared.config.max_wait.is_zero() && !shared.shutting_down() {
+            std::thread::sleep(shared.config.max_wait);
+        }
+
+        // Snapshot live connections, pruning ones that are closed and fully
+        // drained (their Arc dies here).
+        tick_conns.clear();
+        {
+            let mut conns = shared.conns.lock().expect("conns lock");
+            conns.retain(|c| {
+                !(c.closed.load(Ordering::Acquire) && c.queue.lock().map(|q| q.is_empty()).unwrap_or(true))
+            });
+            tick_conns.extend(conns.iter().cloned());
+        }
+        if tick_conns.is_empty() {
+            continue;
+        }
+
+        // Round-robin drain: one job per connection per pass, up to
+        // max_batch, starting at a rotating offset — no connection can fill
+        // the whole batch while others wait, and per-connection order is
+        // preserved. Deltas apply immediately (before this tick's batch):
+        // the epoch swap happens between batches, in-flight requests simply
+        // score against the new tables.
+        requests.clear();
+        origins.clear();
+        let n = tick_conns.len();
+        rr_offset = (rr_offset + 1) % n;
+        let mut drained = 0usize;
+        'drain: loop {
+            let mut any = false;
+            for i in 0..n {
+                if drained >= shared.config.max_batch {
+                    break 'drain;
+                }
+                let ci = (rr_offset + i) % n;
+                let job = tick_conns[ci].queue.lock().expect("queue lock").pop_front();
+                let Some(job) = job else { continue };
+                any = true;
+                drained += 1;
+                match job {
+                    Job::Recommend { req_id, request } => {
+                        origins.push((ci, req_id));
+                        requests.push(request);
+                    }
+                    Job::Delta { req_id, domain, delta } => {
+                        let reply = match rec.apply_delta(domain, &delta) {
+                            Ok(outcome) => {
+                                shared.stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                                shared.stats.epoch.store(outcome.epoch, Ordering::Relaxed);
+                                ServerMsg::DeltaApplied(DeltaOk {
+                                    req_id,
+                                    epoch: outcome.epoch,
+                                    users_added: outcome.users_added as u64,
+                                    items_added: outcome.items_added as u64,
+                                    edges_added: outcome.edges_added as u64,
+                                    wal_seq: outcome.wal_seq.unwrap_or(0),
+                                })
+                            }
+                            Err(e) => ServerMsg::Error(proto::delta_error(req_id, &e)),
+                        };
+                        if !send_inline(&tick_conns[ci], &reply) {
+                            tick_conns[ci].closed.store(true, Ordering::Release);
+                        }
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        {
+            let mut pending = shared.pending.lock().expect("pending lock");
+            *pending -= drained;
+        }
+        if requests.is_empty() {
+            continue;
+        }
+
+        // One coalesced engine call for the whole cross-connection batch.
+        rec.recommend_batch_outcomes(&requests, &mut responses, &mut outcomes, shared.config.workers);
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        let epoch = rec.epoch();
+
+        // Encode every connection's responses into its pooled buffer and
+        // flush them with one write per connection.
+        for (ci, conn) in tick_conns.iter().enumerate() {
+            let mut writer = match conn.writer.lock() {
+                Ok(w) => w,
+                Err(_) => continue,
+            };
+            writer.buf.clear();
+            let mut served = 0u64;
+            for (slot, &(oci, req_id)) in origins.iter().enumerate() {
+                if oci != ci {
+                    continue;
+                }
+                match &outcomes[slot] {
+                    Ok(()) => {
+                        proto::encode_recommendations_into(&mut writer.buf, req_id, epoch, &responses[slot]);
+                        served += 1;
+                    }
+                    Err(e) => {
+                        proto::write_frame(&mut writer.buf, &ServerMsg::Error(proto::recommend_error(req_id, e)));
+                    }
+                }
+            }
+            if served > 0 {
+                shared.stats.served.fetch_add(served, Ordering::Relaxed);
+            }
+            let ConnWriter { stream, buf } = &mut *writer;
+            if !buf.is_empty() && stream.write_all(buf).is_err() {
+                conn.closed.store(true, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket I/O failed.
+    Io(io::Error),
+    /// The server sent bytes that do not frame or decode.
+    Proto(ProtoError),
+    /// The server closed the connection.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket i/o failed: {e}"),
+            ClientError::Proto(e) => write!(f, "server sent an invalid frame: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A minimal blocking protocol client — what the tests, the load generator
+/// and the CI smoke job speak through.
+pub struct Client {
+    stream: TcpStream,
+    frames: proto::FrameReader,
+    chunk: Vec<u8>,
+    wbuf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects and performs the version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<(Client, HelloOk), ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client {
+            stream,
+            frames: proto::FrameReader::new(),
+            chunk: vec![0u8; 16 * 1024],
+            wbuf: Vec::new(),
+        };
+        client.send(&ClientMsg::Hello(crate::proto::HelloReq { version: PROTO_VERSION }))?;
+        match client.recv()? {
+            ServerMsg::HelloOk(ok) => Ok((client, ok)),
+            other => Err(ClientError::Proto(ProtoError::Decode(serde::Error::invalid_variant(
+                "HelloOk",
+                match other {
+                    ServerMsg::Error(_) => 5,
+                    _ => u32::MAX,
+                },
+            )))),
+        }
+    }
+
+    /// Encodes and writes one message.
+    pub fn send(&mut self, msg: &ClientMsg) -> Result<(), ClientError> {
+        self.wbuf.clear();
+        proto::write_frame(&mut self.wbuf, msg);
+        self.stream.write_all(&self.wbuf)?;
+        Ok(())
+    }
+
+    /// Writes pre-encoded frames (the load generator batches catch-up
+    /// arrivals into one syscall).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Blocks until the next server message arrives.
+    pub fn recv(&mut self) -> Result<ServerMsg, ClientError> {
+        loop {
+            match self.frames.next_frame() {
+                Err(e) => return Err(e.into()),
+                Ok(Some(body)) => return Ok(proto::decode_server(body)?),
+                Ok(None) => {}
+            }
+            let n = self.stream.read(&mut self.chunk)?;
+            if n == 0 {
+                return Err(ClientError::Closed);
+            }
+            self.frames.push_bytes(&self.chunk[..n]);
+        }
+    }
+
+    /// Sends one recommend request and waits for its (matching) response.
+    pub fn recommend(&mut self, req_id: u64, request: &Request) -> Result<ServerMsg, ClientError> {
+        self.send(&ClientMsg::Recommend(proto::RecommendReq {
+            req_id,
+            direction: request.direction,
+            user: request.user,
+            k: request.k as u32,
+        }))?;
+        self.recv()
+    }
+
+    /// Sets/clears the receive timeout (a timed-out [`Client::recv`]
+    /// surfaces as [`ClientError::Io`] with `WouldBlock`/`TimedOut`).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// A second handle on the same connection for split send/receive
+    /// threads (the open-loop load generator's shape).
+    pub fn try_clone_stream(&self) -> io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+}
+
+/// Builds the deterministic preset engine both `cdrib-served --preset` and
+/// the load generator's reference side use: same scenario seed, same model
+/// init seed, same construction path — so a server booted in another
+/// process serves **bitwise** the lists the generator computes locally,
+/// which is what makes the cross-process parity gate meaningful.
+pub fn preset_engine(scale: &str, seed: u64) -> crate::error::Result<(Recommender, cdrib_data::CdrScenario)> {
+    use cdrib_core::{CdribConfig, CdribModel, InferenceModel};
+    use cdrib_data::{build_preset, Scale, ScenarioKind};
+
+    let scale = match scale {
+        "small" => Scale::Small,
+        "full" => Scale::Full,
+        _ => Scale::Tiny,
+    };
+    let scenario = build_preset(ScenarioKind::GameVideo, scale, seed).map_err(|e| ServeError::Update {
+        detail: format!("preset scenario failed: {e}"),
+    })?;
+    let config = CdribConfig {
+        dim: 32,
+        layers: 2,
+        eval_every: 0,
+        patience: 0,
+        seed,
+        ..CdribConfig::default()
+    };
+    let model = CdribModel::new(&config, &scenario).map_err(|e| ServeError::Update {
+        detail: format!("preset model init failed: {e}"),
+    })?;
+    let rec = Recommender::from_inference_online(InferenceModel::from_model(&model), &scenario)?;
+    Ok((rec, scenario))
+}

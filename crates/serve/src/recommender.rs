@@ -1289,4 +1289,81 @@ impl Recommender {
         }
         Ok(())
     }
+
+    /// Answers a batch with one **typed outcome per request**: `outcomes[i]`
+    /// is the result for `requests[i]`, and a rejected request leaves every
+    /// other response intact instead of poisoning the whole batch the way
+    /// [`Recommender::recommend_batch`]'s first-error contract does.
+    ///
+    /// This is the primitive the network front-end coalesces through: a
+    /// cross-connection batch must not let one stale request — e.g. a user
+    /// id that the catalogue-extending delta racing it has not yet published
+    /// — fail a hundred strangers' requests. The rejected slot gets its
+    /// typed error (never a panic, never a silently truncated list) and a
+    /// cleared response; the race regression test in this file pins the
+    /// retry-after-delta contract.
+    ///
+    /// `responses` and `outcomes` storage is reused across batches; warm
+    /// error-free batches allocate nothing.
+    pub fn recommend_batch_outcomes(
+        &mut self,
+        requests: &[Request],
+        responses: &mut Vec<Vec<Recommendation>>,
+        outcomes: &mut Vec<Result<()>>,
+        workers: usize,
+    ) {
+        if responses.len() != requests.len() {
+            responses.resize_with(requests.len(), Vec::new);
+        }
+        outcomes.clear();
+        outcomes.resize_with(requests.len(), || Ok(()));
+        #[cfg(not(feature = "parallel"))]
+        let _ = workers;
+        #[cfg(feature = "parallel")]
+        {
+            let workers = workers.min(self.scratches.len()).min(requests.len());
+            if workers > 1 {
+                let per_worker = requests.len().div_ceil(workers);
+                let core = &self.core;
+                std::thread::scope(|scope| {
+                    let mut req_rest = requests;
+                    let mut resp_rest = &mut responses[..];
+                    let mut out_rest = &mut outcomes[..];
+                    let mut scratch_rest = &mut self.scratches[..];
+                    while !req_rest.is_empty() {
+                        let take = per_worker.min(req_rest.len());
+                        let (req_chunk, remaining_req) = req_rest.split_at(take);
+                        req_rest = remaining_req;
+                        let (resp_chunk, remaining_resp) = resp_rest.split_at_mut(take);
+                        resp_rest = remaining_resp;
+                        let (out_chunk, remaining_out) = out_rest.split_at_mut(take);
+                        out_rest = remaining_out;
+                        let (scratch, remaining_scratch) =
+                            scratch_rest.split_first_mut().expect("one scratch per worker");
+                        scratch_rest = remaining_scratch;
+                        scope.spawn(move || {
+                            for ((request, out), outcome) in
+                                req_chunk.iter().zip(resp_chunk.iter_mut()).zip(out_chunk.iter_mut())
+                            {
+                                if let Err(e) = core.recommend_into(scratch, request, out) {
+                                    // A failed request must not leak the
+                                    // previous batch's list through its slot.
+                                    out.clear();
+                                    *outcome = Err(e);
+                                }
+                            }
+                        });
+                    }
+                });
+                return;
+            }
+        }
+        let scratch = &mut self.scratches[0];
+        for ((request, out), outcome) in requests.iter().zip(responses.iter_mut()).zip(outcomes.iter_mut()) {
+            if let Err(e) = self.core.recommend_into(scratch, request, out) {
+                out.clear();
+                *outcome = Err(e);
+            }
+        }
+    }
 }

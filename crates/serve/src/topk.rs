@@ -12,8 +12,12 @@
 //! ties — so heap selection is *identical* to a full sort under the same
 //! order, which the parity tests (and the CI serve smoke job) pin down.
 
-/// One recommended item with its score.
-#[derive(Debug, Clone, Copy, PartialEq)]
+use serde::{Deserialize, Serialize};
+
+/// One recommended item with its score. Serializes compactly (`u32` item,
+/// `f32` score, both LE) — the payload of a [`crate::proto::RecommendOk`]
+/// wire response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Recommendation {
     /// The recommended target-domain item.
     pub item: u32,

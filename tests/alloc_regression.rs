@@ -468,6 +468,114 @@ fn mapped_load_and_serving_steady_state() {
     );
 }
 
+/// The network front-end's warm serving pipeline, sans IO: framed request
+/// bytes through [`FrameReader`], decoded into a per-connection queue,
+/// drained into one coalesced `recommend_batch_outcomes` call, responses
+/// encoded back into a pooled framed write buffer — exactly what the
+/// coalescer tick does between two socket calls. After warm-up the whole
+/// tick must be allocation-free: every buffer (reassembly, queue, batch,
+/// response lists, outcome slots, encode buffer) is pooled per connection.
+fn server_pipeline_steady_state() {
+    use cdrib_serve::proto::{self, ClientMsg, FrameReader, RecommendReq};
+    use std::collections::VecDeque;
+
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 42).expect("preset");
+    let config = CdribConfig {
+        dim: 16,
+        layers: 2,
+        eval_every: 0,
+        patience: 0,
+        seed: 42,
+        ..CdribConfig::default()
+    };
+    let model = CdribModel::new(&config, &scenario).expect("model");
+    let mut inference = InferenceModel::from_model(&model);
+    let embeddings = inference.embeddings().expect("embeddings");
+    let mut recommender = Recommender::from_embeddings(embeddings, &scenario).expect("recommender");
+    let epoch = recommender.epoch();
+
+    let mut requests: Vec<Request> = Vec::new();
+    for &user in scenario.cold_x_to_y.test_users.iter().take(8) {
+        requests.push(Request {
+            direction: Direction::X_TO_Y,
+            user,
+            k: 10,
+        });
+    }
+    for &user in scenario.cold_y_to_x.test_users.iter().take(8) {
+        requests.push(Request {
+            direction: Direction::Y_TO_X,
+            user,
+            k: 10,
+        });
+    }
+    assert!(!requests.is_empty());
+    // The wire image a connection would deliver: one framed Recommend per
+    // request, encoded once up front (the client's cost, not the server's).
+    let wire: Vec<u8> = {
+        let mut w = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            proto::write_frame(
+                &mut w,
+                &ClientMsg::Recommend(RecommendReq {
+                    req_id: i as u64,
+                    direction: r.direction,
+                    user: r.user,
+                    k: r.k as u32,
+                }),
+            );
+        }
+        w
+    };
+
+    let mut frames = FrameReader::new();
+    let mut queue: VecDeque<(u64, Request)> = VecDeque::with_capacity(requests.len());
+    let mut batch: Vec<Request> = Vec::with_capacity(requests.len());
+    let mut ids: Vec<u64> = Vec::with_capacity(requests.len());
+    let mut responses: Vec<Vec<Recommendation>> = Vec::new();
+    let mut outcomes: Vec<cdrib_serve::Result<()>> = Vec::new();
+    let mut write_buf: Vec<u8> = Vec::new();
+    let expected = requests.len();
+    let mut tick = || {
+        // Reader half: reassemble frames, decode, enqueue.
+        frames.push_bytes(&wire);
+        while let Some(body) = frames.next_frame().expect("frame") {
+            match proto::decode_client(body).expect("decode") {
+                ClientMsg::Recommend(r) => queue.push_back((r.req_id, r.request())),
+                other => panic!("unexpected message {other:?}"),
+            }
+        }
+        // Coalescer half: drain the queue into one batch call, encode the
+        // framed responses into the pooled per-connection write buffer.
+        batch.clear();
+        ids.clear();
+        while let Some((id, request)) = queue.pop_front() {
+            ids.push(id);
+            batch.push(request);
+        }
+        assert_eq!(batch.len(), expected);
+        recommender.recommend_batch_outcomes(&batch, &mut responses, &mut outcomes, 1);
+        write_buf.clear();
+        for (slot, id) in ids.iter().enumerate() {
+            assert!(outcomes[slot].is_ok());
+            proto::encode_recommendations_into(&mut write_buf, *id, epoch, &responses[slot]);
+        }
+        assert!(!write_buf.is_empty());
+    };
+    for _ in 0..2 {
+        tick();
+    }
+    let steady = min_allocs_over_windows(|| {
+        for _ in 0..3 {
+            tick();
+        }
+    });
+    assert_eq!(
+        steady, 0,
+        "the warm framed-request -> coalesced-batch -> framed-response pipeline must not touch the allocator (got {steady} requests over 3 ticks)"
+    );
+}
+
 #[test]
 fn warm_training_steps_are_allocation_free() {
     // Pin the kernels to one thread before the first dispatch: scoped-thread
@@ -541,4 +649,5 @@ fn warm_training_steps_are_allocation_free() {
     delta_apply_steady_state();
     wal_append_steady_state();
     mapped_load_and_serving_steady_state();
+    server_pipeline_steady_state();
 }

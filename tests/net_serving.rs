@@ -1,0 +1,291 @@
+//! End-to-end tests of the batched TCP serving front-end: bitwise parity
+//! with direct engine calls, typed load shedding from the bounded queues,
+//! hot delta ingest over the wire, request/response correlation, graceful
+//! shutdown — and the catalogue-extension race regression on the batch API
+//! itself.
+
+use cdrib::data::{Direction, DomainId};
+use cdrib::graph::GraphDelta;
+use cdrib::serve::net::preset_engine;
+use cdrib::serve::proto::{ClientMsg, ErrorCode, IngestReq, RecommendReq, ServerMsg};
+use cdrib::serve::{Client, Recommender, Request, ServeError, Server, ServerConfig};
+use std::time::Duration;
+
+fn spawn_tiny(config: ServerConfig) -> (Server, Recommender, (usize, usize)) {
+    let (engine, scenario) = preset_engine("tiny", 7).expect("server engine");
+    let (reference, _) = preset_engine("tiny", 7).expect("reference engine");
+    let server = Server::spawn(engine, "127.0.0.1:0", config).expect("spawn");
+    (server, reference, (scenario.x.n_users, scenario.y.n_users))
+}
+
+fn mixed_requests(n: usize, (x_users, y_users): (usize, usize)) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            let x_to_y = i % 2 == 0;
+            let bound = if x_to_y { x_users } else { y_users };
+            Request {
+                direction: if x_to_y { Direction::X_TO_Y } else { Direction::Y_TO_X },
+                user: (i * 13 % bound.max(1)) as u32,
+                k: 5 + i % 7,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn served_responses_are_bitwise_equal_to_direct_calls() {
+    let (server, mut reference, bounds) = spawn_tiny(ServerConfig::default());
+    let (mut client, hello) = Client::connect(server.addr()).expect("connect");
+    assert_eq!(hello.epoch, 0);
+    let mut expect = Vec::new();
+    for (i, request) in mixed_requests(40, bounds).iter().enumerate() {
+        let got = client.recommend(i as u64, request).expect("round trip");
+        reference.recommend(request, &mut expect).expect("reference");
+        match got {
+            ServerMsg::Recommendations(ok) => {
+                assert_eq!(ok.req_id, i as u64);
+                assert_eq!(ok.recs.len(), expect.len());
+                for (a, b) in ok.recs.iter().zip(&expect) {
+                    assert_eq!(a.item, b.item);
+                    assert_eq!(a.score.to_bits(), b.score.to_bits());
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bounded_queues_shed_with_typed_overloaded() {
+    // A tiny queue and a long coalescing window force admission control to
+    // act: the flood below cannot all fit.
+    let (server, _, bounds) = spawn_tiny(ServerConfig {
+        max_batch: 8,
+        max_wait: Duration::from_millis(30),
+        queue_capacity: 4,
+        workers: 1,
+    });
+    let (mut client, _) = Client::connect(server.addr()).expect("connect");
+    let requests = mixed_requests(120, bounds);
+    let mut frames = Vec::new();
+    for (i, r) in requests.iter().enumerate() {
+        cdrib::serve::proto::write_frame(
+            &mut frames,
+            &ClientMsg::Recommend(RecommendReq {
+                req_id: i as u64,
+                direction: r.direction,
+                user: r.user,
+                k: r.k as u32,
+            }),
+        );
+    }
+    client.send_raw(&frames).expect("flood");
+    let (mut served, mut shed) = (0u64, 0u64);
+    for _ in 0..requests.len() {
+        match client.recv().expect("response") {
+            ServerMsg::Recommendations(_) => served += 1,
+            ServerMsg::Overloaded(id) => {
+                assert!((id as usize) < requests.len());
+                shed += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    // Every request was answered exactly once, sheds are typed, and the
+    // stats agree with what came over the wire.
+    assert_eq!(served + shed, requests.len() as u64);
+    assert!(shed > 0, "flood of 120 into a 4-deep queue must shed");
+    assert!(served > 0, "admitted requests must still be served");
+    let stats = server.stats();
+    assert_eq!(stats.served, served);
+    assert_eq!(stats.shed, shed);
+    server.shutdown();
+}
+
+#[test]
+fn delta_over_wire_extends_catalogue_and_bumps_epoch() {
+    let (server, _, bounds) = spawn_tiny(ServerConfig::default());
+    let (mut client, hello) = Client::connect(server.addr()).expect("connect");
+    assert_eq!(hello.epoch, 0);
+    let new_user = bounds.0 as u32;
+    let request = Request {
+        direction: Direction::X_TO_Y,
+        user: new_user,
+        k: 5,
+    };
+    // Before the delta the user is beyond the live table: typed wire error.
+    match client.recommend(1, &request).expect("round trip") {
+        ServerMsg::Error(e) => {
+            assert_eq!(e.req_id, 1);
+            assert_eq!(e.code, ErrorCode::UserOutOfRange);
+        }
+        other => panic!("expected UserOutOfRange, got {other:?}"),
+    }
+    // Ingest a delta appending that user with one interaction.
+    client
+        .send(&ClientMsg::IngestDelta(IngestReq {
+            req_id: 2,
+            domain: DomainId::X,
+            delta: GraphDelta {
+                add_users: 1,
+                add_items: 0,
+                edges: vec![(new_user, 0)],
+            },
+        }))
+        .expect("send delta");
+    match client.recv().expect("delta response") {
+        ServerMsg::DeltaApplied(ok) => {
+            assert_eq!(ok.req_id, 2);
+            assert_eq!(ok.users_added, 1);
+            assert_eq!(ok.epoch, 1);
+        }
+        other => panic!("expected DeltaApplied, got {other:?}"),
+    }
+    // The same request now serves, stamped with the new epoch.
+    match client.recommend(3, &request).expect("round trip") {
+        ServerMsg::Recommendations(ok) => {
+            assert_eq!(ok.req_id, 3);
+            assert_eq!(ok.epoch, 1);
+            assert!(!ok.recs.is_empty());
+        }
+        other => panic!("expected recommendations, got {other:?}"),
+    }
+    assert_eq!(server.stats().deltas_applied, 1);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_responses_correlate_by_req_id() {
+    let (server, _, bounds) = spawn_tiny(ServerConfig::default());
+    let (mut client, _) = Client::connect(server.addr()).expect("connect");
+    let requests = mixed_requests(64, bounds);
+    let mut frames = Vec::new();
+    for (i, r) in requests.iter().enumerate() {
+        cdrib::serve::proto::write_frame(
+            &mut frames,
+            &ClientMsg::Recommend(RecommendReq {
+                req_id: 1000 + i as u64,
+                direction: r.direction,
+                user: r.user,
+                k: r.k as u32,
+            }),
+        );
+    }
+    client.send_raw(&frames).expect("pipeline");
+    let mut seen = vec![false; requests.len()];
+    for _ in 0..requests.len() {
+        match client.recv().expect("response") {
+            ServerMsg::Recommendations(ok) => {
+                let idx = (ok.req_id - 1000) as usize;
+                assert!(!seen[idx], "duplicate response for req {}", ok.req_id);
+                seen[idx] = true;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "every request answered exactly once");
+    server.shutdown();
+}
+
+#[test]
+fn wire_shutdown_drains_in_flight_requests() {
+    let (server, _, bounds) = spawn_tiny(ServerConfig::default());
+    let (mut client, _) = Client::connect(server.addr()).expect("connect");
+    let requests = mixed_requests(32, bounds);
+    let mut frames = Vec::new();
+    for (i, r) in requests.iter().enumerate() {
+        cdrib::serve::proto::write_frame(
+            &mut frames,
+            &ClientMsg::Recommend(RecommendReq {
+                req_id: i as u64,
+                direction: r.direction,
+                user: r.user,
+                k: r.k as u32,
+            }),
+        );
+    }
+    cdrib::serve::proto::write_frame(&mut frames, &ClientMsg::Shutdown);
+    client.send_raw(&frames).expect("burst + shutdown");
+    // Every queued request is still answered; the ShuttingDown ack may
+    // interleave anywhere (inline replies are not coalesced).
+    let (mut answered, mut acked) = (0usize, false);
+    while answered < requests.len() || !acked {
+        match client.recv().expect("response") {
+            ServerMsg::Recommendations(_) | ServerMsg::Overloaded(_) => answered += 1,
+            ServerMsg::ShuttingDown => acked = true,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    server.wait(); // returns because the wire requested shutdown
+    server.shutdown();
+}
+
+/// Regression: a batch prepared against the *old* catalogue racing a
+/// concurrent extension must fail **typed**, not panic or silently
+/// truncate — and the per-slot API must isolate the failure to the stale
+/// slot. Once the delta lands, the identical batch serves fully.
+#[test]
+fn catalogue_extension_race_returns_typed_error() {
+    let (mut engine, scenario) = preset_engine("tiny", 7).expect("engine");
+    let n_users = scenario.x.n_users as u32;
+    // The "in-flight" batch references a user the delta *will* add but the
+    // live table does not yet contain.
+    let requests: Vec<Request> = vec![
+        Request {
+            direction: Direction::X_TO_Y,
+            user: 0,
+            k: 5,
+        },
+        Request {
+            direction: Direction::X_TO_Y,
+            user: n_users,
+            k: 5,
+        },
+        Request {
+            direction: Direction::Y_TO_X,
+            user: 1,
+            k: 5,
+        },
+    ];
+    // Whole-batch API: typed first-error, no panic.
+    let mut responses = Vec::new();
+    match engine.recommend_batch(&requests, &mut responses) {
+        Err(ServeError::UserOutOfRange { user, bound }) => {
+            assert_eq!(user, n_users);
+            assert_eq!(bound, n_users as usize);
+        }
+        other => panic!("expected typed UserOutOfRange, got {other:?}"),
+    }
+    // Per-slot API: healthy slots serve, only the stale slot errors (and
+    // its response list is empty, not stale leftovers).
+    let mut outcomes = Vec::new();
+    engine.recommend_batch_outcomes(&requests, &mut responses, &mut outcomes, 2);
+    assert!(outcomes[0].is_ok() && outcomes[2].is_ok());
+    assert!(matches!(
+        outcomes[1],
+        Err(ServeError::UserOutOfRange { user, bound }) if user == n_users && bound == n_users as usize
+    ));
+    assert!(!responses[0].is_empty() && !responses[2].is_empty());
+    assert!(
+        responses[1].is_empty(),
+        "failed slot must not leak stale recommendations"
+    );
+    // The extension lands; the identical batch now fully succeeds.
+    engine
+        .apply_delta(
+            DomainId::X,
+            &GraphDelta {
+                add_users: 1,
+                add_items: 0,
+                edges: vec![(n_users, 0)],
+            },
+        )
+        .expect("delta");
+    engine
+        .recommend_batch(&requests, &mut responses)
+        .expect("post-delta batch");
+    assert!(responses.iter().all(|r| !r.is_empty()));
+    engine.recommend_batch_outcomes(&requests, &mut responses, &mut outcomes, 2);
+    assert!(outcomes.iter().all(|o| o.is_ok()));
+}

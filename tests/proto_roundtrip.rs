@@ -1,0 +1,262 @@
+//! Wire-protocol robustness: every message type round-trips through the
+//! framed codec, and corrupted frames — truncations, bit flips, oversized
+//! length prefixes — are rejected with **typed** errors, never a panic or a
+//! silently wrong decode.
+//!
+//! Round-trip equality is asserted on the *re-encoded bytes* (encode →
+//! frame → decode → encode again), which is stricter than structural
+//! equality and sidesteps `f32` NaN comparison entirely: random score bits
+//! are legal on the wire even when NaN never leaves the engine.
+
+use cdrib::data::{Direction, DomainId};
+use cdrib::graph::GraphDelta;
+use cdrib::serve::proto::{
+    self, ClientMsg, DeltaOk, ErrorCode, ErrorMsg, FrameReader, HelloOk, HelloReq, IngestReq, ProtoError, RecommendOk,
+    RecommendReq, ServerMsg, StatsOk, MAX_FRAME_BODY,
+};
+use cdrib::serve::Recommendation;
+use proptest::prelude::*;
+
+const LEN_BYTES: usize = 4;
+
+fn direction_from(selector: u32) -> Direction {
+    if selector.is_multiple_of(2) {
+        Direction::X_TO_Y
+    } else {
+        Direction::Y_TO_X
+    }
+}
+
+fn domain_from(selector: u32) -> DomainId {
+    if selector.is_multiple_of(2) {
+        DomainId::X
+    } else {
+        DomainId::Y
+    }
+}
+
+fn error_code_from(selector: u32) -> ErrorCode {
+    match selector % 5 {
+        0 => ErrorCode::UserOutOfRange,
+        1 => ErrorCode::EmptyCatalogue,
+        2 => ErrorCode::DeltaRejected,
+        3 => ErrorCode::UnsupportedVersion,
+        _ => ErrorCode::BadRequest,
+    }
+}
+
+/// Builds one client message of every variant, driven by raw draws.
+fn client_msg(variant: u32, a: u64, b: u32, edges: Vec<(u32, u32)>, text: Vec<u8>) -> ClientMsg {
+    match variant % 5 {
+        0 => ClientMsg::Hello(HelloReq { version: b }),
+        1 => ClientMsg::Recommend(RecommendReq {
+            req_id: a,
+            direction: direction_from(b),
+            user: b,
+            k: (b % 64) + 1,
+        }),
+        2 => ClientMsg::IngestDelta(IngestReq {
+            req_id: a,
+            domain: domain_from(b),
+            delta: GraphDelta {
+                add_users: (b % 7) as usize,
+                add_items: text.len(),
+                edges,
+            },
+        }),
+        3 => ClientMsg::Stats(a),
+        _ => ClientMsg::Shutdown,
+    }
+}
+
+/// Builds one server message of every variant.
+fn server_msg(variant: u32, a: u64, b: u32, scores: Vec<u32>, text: Vec<u8>) -> ServerMsg {
+    match variant % 7 {
+        0 => ServerMsg::HelloOk(HelloOk { version: b, epoch: a }),
+        1 => ServerMsg::Recommendations(RecommendOk {
+            req_id: a,
+            epoch: a ^ 1,
+            recs: scores
+                .iter()
+                .enumerate()
+                .map(|(i, &bits)| Recommendation {
+                    item: i as u32,
+                    score: f32::from_bits(bits),
+                })
+                .collect(),
+        }),
+        2 => ServerMsg::DeltaApplied(DeltaOk {
+            req_id: a,
+            epoch: a.wrapping_add(1),
+            users_added: u64::from(b % 5),
+            items_added: u64::from(b % 3),
+            edges_added: u64::from(b),
+            wal_seq: a ^ 7,
+        }),
+        3 => ServerMsg::Stats(StatsOk {
+            req_id: a,
+            epoch: 3,
+            accepted: a,
+            served: a / 2,
+            shed: u64::from(b),
+            deltas_applied: 1,
+            batches: 9,
+            connections: 2,
+        }),
+        4 => ServerMsg::Overloaded(a),
+        5 => ServerMsg::Error(ErrorMsg {
+            req_id: a,
+            code: error_code_from(b),
+            detail: String::from_utf8_lossy(&text).into_owned(),
+        }),
+        _ => ServerMsg::ShuttingDown,
+    }
+}
+
+fn frame_of(encode: impl Fn(&mut Vec<u8>)) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode(&mut buf);
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every client message variant survives encode → frame → decode →
+    /// re-encode bitwise.
+    #[test]
+    fn client_messages_round_trip(
+        variant in 0u32..5,
+        a in 0u64..u64::MAX,
+        b in 0u32..u32::MAX,
+        edges in collection::vec((0u32..1000, 0u32..1000), 0..16),
+        text in collection::vec(97u8..123, 0..12),
+    ) {
+        let msg = client_msg(variant, a, b, edges, text);
+        let frame = frame_of(|buf| proto::write_frame(buf, &msg));
+        let (consumed, body) = proto::split_frame(&frame).unwrap().expect("complete frame");
+        prop_assert_eq!(consumed, frame.len());
+        let decoded = proto::decode_client(body).unwrap();
+        let reframed = frame_of(|buf| proto::write_frame(buf, &decoded));
+        prop_assert_eq!(frame, reframed);
+    }
+
+    /// Every server message variant survives the same loop.
+    #[test]
+    fn server_messages_round_trip(
+        variant in 0u32..7,
+        a in 0u64..u64::MAX,
+        b in 0u32..u32::MAX,
+        scores in collection::vec(0u32..u32::MAX, 0..24),
+        text in collection::vec(32u8..127, 0..20),
+    ) {
+        let msg = server_msg(variant, a, b, scores, text);
+        let frame = frame_of(|buf| proto::write_frame(buf, &msg));
+        let (consumed, body) = proto::split_frame(&frame).unwrap().expect("complete frame");
+        prop_assert_eq!(consumed, frame.len());
+        let decoded = proto::decode_server(body).unwrap();
+        let reframed = frame_of(|buf| proto::write_frame(buf, &decoded));
+        prop_assert_eq!(frame, reframed);
+    }
+
+    /// A stream of concatenated frames fed to [`FrameReader`] in arbitrary
+    /// chunk sizes reassembles every frame, in order, bitwise.
+    #[test]
+    fn frame_reader_reassembles_arbitrary_chunking(
+        variants in collection::vec(0u32..7, 1..6),
+        a in 0u64..u64::MAX,
+        chunk in 1usize..40,
+    ) {
+        let mut stream = Vec::new();
+        let mut bodies = Vec::new();
+        for (i, &v) in variants.iter().enumerate() {
+            let msg = server_msg(v, a ^ i as u64, i as u32, vec![i as u32; i], vec![b'x'; i]);
+            let frame = frame_of(|buf| proto::write_frame(buf, &msg));
+            bodies.push(frame[LEN_BYTES..frame.len() - 8].to_vec());
+            stream.extend_from_slice(&frame);
+        }
+        let mut reader = FrameReader::new();
+        let mut seen = Vec::new();
+        for piece in stream.chunks(chunk) {
+            reader.push_bytes(piece);
+            while let Some(body) = reader.next_frame().unwrap() {
+                seen.push(body.to_vec());
+            }
+        }
+        prop_assert_eq!(seen, bodies);
+        prop_assert_eq!(reader.buffered(), 0);
+    }
+
+    /// Every strict prefix of a valid frame is *incomplete* (`Ok(None)`) —
+    /// truncation never produces an error, a panic, or a bogus decode.
+    #[test]
+    fn truncated_frames_are_incomplete(
+        variant in 0u32..5,
+        a in 0u64..u64::MAX,
+        edges in collection::vec((0u32..100, 0u32..100), 0..8),
+    ) {
+        let msg = client_msg(variant, a, 3, edges, vec![]);
+        let frame = frame_of(|buf| proto::write_frame(buf, &msg));
+        for cut in 0..frame.len() {
+            prop_assert!(matches!(proto::split_frame(&frame[..cut]), Ok(None)), "cut={}", cut);
+        }
+    }
+
+    /// A single flipped bit anywhere in the frame can never yield a
+    /// successfully decoded frame: the outcome is a typed error
+    /// (checksum/size) or "incomplete" when the flip inflates the length
+    /// prefix.
+    #[test]
+    fn bit_flips_are_rejected(
+        variant in 0u32..7,
+        a in 0u64..u64::MAX,
+        scores in collection::vec(0u32..u32::MAX, 0..8),
+        flip_at in 0usize..4096,
+    ) {
+        let msg = server_msg(variant, a, 9, scores, vec![b'e'; 4]);
+        let mut frame = frame_of(|buf| proto::write_frame(buf, &msg));
+        let byte = flip_at / 8 % frame.len();
+        frame[byte] ^= 1 << (flip_at % 8);
+        match proto::split_frame(&frame) {
+            Ok(Some(_)) => prop_assert!(false, "corrupted frame decoded (flip at byte {})", byte),
+            Ok(None) => {} // length grew: frame now looks incomplete
+            Err(ProtoError::ChecksumMismatch { .. }) | Err(ProtoError::FrameTooLarge { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {}", e),
+        }
+    }
+}
+
+/// A length prefix beyond the cap is rejected *before* any buffering, even
+/// though the full body never arrives.
+#[test]
+fn oversized_length_prefix_is_rejected_eagerly() {
+    let len = (MAX_FRAME_BODY + 1) as u32;
+    let mut frame = len.to_le_bytes().to_vec();
+    frame.extend_from_slice(&[0u8; 64]); // far short of the claimed body
+    match proto::split_frame(&frame) {
+        Err(ProtoError::FrameTooLarge { len, max }) => {
+            assert_eq!(len, (MAX_FRAME_BODY + 1) as u64);
+            assert_eq!(max, MAX_FRAME_BODY);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    // The incremental reader rejects it identically.
+    let mut reader = FrameReader::new();
+    reader.push_bytes(&frame);
+    assert!(matches!(reader.next_frame(), Err(ProtoError::FrameTooLarge { .. })));
+}
+
+/// An unknown enum tag inside a checksum-valid frame surfaces as a typed
+/// decode error.
+#[test]
+fn unknown_variant_tag_is_a_typed_decode_error() {
+    let mut body = Vec::new();
+    serde::write_variant_tag(&mut body, 0xDEAD_BEEF);
+    let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    let sum = cdrib::tensor::artifact::fnv1a(&frame);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    let (_, parsed) = proto::split_frame(&frame).unwrap().expect("frame complete");
+    assert!(matches!(proto::decode_client(parsed), Err(ProtoError::Decode(_))));
+    assert!(matches!(proto::decode_server(parsed), Err(ProtoError::Decode(_))));
+}
