@@ -10,7 +10,10 @@
 //! * an **acceptor** thread owns the non-blocking [`TcpListener`] and
 //!   spawns one reader thread per connection;
 //! * each **reader** thread decodes frames ([`crate::proto`]) off its
-//!   socket. Handshakes and stats are answered inline; `Recommend` and
+//!   socket. Handshakes and stats are answered inline; a malformed frame
+//!   or a version-mismatched `Hello` gets a typed error and then a real
+//!   socket close (the pipelined frames behind it are never served).
+//!   `Recommend` and
 //!   `IngestDelta` jobs go into the connection's **bounded** queue. A full
 //!   queue sheds the job with a typed [`ServerMsg::Overloaded`] response
 //!   instead of buffering without bound — under overload the server's
@@ -191,6 +194,21 @@ impl Shared {
     }
 }
 
+/// Locks a per-connection queue, recovering from poisoning: a reader that
+/// panicked while holding the lock leaves the `VecDeque` itself consistent
+/// (push/pop are atomic w.r.t. its invariants), and treating the queue as
+/// lost would strand its still-counted jobs in `pending` and wedge the
+/// coalescer.
+fn lock_queue(queue: &Mutex<VecDeque<Job>>) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+    queue.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Locks the pending-job counter, recovering from poisoning (the guarded
+/// value is a bare `usize`; no partial update is possible).
+fn lock_pending(shared: &Shared) -> std::sync::MutexGuard<'_, usize> {
+    shared.pending.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// A running serving front-end. Dropping (or calling [`Server::shutdown`])
 /// stops the acceptor and coalescer and joins them; reader threads exit on
 /// their own within one read-timeout tick.
@@ -317,7 +335,14 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
             }
-            Err(_) => return,
+            Err(_) => {
+                // accept() errors are per-attempt, not fatal to the
+                // listener: ECONNABORTED (peer reset mid-handshake) or
+                // EMFILE (fd exhaustion) are transient, and a server that
+                // reports running() must keep accepting. Back off and
+                // retry; only shutdown stops the acceptor.
+                std::thread::sleep(Duration::from_millis(10));
+            }
         }
     }
 }
@@ -362,6 +387,17 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, mut stream: TcpStream) {
         }
     }
     conn.closed.store(true, Ordering::Release);
+    // Closing the connection must actually close the socket: the write-half
+    // clone inside `conn.writer` keeps the fd alive until the coalescer
+    // prunes the connection, and the coalescer only ticks when work is
+    // pending — an incompatible or misbehaving client would otherwise wait
+    // on a half-open socket forever. Shutting down here (both halves — the
+    // clones share one socket) sends the FIN right after any typed error
+    // already written. The one exception is a server-wide shutdown, where
+    // the socket stays open so responses to queued jobs can still drain.
+    if !shared.shutting_down() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
     shared.stats.connections.fetch_sub(1, Ordering::Relaxed);
     // The coalescer prunes closed connections on its next tick.
     shared.wake.notify_all();
@@ -385,19 +421,28 @@ fn send_protocol_error(conn: &Conn, e: &ProtoError) {
 fn handle_client_msg(shared: &Arc<Shared>, conn: &Arc<Conn>, msg: ClientMsg) -> bool {
     match msg {
         ClientMsg::Hello(h) => {
-            let reply = if h.version == PROTO_VERSION {
-                ServerMsg::HelloOk(HelloOk {
-                    version: PROTO_VERSION,
-                    epoch: shared.stats.epoch.load(Ordering::Relaxed),
-                })
+            if h.version == PROTO_VERSION {
+                send_inline(
+                    conn,
+                    &ServerMsg::HelloOk(HelloOk {
+                        version: PROTO_VERSION,
+                        epoch: shared.stats.epoch.load(Ordering::Relaxed),
+                    }),
+                )
             } else {
-                ServerMsg::Error(proto::ErrorMsg {
-                    req_id: 0,
-                    code: proto::ErrorCode::UnsupportedVersion,
-                    detail: format!("server speaks protocol {PROTO_VERSION}, client sent {}", h.version),
-                })
-            };
-            send_inline(conn, &reply)
+                // An incompatible client gets the typed error and nothing
+                // else: close the connection rather than best-effort-serving
+                // frames whose meaning may have changed across versions.
+                send_inline(
+                    conn,
+                    &ServerMsg::Error(proto::ErrorMsg {
+                        req_id: 0,
+                        code: proto::ErrorCode::UnsupportedVersion,
+                        detail: format!("server speaks protocol {PROTO_VERSION}, client sent {}", h.version),
+                    }),
+                );
+                false
+            }
         }
         ClientMsg::Stats(req_id) => {
             let s = shared.stats.snapshot();
@@ -458,18 +503,21 @@ fn send_inline(conn: &Conn, msg: &ServerMsg) -> bool {
 /// capacity turns into sheds, not queue growth.
 fn enqueue(shared: &Arc<Shared>, conn: &Arc<Conn>, req_id: u64, job: Job) -> bool {
     let accepted = {
-        let mut queue = conn.queue.lock().expect("queue lock");
+        let mut queue = lock_queue(&conn.queue);
         if queue.len() >= shared.config.queue_capacity {
             false
         } else {
             queue.push_back(job);
+            // Count the job before releasing the queue lock: the coalescer
+            // pops under the same lock, so it can never drain a job that
+            // `pending` has not yet counted (which would underflow the
+            // counter). Lock order is queue → pending everywhere.
+            *lock_pending(shared) += 1;
             true
         }
     };
     if accepted {
         shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-        let mut pending = shared.pending.lock().expect("pending lock");
-        *pending += 1;
         shared.wake.notify_all();
         true
     } else {
@@ -489,7 +537,7 @@ fn coalescer_loop(shared: &Arc<Shared>, mut rec: Recommender) {
     loop {
         // Wait for work (or shutdown). The timeout bounds shutdown latency.
         {
-            let mut pending = shared.pending.lock().expect("pending lock");
+            let mut pending = lock_pending(shared);
             while *pending == 0 {
                 if shared.shutting_down() {
                     return;
@@ -497,7 +545,7 @@ fn coalescer_loop(shared: &Arc<Shared>, mut rec: Recommender) {
                 let (p, _) = shared
                     .wake
                     .wait_timeout(pending, Duration::from_millis(20))
-                    .expect("pending wait");
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
                 pending = p;
             }
         }
@@ -508,16 +556,20 @@ fn coalescer_loop(shared: &Arc<Shared>, mut rec: Recommender) {
         }
 
         // Snapshot live connections, pruning ones that are closed and fully
-        // drained (their Arc dies here).
+        // drained (their Arc dies here). A closed connection with queued
+        // jobs is kept — even behind a poisoned lock — until the drain below
+        // empties it, so every job counted in `pending` is eventually popped
+        // and decremented.
         tick_conns.clear();
         {
             let mut conns = shared.conns.lock().expect("conns lock");
-            conns.retain(|c| {
-                !(c.closed.load(Ordering::Acquire) && c.queue.lock().map(|q| q.is_empty()).unwrap_or(true))
-            });
+            conns.retain(|c| !(c.closed.load(Ordering::Acquire) && lock_queue(&c.queue).is_empty()));
             tick_conns.extend(conns.iter().cloned());
         }
         if tick_conns.is_empty() {
+            if shared.shutting_down() {
+                return;
+            }
             continue;
         }
 
@@ -539,7 +591,7 @@ fn coalescer_loop(shared: &Arc<Shared>, mut rec: Recommender) {
                     break 'drain;
                 }
                 let ci = (rr_offset + i) % n;
-                let job = tick_conns[ci].queue.lock().expect("queue lock").pop_front();
+                let job = lock_queue(&tick_conns[ci].queue).pop_front();
                 let Some(job) = job else { continue };
                 any = true;
                 drained += 1;
@@ -575,8 +627,18 @@ fn coalescer_loop(shared: &Arc<Shared>, mut rec: Recommender) {
             }
         }
         {
-            let mut pending = shared.pending.lock().expect("pending lock");
-            *pending -= drained;
+            // Saturating as a backstop: accounting is consistent by
+            // construction (increments happen under the queue lock before a
+            // job is poppable), but an underflow here must never panic the
+            // coalescer or wrap the counter into a permanent busy-spin.
+            let mut pending = lock_pending(shared);
+            *pending = pending.saturating_sub(drained);
+        }
+        // During shutdown a full round-robin pass that pops nothing means
+        // every reachable queue is empty — exit even if `pending` still
+        // claims otherwise, so shutdown() can never hang on a stale count.
+        if drained == 0 && shared.shutting_down() {
+            return;
         }
         if requests.is_empty() {
             continue;

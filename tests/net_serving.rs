@@ -221,6 +221,109 @@ fn wire_shutdown_drains_in_flight_requests() {
     server.shutdown();
 }
 
+/// Regression: a client speaking the wrong protocol version must get the
+/// typed `UnsupportedVersion` error and then the *closed* connection —
+/// frames pipelined behind the bad hello are never served, because their
+/// meaning may have changed across versions.
+#[test]
+fn version_mismatch_gets_typed_error_then_close() {
+    use cdrib::serve::proto::{self, FrameReader, HelloReq, PROTO_VERSION};
+    use std::io::{Read, Write};
+
+    let (server, _, _) = spawn_tiny(ServerConfig::default());
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    let mut buf = Vec::new();
+    proto::write_frame(&mut buf, &ClientMsg::Hello(HelloReq { version: PROTO_VERSION + 1 }));
+    proto::write_frame(&mut buf, &ClientMsg::Stats(99));
+    stream.write_all(&buf).expect("send bad hello + pipelined stats");
+    let mut frames = FrameReader::new();
+    let mut chunk = [0u8; 4096];
+    let mut msgs = Vec::new();
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // the server must close, not keep serving
+            Ok(n) => {
+                frames.push_bytes(&chunk[..n]);
+                while let Some(body) = frames.next_frame().expect("well-formed server frame") {
+                    msgs.push(proto::decode_server(body).expect("decodable server frame"));
+                }
+            }
+            Err(e) => panic!("read failed before server close: {e}"),
+        }
+    }
+    assert_eq!(
+        msgs.len(),
+        1,
+        "only the typed error may come back, never the pipelined reply: {msgs:?}"
+    );
+    match &msgs[0] {
+        ServerMsg::Error(e) => assert_eq!(e.code, ErrorCode::UnsupportedVersion),
+        other => panic!("expected UnsupportedVersion error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Regression for the enqueue/drain race on the pending-job counter: with a
+/// zero coalescing window the drain runs as hot as possible while several
+/// connections flood jobs in. Under the old accounting (queue push and
+/// counter increment under separate locks) the coalescer could drain a job
+/// before it was counted and underflow `pending` — panicking the coalescer
+/// in debug builds and wedging `shutdown()` in release builds. Every
+/// admitted request must still be answered and shutdown must return.
+#[test]
+fn shutdown_never_hangs_under_concurrent_enqueue_load() {
+    let (server, _, bounds) = spawn_tiny(ServerConfig {
+        max_batch: 4,
+        max_wait: Duration::ZERO,
+        queue_capacity: 64,
+        workers: 1,
+    });
+    let addr = server.addr();
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (mut client, _) = Client::connect(addr).expect("connect");
+                let requests = mixed_requests(300, bounds);
+                let mut frames = Vec::new();
+                for (i, r) in requests.iter().enumerate() {
+                    cdrib::serve::proto::write_frame(
+                        &mut frames,
+                        &ClientMsg::Recommend(RecommendReq {
+                            req_id: i as u64,
+                            direction: r.direction,
+                            user: r.user,
+                            k: r.k as u32,
+                        }),
+                    );
+                    // Small bursts interleave enqueues with hot drains far
+                    // more than one big write would.
+                    if i % 8 == 7 {
+                        client.send_raw(&frames).expect("burst");
+                        frames.clear();
+                    }
+                }
+                client.send_raw(&frames).expect("tail burst");
+                let mut answered = 0usize;
+                while answered < requests.len() {
+                    match client.recv().expect("response") {
+                        ServerMsg::Recommendations(_) | ServerMsg::Overloaded(_) => answered += 1,
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.accepted, stats.served, "every admitted request answered");
+    assert_eq!(stats.served + stats.shed, 4 * 300);
+    // The regression: this join must return (a wrapped `pending` counter
+    // left the coalescer spinning with no reachable exit).
+    server.shutdown();
+}
+
 /// Regression: a batch prepared against the *old* catalogue racing a
 /// concurrent extension must fail **typed**, not panic or silently
 /// truncate — and the per-slot API must isolate the failure to the stale
