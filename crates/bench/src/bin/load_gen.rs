@@ -462,6 +462,7 @@ fn hot_reload(addr: &str, scenario: &CdrScenario, requests: &[Request], rate: f6
                     (next_user, next_item),
                     (rng.gen_range(0..scenario.x.n_users as u32), next_item),
                 ],
+                ..GraphDelta::empty()
             };
             control
                 .send(&ClientMsg::IngestDelta(IngestReq {

@@ -404,6 +404,7 @@ fn main() {
             add_users: users_per_batch,
             add_items: 0,
             edges,
+            ..GraphDelta::empty()
         }
     };
     // Warm-up batch sizes pools, stamps and shadow tables.
@@ -484,6 +485,7 @@ fn main() {
         add_users: 0,
         add_items: 0,
         edges: online.seen_graph(DomainId::X).edges()[..users_per_batch * edges_per_user / 2].to_vec(),
+        ..GraphDelta::empty()
     };
     for _ in 0..2 {
         online.apply_delta(DomainId::X, &replay).expect("warm replay");
@@ -495,6 +497,34 @@ fn main() {
     }
     let delta_allocs_per_batch = (allocation_count() - allocs_before) as f64 / replay_rounds as f64;
 
+    // --- Retraction pricing: removal batches next to growth batches. --------
+    // Each batch GDPR-erases one growth batch's worth of cold users (each
+    // carrying ~edges_per_user edges), driving the full shrink path: graph
+    // retraction, dirty-set propagation over the shrunken neighbourhoods,
+    // zero-row erasure, and re-quantisation of the dirty item rows behind
+    // the epoch swap.
+    let total_cold = ((delta_rounds + 1) * users_per_batch) as u32;
+    let cold_base = online.seen_graph(DomainId::X).n_users() as u32 - total_cold;
+    let removal_rounds = delta_rounds;
+    let mut removal_edges_retracted: u64 = 0;
+    let started = Instant::now();
+    for r in 0..removal_rounds as u32 {
+        let erase = GraphDelta {
+            erase_users: (0..users_per_batch as u32)
+                .map(|u| cold_base + r * users_per_batch as u32 + u)
+                .collect(),
+            ..GraphDelta::empty()
+        };
+        let outcome = online.apply_delta(DomainId::X, &erase).expect("removal batch");
+        removal_edges_retracted += outcome.edges_removed as u64;
+    }
+    let removal_batches_per_sec = removal_rounds as f64 / started.elapsed().as_secs_f64();
+    assert_eq!(
+        online.erased_users(DomainId::X).len(),
+        removal_rounds * users_per_batch,
+        "every erased user must be tombstoned exactly once"
+    );
+
     eprintln!(
         "latency    : p50 {p50:.1} us, p99 {p99:.1} us over {} single requests ({candidates_per_request} candidates each, k={k})",
         latencies_us.len()
@@ -503,6 +533,9 @@ fn main() {
         "deltas     : {delta_batches_per_sec:.0} batches/s ({users_per_batch} new users x {edges_per_user} edges, {:.1} rows re-encoded/batch, {} edges total); replay steady state {delta_allocs_per_batch:.2} allocs/batch",
         delta_rows_mean,
         delta_edges_added,
+    );
+    eprintln!(
+        "retraction : {removal_batches_per_sec:.0} batches/s ({users_per_batch} erased users/batch, {removal_edges_retracted} edges retracted total)"
     );
     assert_eq!(
         delta_allocs_per_batch, 0.0,
@@ -711,6 +744,9 @@ fn main() {
             "  \"delta_rows_reencoded_mean\": {delta_rows:.1},\n",
             "  \"delta_steady_state_allocs_per_batch\": {delta_allocs:.2},\n",
             "  \"delta_incremental_matches_rebuild\": true,\n",
+            "  \"removal_users_per_batch\": {delta_users},\n",
+            "  \"removal_batches_per_sec\": {removal_bps:.1},\n",
+            "  \"removal_edges_retracted\": {removal_edges},\n",
             "  \"cold_start\": {{\n",
             "    \"v1_artifact_bytes\": {artifact_bytes},\n",
             "    \"v2_artifact_bytes\": {v2_artifact_bytes},\n",
@@ -769,6 +805,8 @@ fn main() {
         delta_bps = delta_batches_per_sec,
         delta_rows = delta_rows_mean,
         delta_allocs = delta_allocs_per_batch,
+        removal_bps = removal_batches_per_sec,
+        removal_edges = removal_edges_retracted,
         v2_artifact_bytes = v2_artifact_bytes,
         cold_v1_decode_ms = cold_v1_decode_ms,
         cold_v2_map_ms = cold_v2_map_ms,

@@ -232,6 +232,33 @@ impl InferenceModel {
         Ok(())
     }
 
+    /// Zeroes the raw embedding rows of erased users in one domain — the
+    /// GDPR guarantee: after erasure no trace of the user's trained
+    /// preference vector survives, only the tombstoned index, whose encoded
+    /// representation collapses to the same neighbourhood-free cold-start
+    /// encoding a brand-new user gets. [`InferenceModel::apply_delta`] runs
+    /// this internally for live updates; from-scratch rebuild references
+    /// call it between [`InferenceModel::extend_entities`] and
+    /// [`InferenceModel::rebind_graph`], so both paths zero identically and
+    /// stay bitwise comparable (the differential harness relies on this).
+    pub fn erase_user_rows(&mut self, id: DomainId, users: &[u32]) -> Result<()> {
+        let InferenceModel { params, x, y, .. } = self;
+        let dom = match id {
+            DomainId::X => x,
+            DomainId::Y => y,
+        };
+        let table = params.value_mut(dom.user_emb);
+        for &u in users {
+            if u as usize >= table.rows() {
+                return Err(CoreError::InvalidDelta {
+                    detail: format!("erased user {u} out of range ({} rows)", table.rows()),
+                });
+            }
+            table.row_mut(u as usize).fill(0.0);
+        }
+        Ok(())
+    }
+
     /// Rebuilds one domain's normalised adjacencies **from scratch** from
     /// `graph` (whose entity counts must match the embedding tables — run
     /// [`InferenceModel::extend_entities`] first when they grew) and, when
@@ -278,10 +305,15 @@ impl InferenceModel {
     }
 
     /// Applies a graph delta to one domain **incrementally**: extends the
-    /// embedding tables for new entities, rebuilds the domain's normalised
-    /// adjacencies in place from the post-delta `graph`, propagates
-    /// dirtiness through the cached encoder stages and re-encodes **only**
-    /// the dirty rows ([`VbgeEncoder::reencode_mean_rows`]).
+    /// embedding tables for new entities, zeroes the raw rows of erased
+    /// users (see [`InferenceModel::erase_user_rows`]), rebuilds the
+    /// domain's normalised adjacencies in place from the post-delta `graph`,
+    /// propagates dirtiness through the cached encoder stages and re-encodes
+    /// **only** the dirty rows ([`VbgeEncoder::reencode_mean_rows`]).
+    /// Dirty-set propagation is direction-agnostic: a *shrinking*
+    /// neighbourhood (edge removal, erasure, delisting) dirties exactly the
+    /// rows whose adjacency changed, captured pre-removal in the receipt, so
+    /// retraction re-encodes match a full rebuild bitwise just like growth.
     ///
     /// `graph` must be the domain's interaction graph *after* the delta and
     /// `effect` the receipt `BipartiteGraph::apply_delta_into` produced for
@@ -316,6 +348,13 @@ impl InferenceModel {
         params.grad_mut(dom.user_emb).resize_rows(graph.n_users());
         params.value_mut(dom.item_emb).resize_rows(graph.n_items());
         params.grad_mut(dom.item_emb).resize_rows(graph.n_items());
+        // Erased users lose their raw rows before any re-encode reads them:
+        // the user is in `touched_users`, so every cached stage that
+        // concatenates the raw table sees the zeroed row this same call.
+        // (In-range per `check_bounds`, which the graph apply already ran.)
+        for &u in &effect.erased_users {
+            params.value_mut(dom.user_emb).row_mut(u as usize).fill(0.0);
+        }
         if effect.structural_change() {
             // Duplicate-only batches leave the graph — and both normalised
             // views — bit-for-bit unchanged, so the rebuild is skipped.
@@ -473,6 +512,7 @@ mod tests {
             add_users: 1,
             add_items: 1,
             edges: vec![(n_users, 0), (n_users, n_items), (0, 1)],
+            ..GraphDelta::empty()
         };
         let effect = graph.apply_delta(&delta).unwrap();
         let report = inference.apply_delta(DomainId::X, &graph, &effect).unwrap();
@@ -497,6 +537,65 @@ mod tests {
         // The full-forward path sees the same post-delta state.
         let fresh = inference.embeddings().unwrap();
         assert_eq!(&fresh.x_users, inference.cached_user_table(DomainId::X).unwrap());
+    }
+
+    #[test]
+    fn retraction_deltas_match_rebind_bitwise() {
+        use cdrib_graph::GraphDelta;
+
+        let (model, scenario) = tiny_model();
+        let mut inference = InferenceModel::from_model(&model);
+        inference.enable_incremental().unwrap();
+
+        // Remove an edge, erase a user, delist an item — all in one batch.
+        let mut graph = scenario.x.train.clone();
+        let erase_target = 1u32;
+        let delist_target = 2u32;
+        let (ru, ri) = {
+            // Pick an existing edge not owned by the erased user.
+            let &(u, i) = graph
+                .edges()
+                .iter()
+                .find(|&&(u, i)| u != erase_target && i != delist_target)
+                .unwrap();
+            (u, i)
+        };
+        let delta = GraphDelta {
+            remove_edges: vec![(ru, ri)],
+            erase_users: vec![erase_target],
+            delist_items: vec![delist_target],
+            ..GraphDelta::empty()
+        };
+        let effect = graph.apply_delta(&delta).unwrap();
+        assert!(effect.edges_removed > 0);
+        inference.apply_delta(DomainId::X, &graph, &effect).unwrap();
+
+        // Reference: fresh freeze, erase the same rows, rebind from scratch.
+        let mut reference = InferenceModel::from_model(&model);
+        reference
+            .extend_entities(DomainId::X, graph.n_users(), graph.n_items())
+            .unwrap();
+        reference.erase_user_rows(DomainId::X, &effect.erased_users).unwrap();
+        reference.rebind_graph(DomainId::X, &graph).unwrap();
+        let want = reference.embeddings().unwrap();
+        assert_eq!(inference.cached_user_table(DomainId::X).unwrap(), &want.x_users);
+        assert_eq!(inference.cached_item_table(DomainId::X).unwrap(), &want.x_items);
+
+        // The erased user's raw row is gone for good.
+        let dom_user_emb = inference.params().value(inference.x.user_emb);
+        assert!(dom_user_emb.row(erase_target as usize).iter().all(|&v| v == 0.0));
+
+        // Erasing again is a no-edge change but still applies cleanly and
+        // stays bitwise equal to the rebuild.
+        let effect2 = graph.apply_delta(&delta).unwrap();
+        assert_eq!(effect2.edges_removed, 0);
+        inference.apply_delta(DomainId::X, &graph, &effect2).unwrap();
+        assert_eq!(inference.cached_user_table(DomainId::X).unwrap(), &want.x_users);
+
+        // Out-of-range erasure targets are rejected.
+        assert!(inference
+            .erase_user_rows(DomainId::X, &[graph.n_users() as u32])
+            .is_err());
     }
 
     #[test]

@@ -176,22 +176,28 @@ impl BipartiteGraph {
         hist
     }
 
-    /// Applies an additive [`GraphDelta`] in place, writing the receipt into
-    /// reusable `effect` storage (see [`BipartiteGraph::apply_delta`] for the
-    /// allocating convenience form).
+    /// Applies a [`GraphDelta`] — growth and retraction — in place, writing
+    /// the receipt into reusable `effect` storage (see
+    /// [`BipartiteGraph::apply_delta`] for the allocating convenience form).
     ///
-    /// Application is **atomic**: every edge is validated against the
-    /// *post-delta* entity ranges before anything is mutated, so a failed
-    /// apply leaves the graph untouched. Afterwards all construction
-    /// invariants still hold — neighbour lists sorted and deduplicated, the
-    /// edge list sorted lexicographically and consistent with both adjacency
-    /// sides (the sorted-CSR invariant `adjacency()` relies on) — which
-    /// `tests/delta_parity.rs` pins against arbitrary delta batches.
+    /// Application is **atomic**: every referenced index is validated
+    /// against the *post-add* entity ranges before anything is mutated, so a
+    /// failed apply leaves the graph untouched (removing a *missing* edge is
+    /// a counted no-op, not a failure). Ops apply in a fixed order — add
+    /// entities, add edges, remove edges, erase users, delist items.
+    /// Removal never shrinks the entity ranges: an erased user keeps its
+    /// index with an empty neighbour list, a delisted item keeps its slot.
+    /// Afterwards all construction invariants still hold — neighbour lists
+    /// sorted and deduplicated, the edge list sorted lexicographically and
+    /// consistent with both adjacency sides (the sorted-CSR invariant
+    /// `adjacency()` relies on) — which `tests/delta_parity.rs` pins against
+    /// arbitrary mixed grow/shrink batches.
     ///
-    /// Steady-state cost: duplicate-only batches mutate nothing and the
-    /// touched lists reuse their capacity, so repeated same-shaped deltas
-    /// run allocation-free; structural growth allocates amortised, like any
-    /// `Vec` push.
+    /// Steady-state cost: duplicate-only and missing-removal-only batches
+    /// mutate nothing and the touched lists reuse their capacity, so
+    /// repeated same-shaped deltas run allocation-free; structural growth
+    /// allocates amortised, like any `Vec` push, and removal only shrinks
+    /// existing storage (the edge list rebuild reuses its capacity).
     pub fn apply_delta_into(&mut self, delta: &GraphDelta, effect: &mut DeltaEffect) -> Result<()> {
         delta.check_bounds(self.n_users, self.n_items)?;
         let new_users = self.n_users + delta.add_users;
@@ -223,16 +229,86 @@ impl BipartiteGraph {
                 }
             }
         }
-        if effect.edges_added > 0 {
-            // `sort_unstable` is in-place (no allocation) and near-linear on
-            // the mostly-sorted edge list; entries are unique by the
-            // duplicate check above.
-            self.edges.sort_unstable();
+        {
+            // Retractions. Touched endpoints are recorded against the
+            // *pre-removal* adjacency, so the dirty set covers every row
+            // whose neighbourhood shrinks — the same over-approximation
+            // contract the additive side keeps.
+            let BipartiteGraph {
+                edges,
+                user_items,
+                item_users,
+                ..
+            } = self;
+            for &(u, i) in &delta.remove_edges {
+                effect.touched_users.push(u);
+                effect.touched_items.push(i);
+                match user_items[u as usize].binary_search(&i) {
+                    Err(_) => effect.missing_edges += 1,
+                    Ok(pos) => {
+                        user_items[u as usize].remove(pos);
+                        let upos = item_users[i as usize]
+                            .binary_search(&u)
+                            .expect("user/item lists must agree on edge membership");
+                        item_users[i as usize].remove(upos);
+                        effect.edges_removed += 1;
+                    }
+                }
+            }
+            for &u in &delta.erase_users {
+                effect.users_erased += 1;
+                effect.touched_users.push(u);
+                effect.erased_users.push(u);
+                for &i in &user_items[u as usize] {
+                    effect.touched_items.push(i);
+                    let upos = item_users[i as usize]
+                        .binary_search(&u)
+                        .expect("user/item lists must agree on edge membership");
+                    item_users[i as usize].remove(upos);
+                    effect.edges_removed += 1;
+                }
+                user_items[u as usize].clear();
+            }
+            for &i in &delta.delist_items {
+                effect.items_delisted += 1;
+                effect.touched_items.push(i);
+                effect.delisted_items.push(i);
+                for &u in &item_users[i as usize] {
+                    effect.touched_users.push(u);
+                    let ipos = user_items[u as usize]
+                        .binary_search(&i)
+                        .expect("user/item lists must agree on edge membership");
+                    user_items[u as usize].remove(ipos);
+                    effect.edges_removed += 1;
+                }
+                item_users[i as usize].clear();
+            }
+            if effect.edges_removed > 0 {
+                // Rebuild the edge list in place from the user-side
+                // adjacency: pushing in user order keeps it
+                // lexicographically sorted, and the retained capacity keeps
+                // replayed removal batches allocation-free.
+                edges.clear();
+                for (u, items) in user_items.iter().enumerate() {
+                    for &i in items {
+                        edges.push((u as u32, i));
+                    }
+                }
+            } else if effect.edges_added > 0 {
+                // `sort_unstable` is in-place (no allocation) and
+                // near-linear on the mostly-sorted edge list; entries are
+                // unique by the duplicate check above.
+                edges.sort_unstable();
+            }
         }
         effect.touched_users.sort_unstable();
         effect.touched_users.dedup();
         effect.touched_items.sort_unstable();
         effect.touched_items.dedup();
+        effect.erased_users.sort_unstable();
+        effect.erased_users.dedup();
+        effect.delisted_items.sort_unstable();
+        effect.delisted_items.dedup();
         Ok(())
     }
 
@@ -426,6 +502,7 @@ mod tests {
             add_users: 2, // users 4, 5
             add_items: 1, // item 3
             edges: vec![(4, 3), (0, 2), (4, 3), (0, 0), (5, 1), (1, 3)],
+            ..GraphDelta::empty()
         };
         let mut effect = DeltaEffect::new();
         g.apply_delta_into(&delta, &mut effect).unwrap();
@@ -471,6 +548,7 @@ mod tests {
             add_users: 1,
             add_items: 0,
             edges: vec![(0, 1), (7, 0)], // user 7 out of range even after the add
+            ..GraphDelta::empty()
         };
         let mut effect = DeltaEffect::new();
         assert!(matches!(
@@ -483,11 +561,23 @@ mod tests {
             add_users: 0,
             add_items: 0,
             edges: vec![(0, 9)],
+            ..GraphDelta::empty()
         };
         assert!(matches!(
             g.apply_delta_into(&bad_item, &mut effect),
             Err(GraphError::ItemOutOfRange { item: 9, n_items: 3 })
         ));
+        // Out-of-range removal targets reject the batch just like edges do,
+        // with nothing mutated (including the in-range erase listed first).
+        let bad_erase = GraphDelta {
+            erase_users: vec![0, 9],
+            ..GraphDelta::empty()
+        };
+        assert!(matches!(
+            g.apply_delta_into(&bad_erase, &mut effect),
+            Err(GraphError::UserOutOfRange { user: 9, n_users: 4 })
+        ));
+        assert_eq!(g.items_of(0), &[0, 1]);
         g.check_invariants().unwrap();
     }
 
@@ -504,6 +594,7 @@ mod tests {
                 add_users: 0,
                 add_items: 0,
                 edges: vec![(0, 0)],
+                ..GraphDelta::empty()
             },
             &mut effect,
         )
@@ -531,6 +622,7 @@ mod tests {
             add_users: 2,
             add_items: 1,
             edges: vec![(4, 3), (1, 0)],
+            ..GraphDelta::empty()
         })
         .unwrap();
         g.norm_adjacency_into(&mut norm);
@@ -540,6 +632,163 @@ mod tests {
         assert_eq!(norm.rows(), 6);
         assert_eq!(norm.row_nnz(5), 0);
         assert_eq!(norm_t.rows(), 4);
+    }
+
+    #[test]
+    fn removal_matches_from_scratch_construction() {
+        let mut g = sample(); // edges: (0,0) (0,1) (1,1) (2,0) (2,2) (3,2)
+        let delta = GraphDelta {
+            remove_edges: vec![(0, 1), (3, 0), (0, 1)], // (3,0) absent; (0,1) repeated
+            erase_users: vec![2],
+            delist_items: vec![1],
+            ..GraphDelta::empty()
+        };
+        let mut effect = DeltaEffect::new();
+        g.apply_delta_into(&delta, &mut effect).unwrap();
+        // (0,1) removed, user 2's edges (2,0)+(2,2) erased, item 1's
+        // remaining edge (1,1) delisted.
+        assert_eq!(effect.edges_removed, 4);
+        assert_eq!(effect.missing_edges, 2);
+        assert_eq!(effect.users_erased, 1);
+        assert_eq!(effect.items_delisted, 1);
+        assert_eq!(effect.erased_users, vec![2]);
+        assert_eq!(effect.delisted_items, vec![1]);
+        // Touched sets cover pre-removal endpoints: user 1 lost (1,1) to the
+        // delisting, items 0 and 2 lost user 2's edges.
+        assert_eq!(effect.touched_users, vec![0, 1, 2, 3]);
+        assert_eq!(effect.touched_items, vec![0, 1, 2]);
+        assert!(effect.structural_change());
+        g.check_invariants().unwrap();
+
+        // Entity ranges never shrink (tombstones) and the surviving edges
+        // match a from-scratch construction.
+        assert_eq!(g.n_users(), 4);
+        assert_eq!(g.n_items(), 3);
+        let reference = BipartiteGraph::new(4, 3, &[(0, 0), (3, 2)]).unwrap();
+        assert_eq!(g.edges(), reference.edges());
+        for u in 0..4 {
+            assert_eq!(g.items_of(u), reference.items_of(u), "user {u}");
+        }
+        for i in 0..3 {
+            assert_eq!(g.users_of(i), reference.users_of(i), "item {i}");
+        }
+        // The erased user is a servable tombstone: empty run, in range.
+        assert!(g.items_of(2).is_empty());
+        assert_eq!(g.user_degree(2), 0);
+        assert!(!g.has_edge(2, 0));
+
+        // Erasure and delisting are idempotent; missing removals are
+        // counted no-ops with no structural change.
+        g.apply_delta_into(&delta, &mut effect).unwrap();
+        assert_eq!(effect.edges_removed, 0);
+        assert_eq!(effect.missing_edges, 3);
+        assert!(!effect.structural_change());
+        assert_eq!(effect.erased_users, vec![2]);
+        g.check_invariants().unwrap();
+        assert_eq!(g.edges(), reference.edges());
+    }
+
+    #[test]
+    fn grow_then_shrink_round_trips_to_the_original_graph() {
+        let mut g = sample();
+        let original = g.clone();
+        let grow = GraphDelta {
+            add_users: 1,
+            add_items: 1,
+            edges: vec![(4, 3), (0, 3), (4, 0)],
+            ..GraphDelta::empty()
+        };
+        g.apply_delta(&grow).unwrap();
+        let shrink = GraphDelta {
+            remove_edges: vec![(0, 3)],
+            erase_users: vec![4],
+            delist_items: vec![3],
+            ..GraphDelta::empty()
+        };
+        g.apply_delta(&shrink).unwrap();
+        g.check_invariants().unwrap();
+        // Edges and neighbourhoods round-trip exactly; the entity ranges
+        // keep the grown tombstones.
+        assert_eq!(g.edges(), original.edges());
+        for u in 0..original.n_users() {
+            assert_eq!(g.items_of(u), original.items_of(u));
+        }
+        for i in 0..original.n_items() {
+            assert_eq!(g.users_of(i), original.users_of(i));
+        }
+        assert_eq!(g.n_users(), 5);
+        assert_eq!(g.n_items(), 4);
+        assert!(g.items_of(4).is_empty());
+        assert!(g.users_of(3).is_empty());
+    }
+
+    #[test]
+    fn mixed_grow_shrink_in_one_delta_applies_in_order() {
+        let mut g = sample();
+        // Adds an edge to user 1 and then erases user 1 in the same batch:
+        // the fixed op order means the erase wins.
+        let delta = GraphDelta {
+            add_users: 1,
+            edges: vec![(1, 2), (4, 0)],
+            erase_users: vec![1],
+            ..GraphDelta::empty()
+        };
+        let effect = g.apply_delta(&delta).unwrap();
+        assert_eq!(effect.edges_added, 2);
+        assert_eq!(effect.edges_removed, 2); // (1,1) and the fresh (1,2)
+        assert!(g.items_of(1).is_empty());
+        assert!(g.has_edge(4, 0));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn norms_stay_bitwise_after_removal() {
+        let mut g = sample();
+        g.apply_delta(&GraphDelta {
+            remove_edges: vec![(0, 0)],
+            erase_users: vec![2],
+            ..GraphDelta::empty()
+        })
+        .unwrap();
+        let mut norm = CsrMatrix::empty(1, 1);
+        let mut norm_t = CsrMatrix::empty(1, 1);
+        g.norm_adjacency_into(&mut norm);
+        g.norm_adjacency_transpose_into(&mut norm_t);
+        assert_eq!(&norm, g.norm_adjacency().as_ref());
+        assert_eq!(&norm_t, g.norm_adjacency_transpose().as_ref());
+        // The erased user's normalised row exists and is empty; the
+        // remaining rows re-normalise over their shrunken degree.
+        assert_eq!(norm.rows(), 4);
+        assert_eq!(norm.row_nnz(2), 0);
+        let row0: f32 = norm.row_iter(0).map(|(_, v)| v).sum();
+        assert!((row0 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invariants_hold_for_empty_users_and_items() {
+        // Satellite audit: a user whose item run is empty (start == end
+        // after erasure) must never be conflated with "out of range".
+        let mut g = sample();
+        g.apply_delta(&GraphDelta {
+            erase_users: vec![0],
+            delist_items: vec![2],
+            ..GraphDelta::empty()
+        })
+        .unwrap();
+        g.check_invariants().unwrap();
+        assert!(g.items_of(0).is_empty());
+        assert!(g.users_of(2).is_empty());
+        assert_eq!(g.two_hop_users(0), Vec::<u32>::new());
+        assert_eq!(g.user_degree_histogram()[0], 4);
+        // An all-erased graph still checks out.
+        g.apply_delta(&GraphDelta {
+            erase_users: (0..4).collect(),
+            ..GraphDelta::empty()
+        })
+        .unwrap();
+        g.check_invariants().unwrap();
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.n_users(), 4);
     }
 
     #[test]

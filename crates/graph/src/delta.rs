@@ -9,9 +9,15 @@
 //! propagation in `cdrib_core::InferenceModel`) and how the graph actually
 //! changed (duplicate edges collapse, exactly as they do at construction).
 //!
-//! Deltas are additive: interactions are observations, and the paper's
-//! setting never retracts one. Removal would force dirty-set propagation
-//! through *shrinking* neighbourhoods and is out of scope here.
+//! Deltas are not only additive. Production systems must also *forget*: a
+//! user un-likes an item ([`GraphDelta::remove_edges`]), a user invokes
+//! GDPR-style erasure ([`GraphDelta::erase_users`]), an item is delisted
+//! ([`GraphDelta::delist_items`]). Removal never shrinks the entity ranges —
+//! ids are stable tombstones; an erased user keeps its index with an empty
+//! neighbour list, a delisted item keeps its catalogue slot — so every
+//! derived table keeps its shape and only the affected rows go dirty.
+//! Shrinking a neighbourhood propagates dirty sets exactly like growing one;
+//! the receipt records which rows that touched.
 //!
 //! Deltas also serialize (via the workspace serde stand-in): the serving
 //! layer's write-ahead log persists every accepted batch, so the encoded
@@ -21,12 +27,18 @@
 use crate::error::{GraphError, Result};
 use serde::{Deserialize, Serialize};
 
-/// A batch of additive changes to one domain's bipartite interaction graph.
+/// A batch of changes — growth *and* retraction — to one domain's bipartite
+/// interaction graph.
 ///
-/// Indices in [`GraphDelta::edges`] may reference entities the same delta
-/// introduces: with `add_users = 2` on a 10-user graph, users `10` and `11`
-/// are valid edge endpoints. Application is atomic — an out-of-range edge
-/// rejects the whole batch before anything is mutated.
+/// Indices may reference entities the same delta introduces: with
+/// `add_users = 2` on a 10-user graph, users `10` and `11` are valid edge
+/// endpoints (and valid erasure targets). Within one delta the ops apply in
+/// a fixed order: add entities, add edges, remove edges, erase users, delist
+/// items — so `edges: [(u, i)]` plus `erase_users: [u]` leaves `u` erased.
+/// Application is atomic — any out-of-range index rejects the whole batch
+/// before anything is mutated. Removing an interaction that does not exist
+/// is a counted no-op (see [`DeltaEffect::missing_edges`]), not an error,
+/// mirroring how duplicate additions collapse.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GraphDelta {
     /// Number of new users appended after the current user range.
@@ -36,6 +48,17 @@ pub struct GraphDelta {
     /// New `(user, item)` interactions; duplicates (against the graph or
     /// within the batch) are collapsed, matching construction semantics.
     pub edges: Vec<(u32, u32)>,
+    /// `(user, item)` interactions to retract (a user un-likes). Pairs not
+    /// present are counted no-ops.
+    pub remove_edges: Vec<(u32, u32)>,
+    /// Users to erase GDPR-style: every interaction of the user is removed.
+    /// The id remains valid (tombstone) and serves an empty neighbourhood;
+    /// erasing an already-empty user is idempotent.
+    pub erase_users: Vec<u32>,
+    /// Items to delist from the catalogue: every interaction of the item is
+    /// removed and the serving layer excludes the id from top-K. The id
+    /// keeps its slot so served item ids stay stable; idempotent.
+    pub delist_items: Vec<u32>,
 }
 
 impl GraphDelta {
@@ -46,33 +69,56 @@ impl GraphDelta {
 
     /// Whether the delta requests no change at all.
     pub fn is_empty(&self) -> bool {
-        self.add_users == 0 && self.add_items == 0 && self.edges.is_empty()
+        self.add_users == 0
+            && self.add_items == 0
+            && self.edges.is_empty()
+            && self.remove_edges.is_empty()
+            && self.erase_users.is_empty()
+            && self.delist_items.is_empty()
     }
 
-    /// Validates every edge against the *post-delta* entity ranges of a
+    /// Validates every referenced index — added and removed edges, erased
+    /// users, delisted items — against the *post-add* entity ranges of a
     /// graph currently holding `n_users` × `n_items`, without mutating
     /// anything. This is the exact acceptance predicate of
     /// [`apply_delta_into`](crate::BipartiteGraph::apply_delta_into) (whose
     /// atomicity it implements), factored out so a durability layer can
     /// establish *before* appending a delta to its write-ahead log that the
     /// graph will accept it — a logged record must never be one the live
-    /// apply would then reject.
+    /// apply would then reject. (Removing a *missing* edge is a counted
+    /// no-op, not a bounds failure, so the predicate stays infallible-after.)
     pub fn check_bounds(&self, n_users: usize, n_items: usize) -> Result<()> {
         let new_users = n_users + self.add_users;
         let new_items = n_items + self.add_items;
-        for &(u, i) in &self.edges {
+        let check_user = |u: u32| {
             if u as usize >= new_users {
-                return Err(GraphError::UserOutOfRange {
+                Err(GraphError::UserOutOfRange {
                     user: u as usize,
                     n_users: new_users,
-                });
+                })
+            } else {
+                Ok(())
             }
+        };
+        let check_item = |i: u32| {
             if i as usize >= new_items {
-                return Err(GraphError::ItemOutOfRange {
+                Err(GraphError::ItemOutOfRange {
                     item: i as usize,
                     n_items: new_items,
-                });
+                })
+            } else {
+                Ok(())
             }
+        };
+        for &(u, i) in self.edges.iter().chain(&self.remove_edges) {
+            check_user(u)?;
+            check_item(i)?;
+        }
+        for &u in &self.erase_users {
+            check_user(u)?;
+        }
+        for &i in &self.delist_items {
+            check_item(i)?;
         }
         Ok(())
     }
@@ -92,14 +138,37 @@ pub struct DeltaEffect {
     /// Edges skipped because the interaction already existed (in the graph
     /// or earlier in the same batch).
     pub duplicate_edges: usize,
+    /// Edges actually retracted (explicit removals plus edges dropped by
+    /// erasures and delistings).
+    pub edges_removed: usize,
+    /// Removal requests that named an interaction not present (already
+    /// removed, or never existed) — counted no-ops, mirroring
+    /// [`DeltaEffect::duplicate_edges`] on the additive side.
+    pub missing_edges: usize,
+    /// Users erased by the delta (counted even when already empty — erasure
+    /// is idempotent but the request is acknowledged).
+    pub users_erased: usize,
+    /// Items delisted by the delta (counted even when already edge-less).
+    pub items_delisted: usize,
     /// Sorted, deduplicated users whose neighbourhood the delta addressed:
-    /// every edge endpoint (including duplicates — re-encoding an unchanged
-    /// row is idempotent, so over-approximating costs work, never
-    /// correctness) plus every newly added user.
+    /// every added or removed edge endpoint (including duplicates and
+    /// missing removals — re-encoding an unchanged row is idempotent, so
+    /// over-approximating costs work, never correctness), every newly added
+    /// user, every erased user, and every former neighbour of a delisted
+    /// item. Removal endpoints are captured against the *pre-removal*
+    /// adjacency, so the dirty set covers every row whose neighbourhood
+    /// shrank.
     pub touched_users: Vec<u32>,
     /// Sorted, deduplicated items, same notion as
     /// [`DeltaEffect::touched_users`].
     pub touched_items: Vec<u32>,
+    /// Sorted, deduplicated users the delta erased. Consumers zero the raw
+    /// embedding rows of these ids (the GDPR guarantee: no trace of the
+    /// user's representation survives, only the tombstoned index).
+    pub erased_users: Vec<u32>,
+    /// Sorted, deduplicated items the delta delisted. Consumers add these to
+    /// their serving-exclusion sets (catalogue tombstones).
+    pub delisted_items: Vec<u32>,
 }
 
 impl DeltaEffect {
@@ -114,20 +183,31 @@ impl DeltaEffect {
         self.items_added = 0;
         self.edges_added = 0;
         self.duplicate_edges = 0;
+        self.edges_removed = 0;
+        self.missing_edges = 0;
+        self.users_erased = 0;
+        self.items_delisted = 0;
         self.touched_users.clear();
         self.touched_items.clear();
+        self.erased_users.clear();
+        self.delisted_items.clear();
     }
 
-    /// Whether the graph structure actually changed (entities appended or
-    /// edges inserted). A duplicate-only delta leaves the graph — and every
-    /// normalised view of it — identical.
+    /// Whether the graph structure actually changed (entities appended,
+    /// edges inserted or edges retracted). A duplicate-only or
+    /// missing-removal-only delta leaves the graph — and every normalised
+    /// view of it — identical.
     pub fn structural_change(&self) -> bool {
-        self.users_added > 0 || self.items_added > 0 || self.edges_added > 0
+        self.users_added > 0 || self.items_added > 0 || self.edges_added > 0 || self.edges_removed > 0
     }
 
     /// Whether the delta addressed any entity at all (even redundantly).
     pub fn is_noop(&self) -> bool {
-        !self.structural_change() && self.touched_users.is_empty() && self.touched_items.is_empty()
+        !self.structural_change()
+            && self.touched_users.is_empty()
+            && self.touched_items.is_empty()
+            && self.erased_users.is_empty()
+            && self.delisted_items.is_empty()
     }
 }
 
@@ -143,6 +223,21 @@ mod tests {
             ..GraphDelta::empty()
         }
         .is_empty());
+        assert!(!GraphDelta {
+            remove_edges: vec![(0, 0)],
+            ..GraphDelta::empty()
+        }
+        .is_empty());
+        assert!(!GraphDelta {
+            erase_users: vec![2],
+            ..GraphDelta::empty()
+        }
+        .is_empty());
+        assert!(!GraphDelta {
+            delist_items: vec![1],
+            ..GraphDelta::empty()
+        }
+        .is_empty());
 
         let mut effect = DeltaEffect::new();
         assert!(effect.is_noop());
@@ -154,5 +249,53 @@ mod tests {
         assert!(effect.is_noop());
         effect.edges_added = 2;
         assert!(effect.structural_change());
+        effect.clear();
+        effect.edges_removed = 1;
+        assert!(effect.structural_change());
+        effect.clear();
+        // An erasure of an already-empty user changes no edge, but the
+        // receipt still reports it (the serving layer must zero the row).
+        effect.users_erased = 1;
+        effect.erased_users.push(4);
+        assert!(!effect.structural_change());
+        assert!(!effect.is_noop());
+        effect.clear();
+        assert!(effect.is_noop());
+    }
+
+    #[test]
+    fn check_bounds_covers_removal_ops() {
+        let d = GraphDelta {
+            add_users: 1, // post-add range 0..4 on a 3-user graph
+            remove_edges: vec![(3, 1)],
+            erase_users: vec![3],
+            delist_items: vec![2],
+            ..GraphDelta::empty()
+        };
+        assert!(d.check_bounds(3, 3).is_ok());
+        let bad_remove = GraphDelta {
+            remove_edges: vec![(0, 9)],
+            ..GraphDelta::empty()
+        };
+        assert!(matches!(
+            bad_remove.check_bounds(3, 3),
+            Err(GraphError::ItemOutOfRange { item: 9, n_items: 3 })
+        ));
+        let bad_erase = GraphDelta {
+            erase_users: vec![5],
+            ..GraphDelta::empty()
+        };
+        assert!(matches!(
+            bad_erase.check_bounds(3, 3),
+            Err(GraphError::UserOutOfRange { user: 5, n_users: 3 })
+        ));
+        let bad_delist = GraphDelta {
+            delist_items: vec![7],
+            ..GraphDelta::empty()
+        };
+        assert!(matches!(
+            bad_delist.check_bounds(3, 3),
+            Err(GraphError::ItemOutOfRange { item: 7, n_items: 3 })
+        ));
     }
 }

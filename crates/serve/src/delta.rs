@@ -41,6 +41,15 @@ pub struct DeltaOutcome {
     pub edges_added: usize,
     /// Edges skipped as duplicates.
     pub duplicate_edges: usize,
+    /// Edges retracted from the seen-item graph (explicit removals plus
+    /// edges dropped by erasures and delistings).
+    pub edges_removed: usize,
+    /// Removal requests naming an interaction not present — counted no-ops.
+    pub missing_edges: usize,
+    /// Users erased (tombstoned with zeroed embedding rows).
+    pub users_erased: usize,
+    /// Items delisted (tombstoned catalogue slots excluded from top-K).
+    pub items_delisted: usize,
     /// User embedding rows re-encoded and patched.
     pub users_reencoded: usize,
     /// Item embedding rows re-encoded and patched.

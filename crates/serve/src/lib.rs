@@ -327,6 +327,7 @@ mod tests {
             add_users: 1,
             add_items: 1,
             edges: vec![(new_user, 0), (new_user, 7), (new_user, new_item)],
+            ..GraphDelta::empty()
         };
         let outcome = rec.apply_delta(DomainId::X, &delta).unwrap();
         assert_eq!(outcome.epoch, 1);
@@ -363,6 +364,91 @@ mod tests {
         let mut rebuilt = Recommender::new(want.into_scorer(), gx, scenario.y.train.clone()).unwrap();
         rebuilt.set_shared_user_prefix(scenario.n_overlap_total);
         assert_eq!(out, rebuilt.recommend_full_sort(&request).unwrap());
+    }
+
+    #[test]
+    fn erased_users_and_delisted_items_drop_out_of_serving() {
+        use cdrib_graph::GraphDelta;
+
+        let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 37).unwrap();
+        let model = CdribModel::new(&CdribConfig::fast_test(), &scenario).unwrap();
+        let mut rec = Recommender::from_inference_online(InferenceModel::from_model(&model), &scenario).unwrap();
+
+        // A user joins with history, then invokes their right to erasure;
+        // separately the catalogue delists an established X item.
+        let user = rec.seen_graph(DomainId::X).n_users() as u32;
+        let delisted = 3u32;
+        rec.apply_delta(
+            DomainId::X,
+            &GraphDelta {
+                add_users: 1,
+                edges: vec![(user, 0), (user, 7)],
+                ..GraphDelta::empty()
+            },
+        )
+        .unwrap();
+        let outcome = rec
+            .apply_delta(
+                DomainId::X,
+                &GraphDelta {
+                    erase_users: vec![user],
+                    delist_items: vec![delisted],
+                    ..GraphDelta::empty()
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.users_erased, 1);
+        assert_eq!(outcome.items_delisted, 1);
+        assert!(outcome.edges_removed >= 2, "erasure drops the user's edges");
+        assert_eq!(rec.erased_users(DomainId::X), &[user]);
+        assert_eq!(rec.delisted_items(DomainId::X), &[delisted]);
+
+        // The erased user keeps their id but serves from a clean slate:
+        // no interactions, an all-zero embedding row, and a full target
+        // catalogue when k covers it.
+        assert!(rec.seen_graph(DomainId::X).items_of(user as usize).is_empty());
+        assert!(rec.scorer().x_users.row(user as usize).iter().all(|&v| v == 0.0));
+        let cat_y = rec.catalogue_size(DomainId::Y);
+        let request = Request {
+            direction: Direction::X_TO_Y,
+            user,
+            k: cat_y + 3,
+        };
+        let mut out = Vec::new();
+        rec.recommend(&request, &mut out).unwrap();
+        assert_eq!(out.len(), cat_y);
+        assert_eq!(out, rec.recommend_full_sort(&request).unwrap());
+
+        // The delisted item keeps its slot (served ids stay stable) but is
+        // excluded from every Y→X top-K, on the f32 heap path, the
+        // full-sort reference, and the int8 prefilter path alike.
+        assert_eq!(rec.catalogue_size(DomainId::X), scenario.x.train.n_items());
+        let cat_x = rec.catalogue_size(DomainId::X);
+        for precision in [ScoringPrecision::F32, ScoringPrecision::Int8] {
+            rec.set_precision(precision);
+            for probe in [0u32, rec.seen_graph(DomainId::Y).n_users() as u32 - 1] {
+                let request = Request {
+                    direction: Direction::Y_TO_X,
+                    user: probe,
+                    k: cat_x,
+                };
+                rec.recommend(&request, &mut out).unwrap();
+                assert!(
+                    out.iter().all(|r| r.item != delisted),
+                    "{precision:?}: delisted item served to user {probe}"
+                );
+                // Only overlap users carry an X-domain seen list into Y→X.
+                let seen = if (probe as usize) < scenario.n_overlap_total {
+                    rec.seen_graph(DomainId::X).user_degree(probe as usize)
+                } else {
+                    0
+                };
+                assert_eq!(out.len(), cat_x - seen - 1, "{precision:?}: user {probe}");
+                if precision == ScoringPrecision::F32 {
+                    assert_eq!(out, rec.recommend_full_sort(&request).unwrap());
+                }
+            }
+        }
     }
 
     #[test]
@@ -433,6 +519,7 @@ mod tests {
                 add_users: 1,
                 add_items: 0,
                 edges: vec![],
+                ..GraphDelta::empty()
             },
         )
         .unwrap();
@@ -443,6 +530,7 @@ mod tests {
                 add_users: 0,
                 add_items: 2,
                 edges: vec![],
+                ..GraphDelta::empty()
             },
         )
         .unwrap();
@@ -489,6 +577,7 @@ mod tests {
             add_users: 0,
             add_items: 0,
             edges: vec![(u32::MAX, 0)],
+            ..GraphDelta::empty()
         };
         assert!(matches!(
             rec.apply_delta(DomainId::X, &bad),
@@ -577,6 +666,7 @@ mod tests {
                     add_users: 1,
                     add_items: 1,
                     edges: vec![(new_user, 0), (new_user, new_item)],
+                    ..GraphDelta::empty()
                 },
             ),
             (
@@ -585,6 +675,7 @@ mod tests {
                     add_users: 0,
                     add_items: 0,
                     edges: vec![(1, 3), (2, 5)],
+                    ..GraphDelta::empty()
                 },
             ),
             (
@@ -593,6 +684,7 @@ mod tests {
                     add_users: 0,
                     add_items: 0,
                     edges: vec![(new_user, 7), (0, 2)],
+                    ..GraphDelta::empty()
                 },
             ),
         ];

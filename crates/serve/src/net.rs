@@ -56,7 +56,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Coalescing and admission-control knobs.
 #[derive(Debug, Clone)]
@@ -549,10 +549,38 @@ fn coalescer_loop(shared: &Arc<Shared>, mut rec: Recommender) {
                 pending = p;
             }
         }
-        // Let the batch build — the coalescing window. Skipped during
-        // shutdown so draining finishes promptly.
+        // Let the batch build — the coalescing window. The window closes on
+        // whichever comes first: the batch is already full (`max_batch`
+        // pending — waiting longer cannot grow it), the full `max_wait`
+        // budget elapses (the latency bound), or arrivals stall (no new job
+        // within an idle-gap slice of the budget — a lone request under
+        // light load must not pay the whole window, which is where the
+        // closed-loop p50 lives). Skipped during shutdown so draining
+        // finishes promptly.
         if !shared.config.max_wait.is_zero() && !shared.shutting_down() {
-            std::thread::sleep(shared.config.max_wait);
+            let max_wait = shared.config.max_wait;
+            let idle_gap = (max_wait / 8).max(Duration::from_micros(1));
+            let window_start = Instant::now();
+            let mut pending = lock_pending(shared);
+            loop {
+                if *pending >= shared.config.max_batch || shared.shutting_down() {
+                    break;
+                }
+                let elapsed = window_start.elapsed();
+                if elapsed >= max_wait {
+                    break;
+                }
+                let before = *pending;
+                let slice = idle_gap.min(max_wait - elapsed);
+                let (p, timeout) = shared
+                    .wake
+                    .wait_timeout(pending, slice)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                pending = p;
+                if *pending == before && timeout.timed_out() {
+                    break;
+                }
+            }
         }
 
         // Snapshot live connections, pruning ones that are closed and fully

@@ -38,8 +38,11 @@ use std::fmt;
 
 /// Protocol version sent in [`ClientMsg::Hello`] and echoed by
 /// [`ServerMsg::HelloOk`]; a mismatch is answered with a typed
-/// [`ErrorCode::UnsupportedVersion`].
-pub const PROTO_VERSION: u32 = 1;
+/// [`ErrorCode::UnsupportedVersion`]. Version 2 extended the embedded
+/// [`GraphDelta`] payload of [`ClientMsg::Ingest`] with retraction ops
+/// (removed edges, erased users, delisted items), changing its encoding —
+/// a v1 client's frames would decode wrongly, so the handshake rejects it.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Hard cap on a frame body. Large enough for a full-catalogue top-K
 /// response or a bulk [`GraphDelta`], small enough that a corrupt length

@@ -25,7 +25,7 @@ use crate::delta::{DeltaOutcome, OnlineUpdater};
 use crate::error::{Result, ServeError};
 use crate::seen::SeenFilter;
 use crate::topk::{ranks_above, Recommendation, TopK};
-use crate::wal::{self, CompactionReport, DeltaWal, DurableLog, RecoveryReport, WalError};
+use crate::wal::{self, CompactionReport, DeltaWal, DurableLog, Lifecycle, RecoveryReport, WalError};
 use cdrib_core::{CdribEmbeddings, InferenceModel};
 use cdrib_data::{CdrScenario, Direction, DomainId};
 use cdrib_eval::{EmbeddingScorer, ScoreKind};
@@ -37,6 +37,17 @@ use cdrib_tensor::quant::quantize_user_into;
 use cdrib_tensor::{QuantizedTable, TableStorage, Tensor};
 use std::path::Path;
 use std::sync::Arc;
+
+/// Merges sorted `src` ids into the sorted, deduplicated `dst` set.
+/// Retraction batches are small relative to the accumulated set, so
+/// per-id binary insertion beats re-sorting the whole vector.
+fn merge_sorted(dst: &mut Vec<u32>, src: &[u32]) {
+    for &v in src {
+        if let Err(pos) = dst.binary_search(&v) {
+            dst.insert(pos, v);
+        }
+    }
+}
 
 /// One top-K recommendation request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +109,12 @@ struct ServeCore {
     quant_y_items: Option<QuantizedTable>,
     /// Which numeric path `recommend_into` scores through.
     precision: ScoringPrecision,
+    /// Tombstone sets accumulated by retraction deltas: erased users (rows
+    /// zeroed in the encoder) and delisted items (kept in the catalogue so
+    /// served ids stay stable, but excluded from every top-K — the f32 and
+    /// int8 paths both poison their score slots, exactly like seen items).
+    /// Persisted by compaction checkpoints and reinstalled on recovery.
+    lifecycle: Lifecycle,
 }
 
 /// Reusable per-worker buffers: one chunk of scores, the bounded heap, and
@@ -119,12 +136,15 @@ struct ReplayAbort {
 /// The decoded interpretation of a recovery base file, kept around so the
 /// fallback path can rebuild the exact same engine after a poisoned replay.
 enum RecoveryBase {
-    /// A compaction checkpoint: model bytes + folded graphs + fold point.
+    /// A compaction checkpoint: model bytes + folded graphs + fold point +
+    /// the lifecycle tombstones accumulated before the fold (the model bytes
+    /// predate every erasure, so recovery must re-zero those rows).
     Checkpoint {
         model: Vec<u8>,
         gx: BipartiteGraph,
         gy: BipartiteGraph,
         applied_seq: u64,
+        lifecycle: Lifecycle,
     },
     /// A plain frozen model artifact (v1 envelope).
     Model(Vec<u8>),
@@ -143,10 +163,10 @@ impl RecoveryBase {
 
     fn build(&self, base_path: &Path) -> Result<Recommender> {
         match self {
-            RecoveryBase::Checkpoint { model, gx, gy, .. } => {
-                Recommender::rebuild_online_from_base(model, Some((gx.clone(), gy.clone())))
-            }
-            RecoveryBase::Model(bytes) => Recommender::rebuild_online_from_base(bytes, None),
+            RecoveryBase::Checkpoint {
+                model, gx, gy, lifecycle, ..
+            } => Recommender::rebuild_online_from_base(model, Some((gx.clone(), gy.clone())), lifecycle),
+            RecoveryBase::Model(bytes) => Recommender::rebuild_online_from_base(bytes, None, &Lifecycle::default()),
             RecoveryBase::ServeV2 { .. } => Recommender::from_serve_v2_file_online(base_path),
         }
     }
@@ -202,6 +222,23 @@ impl ServeCore {
         match domain {
             DomainId::X => self.quant_x_items.as_ref(),
             DomainId::Y => self.quant_y_items.as_ref(),
+        }
+    }
+
+    /// Sorted catalogue slots delisted from a domain — excluded from every
+    /// top-K even though their ids stay valid.
+    fn delisted(&self, domain: DomainId) -> &[u32] {
+        match domain {
+            DomainId::X => &self.lifecycle.delisted_x,
+            DomainId::Y => &self.lifecycle.delisted_y,
+        }
+    }
+
+    /// Sorted user ids erased from a domain (tombstoned, zero-row).
+    fn erased(&self, domain: DomainId) -> &[u32] {
+        match domain {
+            DomainId::X => &self.lifecycle.erased_x,
+            DomainId::Y => &self.lifecycle.erased_y,
         }
     }
 
@@ -269,7 +306,12 @@ impl ServeCore {
         };
         // The catalogue is the ascending run 0..n and the user's seen list
         // is sorted, so one merge cursor poisons seen slots across chunks.
+        // Delisted items are a second sorted exclusion list with its own
+        // cursor: tombstoned catalogue slots whose scores are poisoned the
+        // same way, for every user.
+        let delisted = self.delisted(direction.target);
         let mut seen_cursor = 0usize;
+        let mut delist_cursor = 0usize;
         for chunk in catalogue.chunks(SCORE_CHUNK) {
             let scores = &mut scores[..chunk.len()];
             match quant {
@@ -306,6 +348,13 @@ impl ServeCore {
                     scores[(s - first) as usize] = f32::NAN;
                 }
                 seen_cursor += 1;
+            }
+            while delist_cursor < delisted.len() && delisted[delist_cursor] <= last {
+                let s = delisted[delist_cursor];
+                if s >= first {
+                    scores[(s - first) as usize] = f32::NAN;
+                }
+                delist_cursor += 1;
             }
             // Selection: while the heap is filling, every non-NaN candidate
             // is offered; once full, only a score strictly above the worst
@@ -355,13 +404,16 @@ impl ServeCore {
             return Err(ServeError::EmptyCatalogue);
         }
         let seen = self.cross_domain_seen(direction.target, user);
+        let delisted = self.delisted(direction.target);
         let mut scores = vec![0.0f32; catalogue.len()];
         self.scorer
             .score_cross_into(direction.source, user, direction.target, catalogue, &mut scores);
         let mut ranked: Vec<(f32, u32)> = catalogue
             .iter()
             .zip(scores.iter())
-            .filter(|&(&item, &score)| !score.is_nan() && seen.binary_search(&item).is_err())
+            .filter(|&(&item, &score)| {
+                !score.is_nan() && seen.binary_search(&item).is_err() && delisted.binary_search(&item).is_err()
+            })
             .map(|(&item, &score)| (score, item))
             .collect();
         ranked.sort_by(|a, b| {
@@ -451,6 +503,7 @@ impl Recommender {
             quant_x_items: None,
             quant_y_items: None,
             precision: ScoringPrecision::F32,
+            lifecycle: Lifecycle::default(),
         }))
     }
 
@@ -549,8 +602,15 @@ impl Recommender {
     /// graphs (which may hold more entities than the model was frozen with
     /// — the checkpoint case). The delta-parity guarantee makes this
     /// bitwise identical to a live engine that reached the same graphs
-    /// incrementally.
-    fn rebuild_online_from_base(model_bytes: &[u8], graphs: Option<(BipartiteGraph, BipartiteGraph)>) -> Result<Self> {
+    /// incrementally. The `lifecycle` tombstones are re-applied: the model
+    /// bytes predate every erasure, so the erased user rows are zeroed again
+    /// before the graphs rebind (the GDPR guarantee survives recovery), and
+    /// the delisted sets are reinstalled for serving exclusion.
+    fn rebuild_online_from_base(
+        model_bytes: &[u8],
+        graphs: Option<(BipartiteGraph, BipartiteGraph)>,
+        lifecycle: &Lifecycle,
+    ) -> Result<Self> {
         let (mut inference, scenario) = InferenceModel::from_artifact_bytes(model_bytes)?;
         let (gx, gy) = graphs.unwrap_or_else(|| (scenario.x.train.clone(), scenario.y.train.clone()));
         let to_serve = |e: cdrib_core::CoreError| ServeError::Update { detail: e.to_string() };
@@ -560,9 +620,17 @@ impl Recommender {
         inference
             .extend_entities(DomainId::Y, gy.n_users(), gy.n_items())
             .map_err(to_serve)?;
+        inference
+            .erase_user_rows(DomainId::X, &lifecycle.erased_x)
+            .map_err(to_serve)?;
+        inference
+            .erase_user_rows(DomainId::Y, &lifecycle.erased_y)
+            .map_err(to_serve)?;
         inference.rebind_graph(DomainId::X, &gx).map_err(to_serve)?;
         inference.rebind_graph(DomainId::Y, &gy).map_err(to_serve)?;
-        Recommender::from_inference_online_parts(inference, scenario.n_overlap_total, gx, gy)
+        let mut rec = Recommender::from_inference_online_parts(inference, scenario.n_overlap_total, gx, gy)?;
+        rec.core.lifecycle = lifecycle.clone();
+        Ok(rec)
     }
 
     /// Loads a CDRIB model artifact and builds a delta-capable recommender
@@ -763,6 +831,7 @@ impl Recommender {
             quant_x_items,
             quant_y_items,
             precision: ScoringPrecision::F32,
+            lifecycle: Lifecycle::default(),
         }))
     }
 
@@ -797,6 +866,7 @@ impl Recommender {
                 gx: cp.gx,
                 gy: cp.gy,
                 applied_seq: cp.applied_seq,
+                lifecycle: cp.lifecycle,
             },
             Err(ArtifactError::WrongKind { .. }) => {
                 if v2::is_v2(&base_bytes) {
@@ -955,6 +1025,7 @@ impl Recommender {
             self.core.seen_x.graph(),
             self.core.seen_y.graph(),
             applied_seq,
+            &self.core.lifecycle,
         );
         wal::atomic_write(&d.base_path, &checkpoint)?;
         d.wal = DeltaWal::create_replacing(&d.log_path, applied_seq + 1)?;
@@ -1182,6 +1253,17 @@ impl Recommender {
             DomainId::Y => self.core.quant_y_items.as_mut(),
         };
         updater.patch_tables(&mut self.core.scorer, quant_items, domain)?;
+        // The tombstone sets only grow once the patch has published — a
+        // delta whose swap failed must not start excluding items it never
+        // managed to apply.
+        if !updater.effect.erased_users.is_empty() || !updater.effect.delisted_items.is_empty() {
+            let (erased, delisted) = match domain {
+                DomainId::X => (&mut self.core.lifecycle.erased_x, &mut self.core.lifecycle.delisted_x),
+                DomainId::Y => (&mut self.core.lifecycle.erased_y, &mut self.core.lifecycle.delisted_y),
+            };
+            merge_sorted(erased, &updater.effect.erased_users);
+            merge_sorted(delisted, &updater.effect.delisted_items);
+        }
         self.epoch += 1;
         Ok(DeltaOutcome {
             epoch: self.epoch,
@@ -1189,10 +1271,39 @@ impl Recommender {
             items_added: updater.effect.items_added,
             edges_added: updater.effect.edges_added,
             duplicate_edges: updater.effect.duplicate_edges,
+            edges_removed: updater.effect.edges_removed,
+            missing_edges: updater.effect.missing_edges,
+            users_erased: updater.effect.users_erased,
+            items_delisted: updater.effect.items_delisted,
             users_reencoded: report.users_reencoded,
             items_reencoded: report.items_reencoded,
             wal_seq: None,
         })
+    }
+
+    /// Sorted user ids erased (tombstoned) from a domain over the engine's
+    /// lifetime — their embedding rows are zero and their neighbourhoods
+    /// empty, but the indices stay valid request targets.
+    pub fn erased_users(&self, domain: DomainId) -> &[u32] {
+        self.core.erased(domain)
+    }
+
+    /// Sorted item ids delisted from a domain's catalogue — still occupying
+    /// their slots (served ids stay stable) but excluded from every top-K.
+    pub fn delisted_items(&self, domain: DomainId) -> &[u32] {
+        self.core.delisted(domain)
+    }
+
+    /// Installs catalogue tombstones directly (sorted merge), exactly as a
+    /// delisting delta would. This is the assembly hook for engines rebuilt
+    /// from external state — e.g. a from-scratch reference that must agree
+    /// with an incrementally updated engine on the excluded set.
+    pub fn install_delisted_items(&mut self, domain: DomainId, items: &[u32]) {
+        let delisted = match domain {
+            DomainId::X => &mut self.core.lifecycle.delisted_x,
+            DomainId::Y => &mut self.core.lifecycle.delisted_y,
+        };
+        merge_sorted(delisted, items);
     }
 
     /// Answers one request into `out` (best first). Reuses the first worker

@@ -221,6 +221,7 @@ mod tests {
             add_users: 0,
             add_items: 0,
             edges: vec![(1, 2)],
+            ..cdrib_graph::GraphDelta::empty()
         };
         filter.graph_mut().apply_delta(&delta).unwrap();
         assert!(filter.csr.is_none());

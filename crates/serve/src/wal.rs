@@ -12,12 +12,22 @@
 //! ## Log layout
 //!
 //! ```text
-//! [ artifact envelope: kind "cdrib.wal" v1, payload = first_seq u64 ]
+//! [ artifact envelope: kind "cdrib.wal" v2, payload = first_seq u64 ]
 //! [ record ]*
 //!
 //! record := [ body len u32 LE | body | FNV-1a(len bytes ‖ body) u64 LE ]
 //! body   := [ seq u64 LE | domain u8 | GraphDelta serde bytes ]
 //! ```
+//!
+//! Format v2 is v1 with the richer [`GraphDelta`] payload (removal ops —
+//! `remove_edges`, `erase_users`, `delist_items` — serde-appended after the
+//! additive fields). Retraction records append, replay, recover and compact
+//! exactly like growth records; in particular a crash mid-erasure recovers
+//! to the **erased** state — the erase record is durable before the epoch
+//! swap commits, so replay re-erases and never resurrects a user. A v1 log
+//! (whose delta bytes would misparse) is rejected at the header as version
+//! skew and quarantined wholesale, the same typed fallback any foreign log
+//! takes.
 //!
 //! The envelope reuses `cdrib_tensor::artifact` (magic, kind, version and
 //! header checksum all apply), so version skew and header bit rot surface as
@@ -31,9 +41,10 @@
 //! Recovery is paranoid but *gracefully degrading*: any invalid byte —
 //! a torn tail from a mid-write crash, a flipped bit, a sequence skew —
 //! ends the valid prefix. Everything from the first invalid byte onward is
-//! moved to a `.quarantine` sidecar (preserved for diagnosis, never silently
-//! deleted), the log is truncated to the longest valid prefix, and serving
-//! starts from that prefix. A log whose header is unreadable (or which
+//! moved to a `.quarantine.{offset}` sidecar (preserved for diagnosis,
+//! never silently deleted and never overwritten — each incident gets its
+//! own sidecar, see [`quarantine_path`]), the log is truncated to the
+//! longest valid prefix, and serving starts from that prefix. A log whose header is unreadable (or which
 //! provably does not belong to the base artifact) is quarantined wholesale
 //! and the engine starts from the bare base, reporting what was dropped.
 //! Never a panic, never silently wrong state.
@@ -61,8 +72,10 @@ use std::time::Duration;
 
 /// Artifact kind of the write-ahead log file header.
 pub const WAL_KIND: &str = "cdrib.wal";
-/// Format version of the log header and record framing.
-pub const WAL_VERSION: u32 = 1;
+/// Format version of the log header and record framing. v2 carries the
+/// retraction-capable [`GraphDelta`] payload; v1 logs (pre-retraction delta
+/// encoding) fail the header check and fall back wholesale.
+pub const WAL_VERSION: u32 = 2;
 /// Artifact kind of a compaction checkpoint (base artifact after folding).
 pub const CHECKPOINT_KIND: &str = "cdrib.checkpoint";
 /// Format version of the legacy v1-envelope checkpoint payload.
@@ -425,19 +438,32 @@ pub fn scan_bytes(bytes: &[u8]) -> Result<WalScan, WalError> {
     Ok(scan)
 }
 
-/// The sidecar path damaged bytes are preserved under: the log path with
-/// `.quarantine` appended. A later quarantine overwrites an earlier one —
-/// the sidecar always holds the *most recent* damage.
-pub fn quarantine_path(log: &Path) -> PathBuf {
+/// The sidecar path damaged bytes from file offset `offset` are preserved
+/// under: the log path with `.quarantine.{offset}` appended. Distinct
+/// incidents damage distinct offsets, and should the same offset ever be
+/// damaged twice (across separate recoveries), a monotone `-{n}` counter
+/// suffix de-collides — **no quarantine is ever overwritten**, so a
+/// resume-after-damage recovery preserves every earlier incident's
+/// evidence. Callers that need "were any bytes quarantined?" should consult
+/// [`RecoveryReport::quarantine`] rather than probing a fixed path.
+pub fn quarantine_path(log: &Path, offset: u64) -> PathBuf {
     let mut os = log.as_os_str().to_os_string();
-    os.push(".quarantine");
-    PathBuf::from(os)
+    os.push(format!(".quarantine.{offset}"));
+    let mut side = PathBuf::from(os);
+    let mut n = 0u64;
+    while side.exists() {
+        n += 1;
+        let mut os = log.as_os_str().to_os_string();
+        os.push(format!(".quarantine.{offset}-{n}"));
+        side = PathBuf::from(os);
+    }
+    side
 }
 
-/// Preserves `bytes[offset..]` in the quarantine sidecar and truncates the
-/// log file to the valid prefix.
+/// Preserves `bytes[offset..]` in a fresh quarantine sidecar and truncates
+/// the log file to the valid prefix.
 pub(crate) fn quarantine_tail(log: &Path, bytes: &[u8], offset: usize) -> Result<PathBuf, WalError> {
-    let side = quarantine_path(log);
+    let side = quarantine_path(log, offset as u64);
     std::fs::write(&side, &bytes[offset..])?;
     let f = OpenOptions::new().write(true).open(log)?;
     f.set_len(offset as u64)?;
@@ -445,10 +471,11 @@ pub(crate) fn quarantine_tail(log: &Path, bytes: &[u8], offset: usize) -> Result
     Ok(side)
 }
 
-/// Moves the entire log file into the quarantine sidecar (for logs whose
-/// header is unreadable or which provably do not belong to the base).
+/// Moves the entire log file into a fresh quarantine sidecar (for logs
+/// whose header is unreadable or which provably do not belong to the base);
+/// recorded as damage from offset 0.
 pub(crate) fn quarantine_whole(log: &Path) -> Result<PathBuf, WalError> {
-    let side = quarantine_path(log);
+    let side = quarantine_path(log, 0);
     std::fs::rename(log, &side)?;
     Ok(side)
 }
@@ -590,6 +617,32 @@ impl DeltaWal {
     }
 }
 
+/// Per-domain tombstone sets the serving layer maintains across retraction
+/// deltas: erased users (raw embedding rows zeroed, GDPR) and delisted
+/// items (excluded from top-K, catalogue slot kept). Checkpoints persist
+/// them because the embedded model bytes are the *original* freeze —
+/// rebuilding from a checkpoint must re-zero erased rows and re-install the
+/// serving exclusions, or a compaction-then-recovery would resurrect an
+/// erased user. Lists are sorted and deduplicated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Lifecycle {
+    /// Erased users of domain X.
+    pub erased_x: Vec<u32>,
+    /// Delisted items of domain X.
+    pub delisted_x: Vec<u32>,
+    /// Erased users of domain Y.
+    pub erased_y: Vec<u32>,
+    /// Delisted items of domain Y.
+    pub delisted_y: Vec<u32>,
+}
+
+impl Lifecycle {
+    /// Whether no entity has ever been erased or delisted.
+    pub fn is_empty(&self) -> bool {
+        self.erased_x.is_empty() && self.delisted_x.is_empty() && self.erased_y.is_empty() && self.delisted_y.is_empty()
+    }
+}
+
 /// A decoded compaction checkpoint: everything recovery needs to rebuild
 /// the live engine without the folded log records.
 pub(crate) struct Checkpoint {
@@ -603,6 +656,9 @@ pub(crate) struct Checkpoint {
     /// Highest sequence number folded into this checkpoint; recovery skips
     /// log records at or below it.
     pub applied_seq: u64,
+    /// Tombstone sets at the fold point (empty for checkpoints written
+    /// before retraction existed — their optional sections are absent).
+    pub lifecycle: Lifecycle,
 }
 
 /// Encodes a **legacy v1-envelope** checkpoint (fields serde-packed in a
@@ -620,20 +676,31 @@ pub fn encode_checkpoint(model: &Vec<u8>, gx: &BipartiteGraph, gy: &BipartiteGra
 }
 
 /// Encodes a checkpoint in the v2 section container: the model artifact
-/// bytes verbatim (`model`), both graphs serde-packed (`gx`/`gy`), and the
-/// fold point as a single little-endian u64 (`meta`) — every section
-/// individually checksummed and 64-byte aligned like any other v2 artifact.
+/// bytes verbatim (`model`), both graphs serde-packed (`gx`/`gy`), the
+/// fold point as a single little-endian u64 (`meta`), and — only when any
+/// exist — the tombstone sets as serde-packed u32 lists (`ex`/`dx`/`ey`/
+/// `dy`). Every section is individually checksummed and 64-byte aligned
+/// like any other v2 artifact; the lifecycle sections are *optional* on
+/// read, so checkpoints written before retraction existed (and checkpoints
+/// of engines that never retracted) stay byte-identical and keep decoding.
 pub(crate) fn encode_checkpoint_v2(
     model: &[u8],
     gx: &BipartiteGraph,
     gy: &BipartiteGraph,
     applied_seq: u64,
+    lifecycle: &Lifecycle,
 ) -> Vec<u8> {
     let mut w = v2::Writer::new(CHECKPOINT_KIND, CHECKPOINT_VERSION_V2);
     w.push("model", 1, model);
     w.push("gx", 1, &serde::to_bytes(gx));
     w.push("gy", 1, &serde::to_bytes(gy));
     w.push("meta", 8, &applied_seq.to_le_bytes());
+    if !lifecycle.is_empty() {
+        w.push("ex", 1, &serde::to_bytes(&lifecycle.erased_x));
+        w.push("dx", 1, &serde::to_bytes(&lifecycle.delisted_x));
+        w.push("ey", 1, &serde::to_bytes(&lifecycle.erased_y));
+        w.push("dy", 1, &serde::to_bytes(&lifecycle.delisted_y));
+    }
     w.finish()
 }
 
@@ -657,11 +724,13 @@ pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, ArtifactErro
             detail: format!("checkpoint payload has {} trailing bytes", input.len()),
         });
     }
+    // v1 checkpoints predate retraction: nothing was ever erased/delisted.
     Ok(Checkpoint {
         model,
         gx,
         gy,
         applied_seq,
+        lifecycle: Lifecycle::default(),
     })
 }
 
@@ -677,11 +746,21 @@ fn decode_checkpoint_v2(bytes: &[u8]) -> Result<Checkpoint, ArtifactError> {
         });
     }
     let applied_seq = u64::from_le_bytes(meta.try_into().expect("length checked"));
+    // The lifecycle sections are optional: absent on checkpoints written
+    // before retraction existed, or by engines that never retracted.
+    let mut lifecycle = Lifecycle::default();
+    if reader.has("ex") {
+        lifecycle.erased_x = serde::from_bytes(reader.section_bytes("ex")?).map_err(ArtifactError::Decode)?;
+        lifecycle.delisted_x = serde::from_bytes(reader.section_bytes("dx")?).map_err(ArtifactError::Decode)?;
+        lifecycle.erased_y = serde::from_bytes(reader.section_bytes("ey")?).map_err(ArtifactError::Decode)?;
+        lifecycle.delisted_y = serde::from_bytes(reader.section_bytes("dy")?).map_err(ArtifactError::Decode)?;
+    }
     Ok(Checkpoint {
         model,
         gx,
         gy,
         applied_seq,
+        lifecycle,
     })
 }
 
@@ -717,7 +796,9 @@ pub struct RecoveryReport {
     pub last_seq: u64,
     /// Bytes dropped from the log (quarantined, never deleted).
     pub dropped_bytes: u64,
-    /// Where the dropped bytes were preserved, when any were.
+    /// Where the dropped bytes were preserved, when any were. Each incident
+    /// gets its own offset-suffixed sidecar ([`quarantine_path`]), so this
+    /// path is fresh — earlier incidents' sidecars are never overwritten.
     pub quarantine: Option<PathBuf>,
     /// Why the tail of the log was dropped, when it was.
     pub tail: Option<WalError>,
@@ -867,6 +948,9 @@ mod tests {
             add_users: 1,
             add_items: 2,
             edges: vec![(0, 1), (3, 4)],
+            remove_edges: vec![(5, 6)],
+            erase_users: vec![2],
+            delist_items: vec![0],
         };
         let d2 = GraphDelta::empty();
         assert_eq!(wal.append(DomainId::X, &d1).unwrap(), 7);
@@ -884,6 +968,30 @@ mod tests {
         assert_eq!(scan.next_seq(), 9);
         assert_eq!(scan.valid_len(), bytes.len() as u64);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quarantine_paths_never_collide() {
+        let dir = std::env::temp_dir().join("cdrib-wal-quarantine-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("log.wal");
+        let p1 = quarantine_path(&log, 64);
+        assert!(p1.to_string_lossy().ends_with(".quarantine.64"));
+        std::fs::write(&p1, b"first incident").unwrap();
+        // Same offset damaged again: the counter suffix de-collides.
+        let p2 = quarantine_path(&log, 64);
+        assert_ne!(p1, p2);
+        std::fs::write(&p2, b"second incident").unwrap();
+        let p3 = quarantine_path(&log, 64);
+        assert_ne!(p3, p1);
+        assert_ne!(p3, p2);
+        // A different offset gets its own fresh name, and earlier evidence
+        // survives untouched.
+        assert!(quarantine_path(&log, 128).to_string_lossy().ends_with(".quarantine.128"));
+        assert_eq!(std::fs::read(&p1).unwrap(), b"first incident");
+        assert_eq!(std::fs::read(&p2).unwrap(), b"second incident");
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
     }
 
     #[test]
@@ -911,13 +1019,26 @@ mod tests {
         let gx = BipartiteGraph::new(3, 4, &[(0, 1), (2, 3)]).unwrap();
         let gy = BipartiteGraph::new(2, 2, &[(1, 0)]).unwrap();
         let model = vec![9u8, 8, 7];
-        let bytes = encode_checkpoint_v2(&model, &gx, &gy, 99);
+        let bytes = encode_checkpoint_v2(&model, &gx, &gy, 99, &Lifecycle::default());
         assert!(v2::is_v2(&bytes));
         let cp = decode_checkpoint(&bytes).unwrap();
         assert_eq!(cp.model, model);
         assert_eq!(cp.applied_seq, 99);
         assert_eq!(cp.gx.items_of(0), gx.items_of(0));
         assert_eq!(cp.gy.n_edges(), 1);
+        assert!(cp.lifecycle.is_empty());
+
+        // Tombstone sets round-trip through the optional sections.
+        let lifecycle = Lifecycle {
+            erased_x: vec![1, 4],
+            delisted_x: vec![0],
+            erased_y: vec![],
+            delisted_y: vec![1],
+        };
+        let bytes = encode_checkpoint_v2(&model, &gx, &gy, 100, &lifecycle);
+        let cp = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(cp.lifecycle, lifecycle);
+        assert_eq!(cp.applied_seq, 100);
         // A v2 container of a different kind is "not a checkpoint" — the
         // hook that lets recovery fall through to the serve interpretation.
         let mut w = v2::Writer::new("cdrib.serve", 1);

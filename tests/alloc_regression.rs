@@ -232,6 +232,7 @@ fn delta_apply_steady_state() {
                 add_users: 1,
                 add_items: 0,
                 edges: vec![(user, 0), (user, 5)],
+                ..GraphDelta::empty()
             },
         )
         .expect("warm growth delta");
@@ -246,6 +247,7 @@ fn delta_apply_steady_state() {
             recommender.seen_graph(DomainId::X).edges()[0],
             recommender.seen_graph(DomainId::X).edges()[1],
         ],
+        ..GraphDelta::empty()
     };
     let request = Request {
         direction: Direction::X_TO_Y,
@@ -272,6 +274,89 @@ fn delta_apply_steady_state() {
         "warm delta ingestion + re-encode + request must not touch the allocator (got {steady} requests over 3 batches)"
     );
     assert_eq!(out.len(), 10);
+}
+
+/// The retraction path at steady state: a **replayed removal batch** — an
+/// already-removed edge, an already-erased user and an already-delisted
+/// item — is the shrink-side analogue of the duplicate-edge replay above.
+/// It flows through the whole retraction machinery (bounds check, counted
+/// missing-edge no-ops, idempotent erase/delist sweeps, tombstone-set
+/// merge, dirty-row re-encode, quant shadow swap) while no structure and no
+/// tombstone set changes size, so it must be allocation-free. WAL replay
+/// after a crash re-applies exactly such batches, which is what keeps
+/// recovery alloc-clean too.
+fn removal_replay_steady_state() {
+    let scenario = build_preset(ScenarioKind::GameVideo, Scale::Tiny, 42).expect("preset");
+    let config = CdribConfig {
+        dim: 16,
+        layers: 2,
+        eval_every: 0,
+        patience: 0,
+        seed: 42,
+        ..CdribConfig::default()
+    };
+    let model = CdribModel::new(&config, &scenario).expect("model");
+    let mut recommender =
+        Recommender::from_inference_online(InferenceModel::from_model(&model), &scenario).expect("recommender");
+    recommender.set_precision(ScoringPrecision::Int8);
+
+    // Structural warm-up: grow a cold user with interactions, then close
+    // their lifecycle — erase them and delist one of their items. Both the
+    // growth and the first shrink may allocate (edges rebuild, tombstone
+    // inserts); that is the amortised part.
+    let user = recommender.seen_graph(DomainId::X).n_users() as u32;
+    recommender
+        .apply_delta(
+            DomainId::X,
+            &GraphDelta {
+                add_users: 1,
+                edges: vec![(user, 0), (user, 5)],
+                ..GraphDelta::empty()
+            },
+        )
+        .expect("warm growth delta");
+    let retract = GraphDelta {
+        remove_edges: vec![(user, 0)],
+        erase_users: vec![user],
+        delist_items: vec![5],
+        ..GraphDelta::empty()
+    };
+    let request = Request {
+        direction: Direction::X_TO_Y,
+        user,
+        k: 10,
+    };
+    let mut out: Vec<Recommendation> = Vec::new();
+    for _ in 0..2 {
+        let outcome = recommender
+            .apply_delta(DomainId::X, &retract)
+            .expect("warm retraction replay");
+        assert_eq!(outcome.users_erased, 1);
+        assert_eq!(outcome.items_delisted, 1);
+        recommender.recommend(&request, &mut out).expect("warm request");
+    }
+    // From here every replay is pure no-op shrinkage: the edge is already
+    // gone (a counted missing edge), the user already erased, the item
+    // already tombstoned.
+    let steady = min_allocs_over_windows(|| {
+        for _ in 0..3 {
+            let outcome = recommender
+                .apply_delta(DomainId::X, &retract)
+                .expect("measured retraction replay");
+            assert_eq!(outcome.edges_removed, 0);
+            assert_eq!(outcome.missing_edges, 1);
+            recommender.recommend(&request, &mut out).expect("measured request");
+        }
+    });
+    assert_eq!(
+        steady, 0,
+        "warm replayed removal batches must not touch the allocator (got {steady} requests over 3 batches)"
+    );
+    // The erased user still serves a full top-K and the tombstone sets
+    // never grew past the first application.
+    assert_eq!(out.len(), 10);
+    assert_eq!(recommender.erased_users(DomainId::X), &[user]);
+    assert_eq!(recommender.delisted_items(DomainId::X), &[5]);
 }
 
 /// The durability path: a warm **WAL-backed** delta ingest — bounds
@@ -312,6 +397,7 @@ fn wal_append_steady_state() {
                 add_users: 1,
                 add_items: 0,
                 edges: vec![(user, 0), (user, 5)],
+                ..GraphDelta::empty()
             },
         )
         .expect("warm growth delta");
@@ -323,6 +409,7 @@ fn wal_append_steady_state() {
             recommender.seen_graph(DomainId::X).edges()[0],
             recommender.seen_graph(DomainId::X).edges()[1],
         ],
+        ..GraphDelta::empty()
     };
     for _ in 0..2 {
         let outcome = recommender
@@ -647,6 +734,7 @@ fn warm_training_steps_are_allocation_free() {
     full_model_steady_state();
     inference_and_serving_steady_state();
     delta_apply_steady_state();
+    removal_replay_steady_state();
     wal_append_steady_state();
     mapped_load_and_serving_steady_state();
     server_pipeline_steady_state();

@@ -168,12 +168,27 @@ proptest! {
         add_users in 0usize..6,
         add_items in 0usize..6,
         edges in proptest::collection::vec((wide_id(), wide_id()), 0..24),
+        remove_edges in proptest::collection::vec((wide_id(), wide_id()), 0..8),
+        erase_users in proptest::collection::vec(wide_id(), 0..6),
+        delist_items in proptest::collection::vec(wide_id(), 0..6),
     ) {
-        let delta = GraphDelta { add_users, add_items, edges };
+        let delta = GraphDelta {
+            add_users,
+            add_items,
+            edges,
+            remove_edges,
+            erase_users,
+            delist_items,
+        };
         let bytes = serde::to_bytes(&delta);
         let back: GraphDelta = serde::from_bytes(&bytes).unwrap();
         prop_assert_eq!(&back, &delta);
         prop_assert_eq!(serde::to_bytes(&back), bytes, "re-encode must be byte-identical");
+        // Truncation at any boundary is a decode error, never a delta with
+        // silently dropped retraction ops — the WAL's replay guarantee.
+        for cut in 0..bytes.len() {
+            prop_assert!(serde::from_bytes::<GraphDelta>(&bytes[..cut]).is_err(), "cut at {}", cut);
+        }
     }
 }
 
@@ -352,14 +367,20 @@ fn graph_delta_roundtrip_edge_cases() {
     let cases = [
         GraphDelta::empty(),
         GraphDelta {
-            add_users: 0,
-            add_items: 0,
             edges: vec![(u32::MAX, u32::MAX), (0, u32::MAX), (u32::MAX, 0)],
+            ..GraphDelta::empty()
         },
         GraphDelta {
             add_users: usize::MAX,
             add_items: usize::MAX,
-            edges: vec![],
+            ..GraphDelta::empty()
+        },
+        // A pure-retraction record: no growth at all, ids at the extremes.
+        GraphDelta {
+            remove_edges: vec![(u32::MAX, 0), (0, u32::MAX)],
+            erase_users: vec![0, u32::MAX],
+            delist_items: vec![u32::MAX],
+            ..GraphDelta::empty()
         },
     ];
     for delta in cases {

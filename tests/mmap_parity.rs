@@ -103,6 +103,7 @@ fn scripted_delta(step: usize, rec: &Recommender) -> (DomainId, GraphDelta) {
                 add_users: 1,
                 add_items: 0,
                 edges: vec![(xu, 0), (xu, xi - 1)],
+                ..GraphDelta::empty()
             },
         ),
         1 => (
@@ -111,6 +112,7 @@ fn scripted_delta(step: usize, rec: &Recommender) -> (DomainId, GraphDelta) {
                 add_users: 1,
                 add_items: 1,
                 edges: vec![(yu, yi), (yu, 0), (0, 1)],
+                ..GraphDelta::empty()
             },
         ),
         2 => (DomainId::X, GraphDelta::empty()),
@@ -120,6 +122,7 @@ fn scripted_delta(step: usize, rec: &Recommender) -> (DomainId, GraphDelta) {
                 add_users: 0,
                 add_items: 0,
                 edges: vec![(1, 1), (1, 1)],
+                ..GraphDelta::empty()
             },
         ),
         4 => (
@@ -128,6 +131,7 @@ fn scripted_delta(step: usize, rec: &Recommender) -> (DomainId, GraphDelta) {
                 add_users: 2,
                 add_items: 1,
                 edges: vec![(xu, xi), (xu + 1, 2)],
+                ..GraphDelta::empty()
             },
         ),
         _ => (
@@ -136,6 +140,7 @@ fn scripted_delta(step: usize, rec: &Recommender) -> (DomainId, GraphDelta) {
                 add_users: 1,
                 add_items: 0,
                 edges: vec![(yu, 2)],
+                ..GraphDelta::empty()
             },
         ),
     }

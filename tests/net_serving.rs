@@ -131,6 +131,7 @@ fn delta_over_wire_extends_catalogue_and_bumps_epoch() {
                 add_users: 1,
                 add_items: 0,
                 edges: vec![(new_user, 0)],
+                ..GraphDelta::empty()
             },
         }))
         .expect("send delta");
@@ -382,6 +383,7 @@ fn catalogue_extension_race_returns_typed_error() {
                 add_users: 1,
                 add_items: 0,
                 edges: vec![(n_users, 0)],
+                ..GraphDelta::empty()
             },
         )
         .expect("delta");

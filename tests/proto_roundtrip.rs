@@ -61,6 +61,9 @@ fn client_msg(variant: u32, a: u64, b: u32, edges: Vec<(u32, u32)>, text: Vec<u8
             delta: GraphDelta {
                 add_users: (b % 7) as usize,
                 add_items: text.len(),
+                remove_edges: edges.iter().rev().take(2).copied().collect(),
+                erase_users: edges.iter().map(|&(u, _)| u ^ b).take(3).collect(),
+                delist_items: text.iter().map(|&t| t as u32).collect(),
                 edges,
             },
         }),

@@ -42,7 +42,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Scripted deltas in the fixture log.
-const STEPS: usize = 6;
+const STEPS: usize = 9;
 
 /// A fresh scratch directory under `target/wal-fault-injection/`.
 fn scratch(name: &str) -> PathBuf {
@@ -100,13 +100,15 @@ fn assert_matches(rec: &mut Recommender, snap: &Snapshot, context: &str) {
 
 /// Step `step` of the scripted traffic, materialised against the engine's
 /// *current* graphs: cold users arriving with and without history, catalogue
-/// growth, duplicate interactions and quiet ticks, alternating domains.
+/// growth, duplicate interactions, quiet ticks — and the retraction side of
+/// the lifecycle: an un-like, a GDPR erasure and an item delisting — all
+/// alternating domains.
 fn scripted_delta(step: usize, rec: &Recommender) -> (DomainId, GraphDelta) {
     let gx = rec.seen_graph(DomainId::X);
     let gy = rec.seen_graph(DomainId::Y);
     let (xu, xi) = (gx.n_users() as u32, gx.n_items() as u32);
     let (yu, yi) = (gy.n_users() as u32, gy.n_items() as u32);
-    match step % 6 {
+    match step % 9 {
         // A cold user arrives in X with two interactions.
         0 => (
             DomainId::X,
@@ -114,6 +116,7 @@ fn scripted_delta(step: usize, rec: &Recommender) -> (DomainId, GraphDelta) {
                 add_users: 1,
                 add_items: 0,
                 edges: vec![(xu, 0), (xu, xi - 1)],
+                ..GraphDelta::empty()
             },
         ),
         // A cold user and a brand-new item in Y, plus a duplicate draw.
@@ -123,6 +126,7 @@ fn scripted_delta(step: usize, rec: &Recommender) -> (DomainId, GraphDelta) {
                 add_users: 1,
                 add_items: 1,
                 edges: vec![(yu, yi), (yu, 0), (0, 1)],
+                ..GraphDelta::empty()
             },
         ),
         // A quiet tick.
@@ -134,6 +138,7 @@ fn scripted_delta(step: usize, rec: &Recommender) -> (DomainId, GraphDelta) {
                 add_users: 0,
                 add_items: 0,
                 edges: vec![(1, 1), (1, 1)],
+                ..GraphDelta::empty()
             },
         ),
         // Two cold users in X, one silent, with a new item.
@@ -143,15 +148,45 @@ fn scripted_delta(step: usize, rec: &Recommender) -> (DomainId, GraphDelta) {
                 add_users: 2,
                 add_items: 1,
                 edges: vec![(xu, xi), (xu + 1, 2)],
+                ..GraphDelta::empty()
             },
         ),
         // One more Y interaction.
-        _ => (
+        5 => (
             DomainId::Y,
             GraphDelta {
                 add_users: 1,
                 add_items: 0,
                 edges: vec![(yu, 2)],
+                ..GraphDelta::empty()
+            },
+        ),
+        // An un-like: user 0 retracts their first X interaction; the
+        // duplicated pair is a counted no-op (already removed in-batch).
+        6 => {
+            let e = (0, gx.items_of(0)[0]);
+            (
+                DomainId::X,
+                GraphDelta {
+                    remove_edges: vec![e, e],
+                    ..GraphDelta::empty()
+                },
+            )
+        }
+        // GDPR erasure of the most recent X user.
+        7 => (
+            DomainId::X,
+            GraphDelta {
+                erase_users: vec![xu - 1],
+                ..GraphDelta::empty()
+            },
+        ),
+        // The most recent Y item is delisted from the catalogue.
+        _ => (
+            DomainId::Y,
+            GraphDelta {
+                delist_items: vec![yi - 1],
+                ..GraphDelta::empty()
             },
         ),
     }
@@ -250,9 +285,12 @@ fn kill_point_matrix_replays_every_append_boundary() {
         assert_eq!(report.replayed, i);
         assert_eq!(report.last_seq, i as u64);
         assert_eq!(rec.wal_applied_seq(), Some(i as u64));
+        assert!(report.quarantine.is_none(), "clean recovery must not quarantine");
         assert!(
-            !wal::quarantine_path(&log).exists(),
-            "clean recovery must not quarantine"
+            fs::read_dir(log.parent().unwrap())
+                .unwrap()
+                .all(|e| !e.unwrap().file_name().to_string_lossy().contains(".quarantine.")),
+            "clean recovery must leave no sidecar files"
         );
         assert_matches(&mut rec, &fx.snapshots[i], &format!("kill point after {i} appends"));
     }
@@ -646,7 +684,10 @@ fn compaction_is_crash_safe_in_every_window() {
 /// After a torn-tail recovery the engine resumes durable ingest: the
 /// quarantined record's sequence number is re-issued (it was never
 /// applied), the repaired log extends cleanly, and a second recovery of
-/// the resumed log reproduces the resumed state.
+/// the resumed log reproduces the resumed state. A *second* damage
+/// incident — at the very same truncation offset — must land in its own
+/// sidecar: quarantines are suffixed with the offset (plus a counter on
+/// collision), so no incident's evidence is ever clobbered.
 #[test]
 fn recovery_after_tail_damage_resumes_durable_ingest() {
     let fx = build_fixture("resume");
@@ -655,6 +696,8 @@ fn recovery_after_tail_damage_resumes_durable_ingest() {
     let (mut rec, report, log) = fx.recover_image("torn", &fx.log_bytes[..cut]);
     assert_eq!(report.replayed, STEPS - 1);
     assert_eq!(report.last_seq, STEPS as u64 - 1);
+    let side1 = report.quarantine.clone().expect("first incident quarantined");
+    let side1_bytes = fs::read(&side1).unwrap();
 
     // The torn record carried seq STEPS but never applied; the next append
     // re-issues it, keeping the log gapless.
@@ -665,13 +708,126 @@ fn recovery_after_tail_damage_resumes_durable_ingest() {
     let want = snapshot(&mut rec);
 
     // The repaired-and-extended log is clean end to end…
-    let scan = wal::scan_bytes(&fs::read(&log).unwrap()).unwrap();
+    let repaired = fs::read(&log).unwrap();
+    let scan = wal::scan_bytes(&repaired).unwrap();
     assert!(scan.tail.is_none());
     assert_eq!(scan.records.len(), STEPS);
     // …and recovering it (into a copy — the first engine still holds the
     // file open) reproduces the resumed state exactly.
-    let (mut again, report, _) = fx.recover_image("torn-again", &fs::read(&log).unwrap());
+    let (mut again, report, _) = fx.recover_image("torn-again", &repaired);
     assert!(report.clean(), "{report:?}");
     assert_eq!(report.replayed, STEPS);
     assert_matches(&mut again, &want, "re-recovery of the resumed log");
+
+    // Incident two: the re-issued record is torn as well — the truncation
+    // offset is the same as incident one's, the sidecar must not be.
+    drop(rec);
+    fs::write(&log, &repaired[..repaired.len() - 3]).unwrap();
+    let (mut rec2, report2) = Recommender::recover(&fx.base, &log).unwrap();
+    assert_eq!(report2.replayed, STEPS - 1);
+    let side2 = report2.quarantine.clone().expect("second incident quarantined");
+    assert_ne!(side1, side2, "a second incident must get its own sidecar");
+    assert!(side1.exists(), "the first sidecar must survive the second incident");
+    assert_eq!(
+        fs::read(&side1).unwrap(),
+        side1_bytes,
+        "the first incident's evidence must be preserved verbatim"
+    );
+    assert_eq!(
+        fs::read(&side2).unwrap(),
+        &repaired[last_start..repaired.len() - 3],
+        "the second sidecar holds the second incident's torn bytes"
+    );
+    assert_matches(&mut rec2, &fx.snapshots[STEPS - 1], "second-incident recovery");
+}
+
+/// The retraction guarantees survive every recovery path: once the erasure
+/// record is durably logged, no recovery — full-log replay, checkpoint +
+/// empty log, or checkpoint alone — ever resurrects the user: the
+/// embedding row stays zero, the neighbourhood stays empty, and the
+/// delisted item never appears in any user's top-K. The erased user stays
+/// a valid request target and is served a full-catalogue (minus delisted)
+/// top-K from their zero row.
+#[test]
+fn erasure_and_delisting_are_never_resurrected_by_recovery() {
+    let fx = build_fixture("erasure");
+    let verify = |rec: &mut Recommender, context: &str| {
+        let erased = rec.erased_users(DomainId::X).to_vec();
+        assert!(!erased.is_empty(), "{context}: the script erases an X user");
+        for &u in &erased {
+            assert!(
+                rec.seen_graph(DomainId::X).items_of(u as usize).is_empty(),
+                "{context}: erased user {u} kept interactions"
+            );
+            assert!(
+                rec.scorer().x_users.row(u as usize).iter().all(|&v| v == 0.0),
+                "{context}: erased user {u}'s embedding row is not zero"
+            );
+        }
+        let delisted = rec.delisted_items(DomainId::Y).to_vec();
+        assert!(!delisted.is_empty(), "{context}: the script delists a Y item");
+        let n_users = rec.seen_graph(DomainId::X).n_users();
+        let catalogue = rec.catalogue_size(DomainId::Y);
+        let mut out = Vec::new();
+        for user in 0..n_users as u32 {
+            let request = Request {
+                direction: Direction::X_TO_Y,
+                user,
+                k: catalogue,
+            };
+            rec.recommend(&request, &mut out).unwrap();
+            assert!(
+                out.iter().all(|r| delisted.binary_search(&r.item).is_err()),
+                "{context}: delisted item served to user {user}"
+            );
+            if erased.contains(&user) {
+                // A tombstoned user has no history left to filter: the
+                // full catalogue minus the delisted slots comes back.
+                assert_eq!(
+                    out.len(),
+                    catalogue - delisted.len(),
+                    "{context}: erased user {user} must get a full-catalogue top-K"
+                );
+            }
+        }
+    };
+
+    // Full-log replay reproduces the tombstones.
+    let (mut rec, report, _) = fx.recover_image("full", &fx.log_bytes);
+    assert!(report.clean(), "{report:?}");
+    verify(&mut rec, "full-log replay");
+    drop(rec);
+
+    // Compaction folds the tombstones into the checkpoint: both the
+    // new-base + old-log and new-base + new-log crash windows restore them
+    // (the checkpoint's model bytes predate the erasure — the lifecycle
+    // sections are what re-zero the rows).
+    let Fixture {
+        dir,
+        base,
+        log,
+        log_bytes,
+        mut live,
+        ..
+    } = fx;
+    live.compact().unwrap();
+    let stage = |label: &str, log_image: &[u8]| -> (PathBuf, PathBuf) {
+        let d = dir.join(label);
+        fs::create_dir_all(&d).unwrap();
+        let b = d.join("base.cdrb");
+        let l = d.join("deltas.wal");
+        fs::copy(&base, &b).unwrap();
+        fs::write(&l, log_image).unwrap();
+        (b, l)
+    };
+    let (b, l) = stage("checkpoint-old-log", &log_bytes);
+    let (mut rec, report) = Recommender::recover(&b, &l).unwrap();
+    assert!(report.clean(), "{report:?}");
+    assert_eq!(report.skipped, STEPS, "every record is already folded");
+    verify(&mut rec, "checkpoint + already-folded log");
+    let (b, l) = stage("checkpoint-new-log", &fs::read(&log).unwrap());
+    let (mut rec, report) = Recommender::recover(&b, &l).unwrap();
+    assert!(report.clean(), "{report:?}");
+    assert_eq!(report.replayed, 0);
+    verify(&mut rec, "checkpoint + fresh log");
 }
